@@ -1,0 +1,276 @@
+// Benchmarks, one (or more) per experiment of DESIGN.md's index.
+// They regenerate the performance-shaped artifacts of the paper under
+// `go test -bench=. -benchmem`; the table-shaped artifacts (E1–E3) run
+// as golden tests elsewhere and appear here as micro-benchmarks of the
+// same computations.
+package fd_test
+
+import (
+	"fmt"
+	"testing"
+
+	fd "repro"
+	"repro/internal/batch"
+	"repro/internal/core"
+	"repro/internal/join"
+	"repro/internal/naive"
+	"repro/internal/rank"
+	"repro/internal/tupleset"
+	"repro/internal/workload"
+)
+
+func chainDB(b *testing.B, n, m int) *fd.Database {
+	b.Helper()
+	db, err := workload.Chain(workload.Config{
+		Relations: n, TuplesPerRelation: m, Domain: 4, NullRate: 0.1, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+// BenchmarkE1Tourist measures the paper's running example (Tables 1–2).
+func BenchmarkE1Tourist(b *testing.B) {
+	db := workload.Tourist()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := fd.FullDisjunction(db, fd.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2Seed measures a single-seed enumeration (Fig 1, the
+// computation traced by Table 3).
+func BenchmarkE2Seed(b *testing.B) {
+	db := workload.Tourist()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := fd.FDi(db, 0, fd.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE3Approx measures the Fig 4 approximate-join evaluation.
+func BenchmarkE3Approx(b *testing.B) {
+	db, sims := workload.TouristApprox()
+	amin := fd.Amin(fd.TableSim(sims))
+	for i := 0; i < b.N; i++ {
+		if _, _, err := fd.ApproxFullDisjunction(db, amin, 0.4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE4Total compares total full-disjunction cost: IncrementalFD
+// vs the BatchFD stand-in for [3], across database sizes (Cor 4.9).
+func BenchmarkE4Total(b *testing.B) {
+	for _, m := range []int{8, 16, 32} {
+		db := chainDB(b, 4, m)
+		b.Run(fmt.Sprintf("incremental/m=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := fd.FullDisjunction(db, fd.Options{UseIndex: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("batch/m=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				batch.FullDisjunction(db)
+			}
+		})
+	}
+}
+
+// BenchmarkE5TimeToK measures the PINC claim (Thm 4.10): cost of the
+// first k answers.
+func BenchmarkE5TimeToK(b *testing.B) {
+	db := chainDB(b, 5, 24)
+	for _, k := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				count := 0
+				_, err := fd.Stream(db, fd.Options{UseIndex: true}, func(*fd.TupleSet) bool {
+					count++
+					return count < k
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE6TopK measures ranked retrieval (Thm 5.5) against
+// compute-all-then-sort.
+func BenchmarkE6TopK(b *testing.B) {
+	db, err := workload.Star(workload.Config{
+		Relations: 5, TuplesPerRelation: 20, Domain: 4, NullRate: 0.05, ImpMax: 100, Seed: 13})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []int{1, 10} {
+		b.Run(fmt.Sprintf("ranked/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := fd.TopK(db, fd.FMax(), k, fd.Options{UseIndex: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("computeAll", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := fd.FullDisjunction(db, fd.Options{UseIndex: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE7Hardness contrasts brute-force top-1 fsum (NP-hard
+// problem, Prop 5.1) with polynomial top-1 fmax as n grows.
+func BenchmarkE7Hardness(b *testing.B) {
+	for _, n := range []int{3, 5, 7} {
+		db, err := workload.Clique(workload.Config{
+			Relations: n, TuplesPerRelation: 4, Domain: 2, Seed: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		u := tupleset.NewUniverse(db)
+		b.Run(fmt.Sprintf("fsumBrute/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				naive.TopK(db, func(s *tupleset.Set) float64 {
+					return (rank.FSum{}).Rank(u, s)
+				}, 1)
+			}
+		})
+		b.Run(fmt.Sprintf("fmaxRanked/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := fd.TopK(db, fd.FMax(), 1, fd.Options{UseIndex: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE8Approx sweeps τ for the approximate full disjunction on a
+// dirty workload (Thm 6.6).
+func BenchmarkE8Approx(b *testing.B) {
+	db, err := workload.DirtyChain(workload.DirtyConfig{
+		Config:    workload.Config{Relations: 4, TuplesPerRelation: 12, Domain: 4, Seed: 19},
+		ErrorRate: 0.35, MaxEdits: 2, MinProb: 0.4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	amin := fd.Amin(fd.LevenshteinSim())
+	for _, tau := range []float64{0.9, 0.6, 0.3} {
+		b.Run(fmt.Sprintf("amin/tau=%.1f", tau), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := fd.ApproxFullDisjunction(db, amin, tau); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE9Ablations measures the §7 engineering options.
+func BenchmarkE9Ablations(b *testing.B) {
+	db := chainDB(b, 4, 28)
+	variants := map[string]fd.Options{
+		"noIndex":       {},
+		"index":         {UseIndex: true},
+		"indexSeeded":   {UseIndex: true, Strategy: fd.InitSeeded},
+		"indexProject":  {UseIndex: true, Strategy: fd.InitProjected},
+		"indexBlock64":  {UseIndex: true, BlockSize: 64},
+		"seededBlock64": {UseIndex: true, Strategy: fd.InitSeeded, BlockSize: 64},
+	}
+	for name, opts := range variants {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := fd.FullDisjunction(db, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE10Outerjoin compares the γ-acyclic outerjoin baseline [2]
+// to IncrementalFD on chains.
+func BenchmarkE10Outerjoin(b *testing.B) {
+	db := chainDB(b, 4, 16)
+	b.Run("outerjoin", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := join.FullDisjunction(db); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := fd.FullDisjunction(db, fd.Options{UseIndex: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE11Threshold measures the (τ,f)-threshold variant
+// (Remark 5.6).
+func BenchmarkE11Threshold(b *testing.B) {
+	db, err := workload.Star(workload.Config{
+		Relations: 5, TuplesPerRelation: 16, Domain: 4, NullRate: 0.05, ImpMax: 100, Seed: 37})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tau := range []float64{95, 50} {
+		b.Run(fmt.Sprintf("tau=%.0f", tau), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := fd.Threshold(db, fd.FMax(), tau, fd.Options{UseIndex: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSubstrates micro-benchmarks the hot predicates.
+func BenchmarkSubstrates(b *testing.B) {
+	db := chainDB(b, 5, 24)
+	u := tupleset.NewUniverse(db)
+	sets, _, err := core.FullDisjunction(db, core.Options{UseIndex: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	big := sets[0]
+	for _, s := range sets {
+		if s.Len() > big.Len() {
+			big = s
+		}
+	}
+	b.Run("JCC", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			u.JCC(big)
+		}
+	})
+	b.Run("UnionJCC", func(b *testing.B) {
+		other := sets[len(sets)/2]
+		for i := 0; i < b.N; i++ {
+			u.UnionJCC(big, other)
+		}
+	})
+	b.Run("MaximalSubsetWith", func(b *testing.B) {
+		tb := fd.Ref{Rel: int32(db.NumRelations() - 1), Idx: 0}
+		for i := 0; i < b.N; i++ {
+			u.MaximalSubsetWith(big, tb)
+		}
+	})
+	b.Run("Key", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = big.Key()
+		}
+	})
+}

@@ -1,0 +1,54 @@
+// Command fdbench runs the experiment suite E1–E11 that reproduces the
+// paper's tables, worked examples and complexity claims, printing
+// markdown tables (the source of EXPERIMENTS.md).
+//
+// Usage:
+//
+//	fdbench            # run everything
+//	fdbench -e E4,E5   # run selected experiments
+//	fdbench -list      # list experiment ids and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exps = flag.String("e", "", "comma-separated experiment ids (default: all)")
+		list = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	registry := bench.Registry()
+	if *list {
+		for _, id := range bench.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := bench.IDs()
+	if *exps != "" {
+		ids = strings.Split(*exps, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		exp, ok := registry[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "fdbench: unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		table, err := exp()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fdbench: %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(table.Markdown())
+	}
+}

@@ -1,0 +1,148 @@
+// Command fdcli computes full disjunctions of CSV relations.
+//
+// Each positional argument is a CSV file holding one relation (header
+// row of attribute names; optional #label, #imp and #prob metadata
+// columns; empty cells or ⊥ are nulls). The relation is named after the
+// file's base name.
+//
+// Modes:
+//
+//	fdcli a.csv b.csv c.csv             # full disjunction
+//	fdcli -k 10 -rank fmax a.csv b.csv  # top-10 under fmax
+//	fdcli -rank fmax -tau 3 a.csv b.csv # all answers ranking ≥ 3
+//	fdcli -approx 0.8 a.csv b.csv       # approximate FD, Amin+Levenshtein, τ=0.8
+//
+// Output is one row per result tuple set: the tuple-set notation
+// followed by the padded tuple.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	fd "repro"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "fdcli: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the tool against args, writing results to stdout and
+// diagnostics to stderr. It is main minus process concerns, so tests
+// can drive it directly.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("fdcli", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		k        = fs.Int("k", 0, "return only the first k results (0 = all)")
+		rankName = fs.String("rank", "", "rank results: fmax, pairsum or triple (requires -k or -tau)")
+		tau      = fs.Float64("tau", 0, "with -rank: threshold variant, return results ranking ≥ tau")
+		approxT  = fs.Float64("approx", 0, "approximate FD with Amin + Levenshtein similarity at this threshold")
+		index    = fs.Bool("index", true, "use the §7 hash index")
+		block    = fs.Int("block", 1, "block size for block-based execution")
+		stats    = fs.Bool("stats", false, "print execution counters to stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("need at least one CSV relation (see -h)")
+	}
+
+	rels := make([]*fd.Relation, 0, fs.NArg())
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		rel, err := fd.ReadCSV(name, f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		rels = append(rels, rel)
+	}
+	db, err := fd.NewDatabase(rels...)
+	if err != nil {
+		return err
+	}
+	opts := fd.Options{UseIndex: *index, BlockSize: *block}
+
+	var results []*fd.TupleSet
+	var ranks []float64
+	var execStats fd.Stats
+
+	switch {
+	case *approxT > 0:
+		execStats, err = fd.ApproxStream(db, fd.Amin(fd.LevenshteinSim()), *approxT,
+			func(t *fd.TupleSet) bool {
+				results = append(results, t)
+				return *k == 0 || len(results) < *k
+			})
+	case *rankName != "":
+		var f fd.RankFunc
+		switch *rankName {
+		case "fmax":
+			f = fd.FMax()
+		case "pairsum":
+			f = fd.PairSum()
+		case "triple":
+			f = fd.PaperTriple()
+		default:
+			return fmt.Errorf("unknown ranking function %q (fmax, pairsum, triple)", *rankName)
+		}
+		var ranked []fd.Ranked
+		switch {
+		case *tau > 0:
+			ranked, execStats, err = fd.Threshold(db, f, *tau, opts)
+		case *k > 0:
+			ranked, execStats, err = fd.TopK(db, f, *k, opts)
+		default:
+			return fmt.Errorf("-rank requires -k or -tau")
+		}
+		for _, r := range ranked {
+			results = append(results, r.Set)
+			ranks = append(ranks, r.Rank)
+		}
+	default:
+		execStats, err = fd.Stream(db, opts, func(t *fd.TupleSet) bool {
+			results = append(results, t)
+			return *k == 0 || len(results) < *k
+		})
+	}
+	if err != nil {
+		return err
+	}
+
+	attrs, rows := fd.PadAll(db, results)
+	header := fmt.Sprintf("%-24s", "tuple set")
+	if ranks != nil {
+		header += fmt.Sprintf(" %-8s", "rank")
+	}
+	for _, a := range attrs {
+		header += fmt.Sprintf(" %-12s", a)
+	}
+	fmt.Fprintln(stdout, header)
+	for i, t := range results {
+		line := fmt.Sprintf("%-24s", fd.Format(db, t))
+		if ranks != nil {
+			line += fmt.Sprintf(" %-8.3g", ranks[i])
+		}
+		for _, v := range rows[i].Values {
+			line += fmt.Sprintf(" %-12s", v)
+		}
+		fmt.Fprintln(stdout, line)
+	}
+	if *stats {
+		fmt.Fprintf(stderr, "%s\n", execStats)
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	fd "repro"
+	"repro/internal/workload"
+)
+
+// writeTouristCSVs materialises the tourist relations as CSV files in a
+// temp directory and returns their paths.
+func writeTouristCSVs(t *testing.T) []string {
+	t.Helper()
+	db := workload.TouristRanked()
+	dir := t.TempDir()
+	var paths []string
+	for i := 0; i < db.NumRelations(); i++ {
+		rel := db.Relation(i)
+		path := filepath.Join(dir, rel.Name()+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fd.WriteCSV(rel, f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, path)
+	}
+	return paths
+}
+
+func TestRunFullDisjunction(t *testing.T) {
+	paths := writeTouristCSVs(t)
+	var out, errBuf bytes.Buffer
+	if err := run(append([]string{"-stats"}, paths...), &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"{c1, a1}", "{c1, a2, s1}", "{c1, s2}", "{c2, s3}", "{c2, s4}", "{c3, a3}"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %s:\n%s", want, text)
+		}
+	}
+	if !strings.Contains(errBuf.String(), "iters=") {
+		t.Error("-stats produced no counters")
+	}
+}
+
+func TestRunTopK(t *testing.T) {
+	paths := writeTouristCSVs(t)
+	var out bytes.Buffer
+	if err := run(append([]string{"-rank", "fmax", "-k", "2"}, paths...), &out, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 3 { // header + 2 results
+		t.Fatalf("expected 3 lines, got %d:\n%s", len(lines), out.String())
+	}
+	if !strings.Contains(lines[1], "{c1, a1}") || !strings.Contains(lines[1], "4") {
+		t.Errorf("top answer wrong: %s", lines[1])
+	}
+}
+
+func TestRunThreshold(t *testing.T) {
+	paths := writeTouristCSVs(t)
+	var out bytes.Buffer
+	if err := run(append([]string{"-rank", "fmax", "-tau", "3"}, paths...), &out, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 4 { // header + 3 results with fmax ≥ 3
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), out.String())
+	}
+}
+
+func TestRunApprox(t *testing.T) {
+	paths := writeTouristCSVs(t)
+	var out bytes.Buffer
+	if err := run(append([]string{"-approx", "0.9"}, paths...), &out, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "{c1, a1}") {
+		t.Errorf("approximate output missing exact matches:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out, &out); err == nil {
+		t.Error("no arguments accepted")
+	}
+	if err := run([]string{"/nonexistent/file.csv"}, &out, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	paths := writeTouristCSVs(t)
+	if err := run(append([]string{"-rank", "bogus", "-k", "1"}, paths...), &out, &out); err == nil {
+		t.Error("unknown ranking function accepted")
+	}
+	if err := run(append([]string{"-rank", "fmax"}, paths...), &out, &out); err == nil {
+		t.Error("-rank without -k or -tau accepted")
+	}
+}

@@ -1,0 +1,105 @@
+// Command fdgen emits synthetic workloads as CSV files, one per
+// relation, in the format accepted by fdcli and fd.ReadCSV.
+//
+// Usage:
+//
+//	fdgen -shape chain -n 4 -m 16 -domain 4 -out /tmp/wl
+//	fdgen -shape dirty -n 3 -m 10 -error 0.3 -out /tmp/dirty
+//
+// Shapes: chain, star, cycle, clique, random, dirty (misspelled chain
+// for approximate joins).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	fd "repro"
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "fdgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the generator against args, reporting written files to
+// stdout. Separated from main for testability.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("fdgen", flag.ContinueOnError)
+	var (
+		shape    = fs.String("shape", "chain", "workload shape: chain, star, cycle, clique, random, dirty")
+		n        = fs.Int("n", 4, "number of relations")
+		m        = fs.Int("m", 16, "tuples per relation")
+		domain   = fs.Int("domain", 4, "distinct join values")
+		nullRate = fs.Float64("nulls", 0.1, "null probability on join attributes")
+		impMax   = fs.Float64("imp", 1, "importances drawn from [1, imp]")
+		errRate  = fs.Float64("error", 0.3, "dirty shape: misspelling probability")
+		edgeProb = fs.Float64("edges", 0.3, "random shape: extra edge probability")
+		seed     = fs.Int64("seed", 1, "generator seed")
+		out      = fs.String("out", ".", "output directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := workload.Config{
+		Relations:         *n,
+		TuplesPerRelation: *m,
+		Domain:            *domain,
+		NullRate:          *nullRate,
+		ImpMax:            *impMax,
+		Seed:              *seed,
+	}
+	var (
+		db  *fd.Database
+		err error
+	)
+	switch *shape {
+	case "chain":
+		db, err = workload.Chain(cfg)
+	case "star":
+		db, err = workload.Star(cfg)
+	case "cycle":
+		db, err = workload.Cycle(cfg)
+	case "clique":
+		db, err = workload.Clique(cfg)
+	case "random":
+		db, err = workload.Random(cfg, *edgeProb)
+	case "dirty":
+		db, err = workload.DirtyChain(workload.DirtyConfig{
+			Config: cfg, ErrorRate: *errRate, MaxEdits: 2, MinProb: 0.4})
+	default:
+		err = fmt.Errorf("unknown shape %q", *shape)
+	}
+	if err != nil {
+		return err
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	for i := 0; i < db.NumRelations(); i++ {
+		rel := db.Relation(i)
+		path := filepath.Join(*out, rel.Name()+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := relation.WriteCSV(rel, f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s (%d tuples)\n", path, rel.Len())
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package fd_test
+
+import (
+	"fmt"
+
+	fd "repro"
+)
+
+// tourist builds the three relations of the paper's Table 1.
+func tourist() *fd.Database {
+	climates := fd.MustRelation("Climates", fd.MustSchema("Country", "Climate"))
+	climates.MustAppend("c1", map[fd.Attribute]fd.Value{"Country": fd.V("Canada"), "Climate": fd.V("diverse")})
+	climates.MustAppend("c2", map[fd.Attribute]fd.Value{"Country": fd.V("UK"), "Climate": fd.V("temperate")})
+	climates.MustAppend("c3", map[fd.Attribute]fd.Value{"Country": fd.V("Bahamas"), "Climate": fd.V("tropical")})
+	acc := fd.MustRelation("Accommodations", fd.MustSchema("Country", "City", "Hotel", "Stars"))
+	acc.MustAppend("a1", map[fd.Attribute]fd.Value{"Country": fd.V("Canada"), "City": fd.V("Toronto"), "Hotel": fd.V("Plaza"), "Stars": fd.V("4")})
+	acc.MustAppend("a2", map[fd.Attribute]fd.Value{"Country": fd.V("Canada"), "City": fd.V("London"), "Hotel": fd.V("Ramada"), "Stars": fd.V("3")})
+	acc.MustAppend("a3", map[fd.Attribute]fd.Value{"Country": fd.V("Bahamas"), "City": fd.V("Nassau"), "Hotel": fd.V("Hilton")})
+	sites := fd.MustRelation("Sites", fd.MustSchema("Country", "City", "Site"))
+	sites.MustAppend("s1", map[fd.Attribute]fd.Value{"Country": fd.V("Canada"), "City": fd.V("London"), "Site": fd.V("Air Show")})
+	sites.MustAppend("s2", map[fd.Attribute]fd.Value{"Country": fd.V("Canada"), "Site": fd.V("Mount Logan")})
+	sites.MustAppend("s3", map[fd.Attribute]fd.Value{"Country": fd.V("UK"), "City": fd.V("London"), "Site": fd.V("Buckingham")})
+	sites.MustAppend("s4", map[fd.Attribute]fd.Value{"Country": fd.V("UK"), "City": fd.V("London"), "Site": fd.V("Hyde Park")})
+	return fd.MustDatabase(climates, acc, sites)
+}
+
+// ExampleFullDisjunction reproduces Table 2 of the paper: the full
+// disjunction of the tourist relations of Table 1.
+func ExampleFullDisjunction() {
+	db := tourist()
+	results, _, err := fd.FullDisjunction(db, fd.Options{})
+	if err != nil {
+		panic(err)
+	}
+	for _, t := range results {
+		fmt.Println(fd.Format(db, t))
+	}
+	// Unordered output:
+	// {c1, a1}
+	// {c1, a2, s1}
+	// {c1, s2}
+	// {c2, s3}
+	// {c2, s4}
+	// {c3, a3}
+}
+
+// ExampleStream shows incremental consumption: take the first two
+// answers and stop — the rest of the full disjunction is never
+// computed (the PINC property, Corollary 4.11 of the paper).
+func ExampleStream() {
+	db := tourist()
+	count := 0
+	_, err := fd.Stream(db, fd.Options{}, func(t *fd.TupleSet) bool {
+		count++
+		return count < 2
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(count, "answers consumed")
+	// Output:
+	// 2 answers consumed
+}
+
+// ExampleTopK ranks destinations by hotel stars (imp) and returns the
+// best answer only.
+func ExampleTopK() {
+	db := tourist()
+	// imp defaults to 1; promote the four-star Plaza tuple.
+	db.Relation(1).Tuple(0).Imp = 4
+	top, _, err := fd.TopK(db, fd.FMax(), 1, fd.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s rank %.0f\n", fd.Format(db, top[0].Set), top[0].Rank)
+	// Output:
+	// {c1, a1} rank 4
+}
+
+// ExampleApproxFullDisjunction joins a misspelled country name using
+// Levenshtein similarity: exact joins miss "Cannada", approximate ones
+// recover it.
+func ExampleApproxFullDisjunction() {
+	db := tourist()
+	// Misspell c1's Country, as in Example 6.1 of the paper.
+	cl := db.Relation(0)
+	pos, _ := cl.Schema().Position("Country")
+	cl.Tuple(0).Values[pos] = fd.V("Cannada")
+
+	results, _, err := fd.ApproxFullDisjunction(db, fd.Amin(fd.LevenshteinSim()), 0.8)
+	if err != nil {
+		panic(err)
+	}
+	for _, t := range results {
+		if fd.Format(db, t) == "{c1, a2, s1}" {
+			fmt.Println("recovered:", fd.Format(db, t))
+		}
+	}
+	// Output:
+	// recovered: {c1, a2, s1}
+}

@@ -1,0 +1,81 @@
+// Command integration demonstrates approximate full disjunctions
+// (Section 6 of the paper): two product catalogues and a review site
+// are integrated although one source misspells names and wrapped tuples
+// carry extraction probabilities. Amin with Levenshtein similarity
+// recovers matches that exact joins miss, with the threshold τ trading
+// recall against confidence.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fd "repro"
+)
+
+func main() {
+	// Source 1: a clean catalogue.
+	catalog := fd.MustRelation("Catalog", fd.MustSchema("Product", "Brand"))
+	add(catalog, "k1", 1.0, map[fd.Attribute]fd.Value{
+		"Product": fd.V("ThinkPad X1"), "Brand": fd.V("Lenovo")})
+	add(catalog, "k2", 1.0, map[fd.Attribute]fd.Value{
+		"Product": fd.V("MacBook Air"), "Brand": fd.V("Apple")})
+	add(catalog, "k3", 0.9, map[fd.Attribute]fd.Value{
+		"Product": fd.V("ZenBook 14"), "Brand": fd.V("Asus")})
+
+	// Source 2: prices wrapped from a Web shop — names get mangled.
+	prices := fd.MustRelation("Prices", fd.MustSchema("Product", "Price"))
+	add(prices, "p1", 0.95, map[fd.Attribute]fd.Value{
+		"Product": fd.V("ThinkPad X1"), "Price": fd.V("1499")})
+	add(prices, "p2", 0.8, map[fd.Attribute]fd.Value{
+		"Product": fd.V("MacBok Air"), "Price": fd.V("1099")}) // misspelled!
+	add(prices, "p3", 0.9, map[fd.Attribute]fd.Value{
+		"Product": fd.V("Zenbook 14"), "Price": fd.V("999")}) // case slip
+
+	// Source 3: reviews, also imperfect.
+	reviews := fd.MustRelation("Reviews", fd.MustSchema("Product", "Score"))
+	add(reviews, "r1", 0.85, map[fd.Attribute]fd.Value{
+		"Product": fd.V("ThinkPadX1"), "Score": fd.V("8.5")}) // missing space
+	add(reviews, "r2", 1.0, map[fd.Attribute]fd.Value{
+		"Product": fd.V("MacBook Air"), "Score": fd.V("9.0")})
+
+	db, err := fd.NewDatabase(catalog, prices, reviews)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Exact full disjunction: the misspelled tuples stay unmatched.
+	exact, _, err := fd.FullDisjunction(db, fd.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Exact full disjunction (misspellings break the joins):")
+	printSets(db, exact)
+
+	// Approximate full disjunction under Amin + Levenshtein.
+	amin := fd.Amin(fd.LevenshteinSim())
+	for _, tau := range []float64{0.9, 0.75, 0.5} {
+		results, _, err := fd.ApproxFullDisjunction(db, amin, tau)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nApproximate full disjunction, τ = %.2f (%d results):\n", tau, len(results))
+		printSets(db, results)
+	}
+}
+
+func printSets(db *fd.Database, sets []*fd.TupleSet) {
+	attrs, rows := fd.PadAll(db, sets)
+	for i, t := range sets {
+		line := fmt.Sprintf("  %-14s", fd.Format(db, t))
+		for j, v := range rows[i].Values {
+			line += fmt.Sprintf(" %s=%-12s", attrs[j], v)
+		}
+		fmt.Println(line)
+	}
+}
+
+func add(rel *fd.Relation, label string, prob float64, vals map[fd.Attribute]fd.Value) {
+	rel.MustAppend(label, vals)
+	rel.Tuple(rel.Len() - 1).Prob = prob
+}

@@ -1,0 +1,81 @@
+// Command topk demonstrates ranked retrieval (Section 5 of the paper):
+// the tourist of the introduction prefers tropical over temperate over
+// diverse climates and higher-starred hotels, so tuples carry matching
+// importances and the top answers arrive first — without computing the
+// whole full disjunction.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fd "repro"
+)
+
+func main() {
+	climates := fd.MustRelation("Climates", fd.MustSchema("Country", "Climate"))
+	addWithImp(climates, "c1", 1, map[fd.Attribute]fd.Value{ // diverse: least preferred
+		"Country": fd.V("Canada"), "Climate": fd.V("diverse")})
+	addWithImp(climates, "c2", 2, map[fd.Attribute]fd.Value{
+		"Country": fd.V("UK"), "Climate": fd.V("temperate")})
+	addWithImp(climates, "c3", 3, map[fd.Attribute]fd.Value{ // tropical: most preferred
+		"Country": fd.V("Bahamas"), "Climate": fd.V("tropical")})
+
+	accommodations := fd.MustRelation("Accommodations",
+		fd.MustSchema("Country", "City", "Hotel", "Stars"))
+	addWithImp(accommodations, "a1", 4, map[fd.Attribute]fd.Value{
+		"Country": fd.V("Canada"), "City": fd.V("Toronto"), "Hotel": fd.V("Plaza"), "Stars": fd.V("4")})
+	addWithImp(accommodations, "a2", 3, map[fd.Attribute]fd.Value{
+		"Country": fd.V("Canada"), "City": fd.V("London"), "Hotel": fd.V("Ramada"), "Stars": fd.V("3")})
+	addWithImp(accommodations, "a3", 1, map[fd.Attribute]fd.Value{ // unknown rating
+		"Country": fd.V("Bahamas"), "City": fd.V("Nassau"), "Hotel": fd.V("Hilton")})
+
+	sites := fd.MustRelation("Sites", fd.MustSchema("Country", "City", "Site"))
+	for label, vals := range map[string]map[fd.Attribute]fd.Value{
+		"s1": {"Country": fd.V("Canada"), "City": fd.V("London"), "Site": fd.V("Air Show")},
+		"s2": {"Country": fd.V("Canada"), "Site": fd.V("Mount Logan")},
+		"s3": {"Country": fd.V("UK"), "City": fd.V("London"), "Site": fd.V("Buckingham")},
+		"s4": {"Country": fd.V("UK"), "City": fd.V("London"), "Site": fd.V("Hyde Park")},
+	} {
+		addWithImp(sites, label, 1, vals)
+	}
+
+	db, err := fd.NewDatabase(climates, accommodations, sites)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Top-3 destinations under fmax (hotel stars dominate):")
+	top, _, err := fd.TopK(db, fd.FMax(), 3, fd.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range top {
+		fmt.Printf("  %d. %-14s rank %.0f\n", i+1, fd.Format(db, r.Set), r.Rank)
+	}
+
+	fmt.Println()
+	fmt.Println("All destinations ranking at least 2 (threshold variant):")
+	atLeast, _, err := fd.Threshold(db, fd.FMax(), 2, fd.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range atLeast {
+		fmt.Printf("  %-14s rank %.0f\n", fd.Format(db, r.Set), r.Rank)
+	}
+
+	fmt.Println()
+	fmt.Println("Top-3 under the 2-determined pair-sum function (climate+hotel):")
+	top2, _, err := fd.TopK(db, fd.PairSum(), 3, fd.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range top2 {
+		fmt.Printf("  %d. %-14s rank %.0f\n", i+1, fd.Format(db, r.Set), r.Rank)
+	}
+}
+
+func addWithImp(rel *fd.Relation, label string, imp float64, vals map[fd.Attribute]fd.Value) {
+	rel.MustAppend(label, vals)
+	rel.Tuple(rel.Len() - 1).Imp = imp
+}

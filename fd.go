@@ -1,0 +1,178 @@
+// Package fd computes full disjunctions of relational databases with
+// incomplete information — the associative generalisation of the full
+// outerjoin to any number of relations — implementing the algorithms of
+//
+//	Sara Cohen, Yehoshua Sagiv. "An incremental algorithm for computing
+//	ranked full disjunctions." PODS 2005; JCSS 73(4):648–668, 2007.
+//
+// The package offers three evaluation modes:
+//
+//   - Stream / FullDisjunction: INCREMENTALFD — results are produced one
+//     at a time in incremental polynomial time (the problem is in PINC),
+//     so the first k answers cost polynomial time in the input and k.
+//   - StreamRanked / TopK / Threshold: PRIORITYINCREMENTALFD — results
+//     arrive in ranking order for any monotonically c-determined ranking
+//     function, solving the top-(k,f) full-disjunction problem.
+//   - ApproxStream / ApproxFullDisjunction: APPROXINCREMENTALFD —
+//     results of the (A,τ)-approximate full disjunction for acceptable
+//     approximate join functions such as Amin, matching tuples by
+//     similarity instead of equality.
+//
+// Quick start:
+//
+//	climates := fd.MustRelation("Climates", fd.MustSchema("Country", "Climate"))
+//	climates.MustAppend("c1", map[fd.Attribute]fd.Value{
+//		"Country": fd.V("Canada"), "Climate": fd.V("diverse")})
+//	// ... more relations ...
+//	db := fd.MustDatabase(climates, accommodations, sites)
+//	results, _, err := fd.FullDisjunction(db, fd.Options{})
+//	for _, t := range results {
+//		fmt.Println(fd.Format(db, t))
+//	}
+package fd
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/storage"
+	"repro/internal/tupleset"
+)
+
+// Core data-model types, re-exported from the internal packages. See
+// their documentation for details.
+type (
+	// Value is a single attribute value; the zero Value is the null ⊥.
+	Value = relation.Value
+	// Attribute names a column; equal names connect relations.
+	Attribute = relation.Attribute
+	// Schema is a sorted attribute set.
+	Schema = relation.Schema
+	// Tuple is a row with optional Label, Imp (ranking) and Prob
+	// (approximate joins) metadata.
+	Tuple = relation.Tuple
+	// Relation is a named relation.
+	Relation = relation.Relation
+	// Database is an immutable set of relations with precomputed join
+	// structure.
+	Database = relation.Database
+	// Ref identifies a tuple by (relation index, tuple index).
+	Ref = relation.Ref
+	// TupleSet is a set of tuples, at most one per relation — the unit
+	// a full disjunction is made of.
+	TupleSet = tupleset.Set
+	// Padded is a tuple set rendered as a classical padded tuple.
+	Padded = tupleset.Padded
+	// Stats carries instrumentation counters of one execution.
+	Stats = core.Stats
+)
+
+// Null is the null value ⊥.
+var Null = relation.Null
+
+// V returns a non-null value carrying s.
+func V(s string) Value { return relation.V(s) }
+
+// NewSchema builds a schema over the given attributes.
+func NewSchema(attrs ...Attribute) (*Schema, error) { return relation.NewSchema(attrs...) }
+
+// MustSchema is NewSchema panicking on error.
+func MustSchema(attrs ...Attribute) *Schema { return relation.MustSchema(attrs...) }
+
+// NewRelation creates an empty relation.
+func NewRelation(name string, schema *Schema) (*Relation, error) {
+	return relation.NewRelation(name, schema)
+}
+
+// MustRelation is NewRelation panicking on error.
+func MustRelation(name string, schema *Schema) *Relation { return relation.MustRelation(name, schema) }
+
+// NewDatabase builds a database over the given relations.
+func NewDatabase(rels ...*Relation) (*Database, error) { return relation.NewDatabase(rels...) }
+
+// MustDatabase is NewDatabase panicking on error.
+func MustDatabase(rels ...*Relation) *Database { return relation.MustDatabase(rels...) }
+
+// ReadCSV reads a relation from CSV (header row of attribute names;
+// optional #label, #imp, #prob metadata columns; empty cells or ⊥ are
+// nulls).
+func ReadCSV(name string, r io.Reader) (*Relation, error) { return relation.ReadCSV(name, r) }
+
+// WriteCSV writes a relation in the format accepted by ReadCSV.
+func WriteCSV(rel *Relation, w io.Writer) error { return relation.WriteCSV(rel, w) }
+
+// InitStrategy selects how the per-relation passes of a full
+// disjunction are initialised (Section 7 of the paper).
+type InitStrategy = core.InitStrategy
+
+// Initialisation strategies.
+const (
+	// InitSingletons is the textbook Fig 1 initialisation.
+	InitSingletons = core.InitSingletons
+	// InitSeeded reuses previously printed results (§7, option 2).
+	InitSeeded = core.InitSeeded
+	// InitProjected projects and extends previous results (§7, option 3).
+	InitProjected = core.InitProjected
+)
+
+// Options configures full-disjunction evaluation.
+type Options = core.Options
+
+// BufferPool simulates a database buffer: with Options.Pool set and a
+// block size chosen, page fetches go through LRU caching and only
+// misses count as Stats.PageReads (block-based execution, §7 of the
+// paper).
+type BufferPool = storage.BufferPool
+
+// NewBufferPool creates a pool holding up to capacity pages.
+func NewBufferPool(capacity int) *BufferPool { return storage.NewBufferPool(capacity) }
+
+// FullDisjunction computes FD(R): the set of maximal join-consistent
+// and connected tuple sets over db's relations (Definition 2.1). Total
+// time is O(s·n³·f²) (Corollary 4.9).
+func FullDisjunction(db *Database, opts Options) ([]*TupleSet, Stats, error) {
+	return core.FullDisjunction(db, opts)
+}
+
+// Stream computes FD(R) incrementally, invoking yield on each result as
+// soon as it is available; return false from yield to stop early. k
+// results cost O(s²·n⁴·k²) time (Theorem 4.10) — the problem is in
+// PINC (Corollary 4.11).
+func Stream(db *Database, opts Options, yield func(*TupleSet) bool) (Stats, error) {
+	return core.Stream(db, opts, yield)
+}
+
+// FDi computes FDi(R): the members of the full disjunction containing a
+// tuple of relation seed (the algorithm INCREMENTALFD of Fig 1).
+func FDi(db *Database, seed int, opts Options) ([]*TupleSet, Stats, error) {
+	return core.FDi(db, seed, opts)
+}
+
+// Format renders a tuple set as {label, label, ...} in the notation of
+// the paper's Table 2.
+func Format(db *Database, t *TupleSet) string { return t.Format(db) }
+
+// Pad renders a tuple set as a classical padded tuple over the union of
+// all attributes in the database: the natural join of its members,
+// padded with nulls (the right-hand columns of Table 2).
+func Pad(db *Database, t *TupleSet) Padded {
+	u := tupleset.NewUniverse(db)
+	return u.PadOver(t, u.AllAttributes())
+}
+
+// PadAll renders many tuple sets over a shared attribute universe,
+// returning the sorted attribute list and one padded row per set.
+func PadAll(db *Database, sets []*TupleSet) ([]Attribute, []Padded) {
+	u := tupleset.NewUniverse(db)
+	attrs := u.AllAttributes()
+	rows := make([]Padded, len(sets))
+	for i, s := range sets {
+		rows[i] = u.PadOver(s, attrs)
+	}
+	return attrs, rows
+}
+
+// newUniverse builds the tuple-set universe of db (internal helper for
+// facade functions that need schema structure).
+func newUniverse(db *Database) *tupleset.Universe { return tupleset.NewUniverse(db) }

@@ -1,0 +1,56 @@
+package fd_test
+
+import (
+	"testing"
+
+	fd "repro"
+	"repro/internal/workload"
+)
+
+func TestPublicAPIApproxRanked(t *testing.T) {
+	db, sims := workload.TouristApprox()
+	imp := map[string]float64{"c1": 1, "c2": 2, "c3": 3, "a1": 4, "a2": 3, "a3": 1}
+	for r := 0; r < db.NumRelations(); r++ {
+		rel := db.Relation(r)
+		for i := 0; i < rel.Len(); i++ {
+			if v, ok := imp[rel.Tuple(i).Label]; ok {
+				rel.Tuple(i).Imp = v
+			}
+		}
+	}
+	amin := fd.Amin(fd.TableSim(sims))
+
+	top, _, err := fd.ApproxTopK(db, amin, 0.4, fd.FMax(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 3 {
+		t.Fatalf("top-3 returned %d", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i-1].Rank < top[i].Rank {
+			t.Error("rank order violated")
+		}
+	}
+
+	thr, _, err := fd.ApproxThreshold(db, amin, 0.4, 3, fd.FMax())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range thr {
+		if r.Rank < 3 {
+			t.Errorf("below rank threshold: %v", r.Rank)
+		}
+	}
+
+	count := 0
+	if _, err := fd.ApproxStreamRanked(db, amin, 0.4, fd.FMax(), func(fd.Ranked) bool {
+		count++
+		return count < 2
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Errorf("streamed %d", count)
+	}
+}

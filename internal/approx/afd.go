@@ -1,0 +1,254 @@
+package approx
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/tupleset"
+)
+
+// Enumerator incrementally produces AFDi(R, A, τ) — the tuple sets of
+// the (A,τ)-approximate full disjunction that contain a tuple of the
+// seed relation — one result per Next call (APPROXINCREMENTALFD and
+// APPROXGETNEXTRESULT, Figs 5–6).
+type Enumerator struct {
+	u          *tupleset.Universe
+	seed       int
+	a          Join
+	tau        float64
+	stats      core.Stats
+	incomplete []*tupleset.Set
+	complete   *core.CompleteStore
+}
+
+// NewEnumerator prepares the enumeration. Incomplete is initialised
+// with {t} for every seed-relation tuple t with A({t}) ≥ τ (Fig 5,
+// line 3 — the starred initialisation change).
+func NewEnumerator(db *relation.Database, seed int, a Join, tau float64) (*Enumerator, error) {
+	if seed < 0 || seed >= db.NumRelations() {
+		return nil, fmt.Errorf("approx: seed relation %d out of range [0,%d)", seed, db.NumRelations())
+	}
+	if a == nil {
+		return nil, fmt.Errorf("approx: nil approximate join function")
+	}
+	if tau <= 0 || tau > 1 {
+		return nil, fmt.Errorf("approx: threshold %v outside (0,1]", tau)
+	}
+	u := tupleset.NewUniverse(db)
+	e := &Enumerator{u: u, seed: seed, a: a, tau: tau, complete: core.NewCompleteStore(u, true)}
+	rel := db.Relation(seed)
+	for i := 0; i < rel.Len(); i++ {
+		s := u.Singleton(relation.Ref{Rel: int32(seed), Idx: int32(i)})
+		e.stats.JCCChecks++
+		if a.Score(u, s) >= tau {
+			e.incomplete = append(e.incomplete, s)
+		}
+	}
+	return e, nil
+}
+
+// Stats returns the accumulated counters.
+func (e *Enumerator) Stats() core.Stats { return e.stats }
+
+// Next produces the next result of AFDi(R, A, τ), or ok=false when the
+// enumeration is done.
+func (e *Enumerator) Next() (*tupleset.Set, bool) {
+	if len(e.incomplete) == 0 {
+		return nil, false
+	}
+	// Line 1: remove a tuple set from Incomplete.
+	T := e.incomplete[0]
+	e.incomplete = e.incomplete[1:]
+	e.stats.Iterations++
+
+	result := GetNextResult(e.u, e.seed, e.a, e.tau, T, (*fifoPool)(e), e.complete, &e.stats)
+
+	e.complete.Add(result)
+	e.stats.Emitted++
+	if resident := len(e.incomplete) + e.complete.Len(); resident > e.stats.MaxResident {
+		e.stats.MaxResident = resident
+	}
+	return result, true
+}
+
+// Pool abstracts the Incomplete container of APPROXGETNEXTRESULT: the
+// FIFO of Fig 5 or a priority queue for the ranked adaptation the paper
+// sketches at the end of Section 6.
+type Pool interface {
+	// TryAbsorb merges t into a stored set S when A(S ∪ t) ≥ τ
+	// (lines 14–15, starred); anchor is t's seed-relation tuple.
+	TryAbsorb(t *tupleset.Set, anchor relation.Ref, stats *core.Stats) bool
+	// Push appends a new tuple set (line 18).
+	Push(t *tupleset.Set)
+}
+
+// fifoPool adapts Enumerator's slice-backed Incomplete list to Pool.
+type fifoPool Enumerator
+
+func (p *fifoPool) Push(t *tupleset.Set) { p.incomplete = append(p.incomplete, t) }
+
+func (p *fifoPool) TryAbsorb(t *tupleset.Set, anchor relation.Ref, stats *core.Stats) bool {
+	e := (*Enumerator)(p)
+	for i, s := range e.incomplete {
+		member, ok := s.Member(e.seed)
+		if !ok || member != anchor {
+			continue
+		}
+		stats.ListScans++
+		merged, ok := TryMerge(e.u, e.a, e.tau, s, t, stats)
+		if ok {
+			e.incomplete[i] = merged
+			return true
+		}
+	}
+	return false
+}
+
+// TryMerge attempts the starred line-14 merge: it returns S ∪ t when
+// the union is conflict-free and scores at least τ.
+func TryMerge(u *tupleset.Universe, a Join, tau float64, s, t *tupleset.Set, stats *core.Stats) (*tupleset.Set, bool) {
+	if conflicts(s, t) {
+		return nil, false
+	}
+	stats.JCCChecks++
+	union := u.Union(s, t)
+	if a.Score(u, union) >= tau {
+		return union, true
+	}
+	return nil, false
+}
+
+// GetNextResult is APPROXGETNEXTRESULT (Fig 6) minus the pop of line 1,
+// which the caller performs. T is extended into the result and
+// returned; newly discovered candidate subsets land in pool.
+func GetNextResult(u *tupleset.Universe, seed int, a Join, tau float64, T *tupleset.Set,
+	pool Pool, complete *core.CompleteStore, stats *core.Stats) *tupleset.Set {
+
+	// Lines 2–6 (starred): extend T maximally under A(T ∪ {tg}) ≥ τ.
+	for changed := true; changed; {
+		changed = false
+		u.DB.ForEachRef(func(ref relation.Ref) bool {
+			stats.TuplesScanned++
+			if T.Has(ref) || T.HasRelation(int(ref.Rel)) {
+				return true
+			}
+			if !u.ConnectedWith(T, ref) {
+				return true
+			}
+			ext := T.Clone().Add(ref)
+			stats.JCCChecks++
+			if a.Score(u, ext) >= tau {
+				T = ext
+				changed = true
+			}
+			return true
+		})
+	}
+
+	// Lines 7–18 (starred): candidate discovery over every maximal
+	// qualifying subset of T ∪ {tb} containing tb.
+	u.DB.ForEachRef(func(tb relation.Ref) bool {
+		stats.TuplesScanned++
+		if T.Has(tb) {
+			return true
+		}
+		for _, tPrime := range a.MaximalSubsets(u, T, tb, tau) {
+			stats.JCCChecks++
+			anchor, hasSeed := tPrime.Member(seed)
+			if !hasSeed {
+				continue // line 9: T' lacks a tuple of Ri
+			}
+			if complete.ContainsSuperset(tPrime, anchor, stats) {
+				continue // line 11
+			}
+			if pool.TryAbsorb(tPrime, anchor, stats) {
+				continue // lines 14–15 (starred predicate)
+			}
+			pool.Push(tPrime) // line 18
+		}
+		return true
+	})
+	return T
+}
+
+func conflicts(a, b *tupleset.Set) bool {
+	for _, ref := range b.Refs() {
+		if m, ok := a.Member(int(ref.Rel)); ok && m != ref {
+			return true
+		}
+	}
+	return false
+}
+
+// All drains the enumeration.
+func (e *Enumerator) All() []*tupleset.Set {
+	var out []*tupleset.Set
+	for {
+		t, ok := e.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, t)
+	}
+}
+
+// AFDi computes AFDi(R, A, τ) to completion.
+func AFDi(db *relation.Database, seed int, a Join, tau float64) ([]*tupleset.Set, core.Stats, error) {
+	e, err := NewEnumerator(db, seed, a, tau)
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
+	out := e.All()
+	return out, e.Stats(), nil
+}
+
+// Stream computes the whole AFD(R, A, τ) incrementally, yielding each
+// result once (a result is emitted by the pass of its minimal
+// relation). Enumeration stops early when yield returns false.
+func Stream(db *relation.Database, a Join, tau float64, yield func(*tupleset.Set) bool) (core.Stats, error) {
+	var total core.Stats
+	for seed := 0; seed < db.NumRelations(); seed++ {
+		e, err := NewEnumerator(db, seed, a, tau)
+		if err != nil {
+			return total, err
+		}
+		for {
+			t, ok := e.Next()
+			if !ok {
+				break
+			}
+			if minRel(t) != seed {
+				continue // already emitted by an earlier pass
+			}
+			total.Emitted++
+			if !yield(t) {
+				s := e.Stats()
+				s.Emitted = 0
+				total.Add(s)
+				return total, nil
+			}
+		}
+		s := e.Stats()
+		s.Emitted = 0
+		total.Add(s)
+	}
+	return total, nil
+}
+
+func minRel(t *tupleset.Set) int {
+	for _, ref := range t.Refs() {
+		return int(ref.Rel)
+	}
+	return -1
+}
+
+// FullDisjunction computes AFD(R, A, τ) to completion.
+func FullDisjunction(db *relation.Database, a Join, tau float64) ([]*tupleset.Set, core.Stats, error) {
+	var out []*tupleset.Set
+	stats, err := Stream(db, a, tau, func(t *tupleset.Set) bool {
+		out = append(out, t)
+		return true
+	})
+	return out, stats, err
+}

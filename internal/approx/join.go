@@ -1,0 +1,221 @@
+package approx
+
+import (
+	"repro/internal/relation"
+	"repro/internal/tupleset"
+)
+
+// Join is an approximate join function A (Section 6). Implementations
+// must be acceptable:
+//
+//	(i)  A(T) = 0 whenever T is not connected;
+//	(ii) T ⊆ T' connected ⟹ A(T) ≥ A(T') (monotone non-increasing).
+type Join interface {
+	// Name identifies the function in reports.
+	Name() string
+	// Score computes A(T) ∈ [0, 1].
+	Score(u *tupleset.Universe, t *tupleset.Set) float64
+	// MaximalSubsets returns every maximal tuple set T' ⊆ T ∪ {tb} that
+	// contains tb and has A(T') ≥ τ, under the precondition A(T) ≥ τ
+	// (line 8 of APPROXGETNEXTRESULT, Definition 6.4). A member of T
+	// from tb's relation is treated as conflicting and excluded first.
+	MaximalSubsets(u *tupleset.Universe, t *tupleset.Set, tb relation.Ref, tau float64) []*tupleset.Set
+	// EfficientlyComputable reports whether MaximalSubsets runs in
+	// polynomial time (Definition 6.4). Amin is (Proposition 6.5);
+	// Aprod is not known to be.
+	EfficientlyComputable() bool
+}
+
+// connectedPairs calls fn for every pair of members whose relations are
+// connected.
+func connectedPairs(u *tupleset.Universe, t *tupleset.Set, fn func(a, b relation.Ref)) {
+	refs := t.Refs()
+	for i := 0; i < len(refs); i++ {
+		for j := i + 1; j < len(refs); j++ {
+			if u.DB.ConnectedRelations(int(refs[i].Rel), int(refs[j].Rel)) {
+				fn(refs[i], refs[j])
+			}
+		}
+	}
+}
+
+// Amin is the paper's Amin (Example 6.1): 0 when T is not connected,
+// prob(t) for a singleton {t}, and otherwise the minimum over all
+// member probabilities and all similarities of connected member pairs.
+// Amin is acceptable and efficiently computable (Proposition 6.5).
+type Amin struct {
+	S Sim
+}
+
+// Name implements Join.
+func (a *Amin) Name() string { return "Amin" }
+
+// EfficientlyComputable implements Join.
+func (a *Amin) EfficientlyComputable() bool { return true }
+
+// Score implements Join.
+func (a *Amin) Score(u *tupleset.Universe, t *tupleset.Set) float64 {
+	if !u.Connected(t) {
+		return 0
+	}
+	minV := 1.0
+	for _, ref := range t.Refs() {
+		if p := u.DB.Tuple(ref).Prob; p < minV {
+			minV = p
+		}
+	}
+	if t.Len() == 1 {
+		return minV // prob(t) for singletons
+	}
+	connectedPairs(u, t, func(x, y relation.Ref) {
+		if s := a.S.Sim(u.DB, x, y); s < minV {
+			minV = s
+		}
+	})
+	return minV
+}
+
+// MaximalSubsets implements Join per the constructive proof of
+// Proposition 6.5.
+func (a *Amin) MaximalSubsets(u *tupleset.Universe, t *tupleset.Set, tb relation.Ref, tau float64) []*tupleset.Set {
+	// Drop a conflicting member of tb's relation, if any.
+	base := t
+	if idx, ok := t.Member(int(tb.Rel)); ok {
+		if idx == tb {
+			return nil // tb already in T: nothing new
+		}
+		base = t.Clone()
+		base.Remove(int(tb.Rel))
+	}
+	// Case 1: the whole union qualifies.
+	whole := base.Clone().Add(tb)
+	if a.Score(u, whole) >= tau {
+		return []*tupleset.Set{whole}
+	}
+	// Case 2: tb alone is below threshold: no subset containing tb
+	// qualifies (probabilities only shrink the minimum).
+	if u.DB.Tuple(tb).Prob < tau {
+		return nil
+	}
+	// Case 3: remove every member connected to tb with sim < τ, then
+	// keep the connected component of tb. The survivors qualify: pairs
+	// within T carry sims ≥ τ (A(T) ≥ τ), pairs with tb survived the
+	// filter, and probs within T are ≥ τ.
+	mask := make([]bool, u.DB.NumRelations())
+	for _, ref := range base.Refs() {
+		if !u.DB.ConnectedRelations(int(ref.Rel), int(tb.Rel)) {
+			mask[ref.Rel] = true
+			continue
+		}
+		if a.S.Sim(u.DB, ref, tb) >= tau {
+			mask[ref.Rel] = true
+		}
+	}
+	mask[tb.Rel] = true
+	comp := u.Conn.ComponentOf(int(tb.Rel), mask)
+	out := u.NewSet().Add(tb)
+	for _, ref := range base.Refs() {
+		if comp[ref.Rel] {
+			out.Add(ref)
+		}
+	}
+	return []*tupleset.Set{out}
+}
+
+// Aprod is the paper's Aprod (Example 6.1): 0 when T is not connected,
+// 1 for singletons, and otherwise the product of the similarities of
+// all connected member pairs. Aprod is acceptable but not known to be
+// efficiently computable; MaximalSubsets falls back to exhaustive
+// subset search over T ∪ {tb} (|T| ≤ n, so this is exponential only in
+// the number of relations — exactly the caveat the paper attaches to
+// line 8).
+type Aprod struct {
+	S Sim
+}
+
+// Name implements Join.
+func (a *Aprod) Name() string { return "Aprod" }
+
+// EfficientlyComputable implements Join.
+func (a *Aprod) EfficientlyComputable() bool { return false }
+
+// Score implements Join.
+func (a *Aprod) Score(u *tupleset.Universe, t *tupleset.Set) float64 {
+	if !u.Connected(t) {
+		return 0
+	}
+	if t.Len() == 1 {
+		return 1
+	}
+	prod := 1.0
+	connectedPairs(u, t, func(x, y relation.Ref) {
+		prod *= a.S.Sim(u.DB, x, y)
+	})
+	return prod
+}
+
+// MaximalSubsets implements Join by generic search: it enumerates the
+// connected subsets of T ∪ {tb} that contain tb and score at least τ
+// (growing one tuple at a time — complete because Aprod is acceptable)
+// and keeps the maximal ones.
+func (a *Aprod) MaximalSubsets(u *tupleset.Universe, t *tupleset.Set, tb relation.Ref, tau float64) []*tupleset.Set {
+	return genericMaximalSubsets(u, a, t, tb, tau)
+}
+
+// genericMaximalSubsets is the assumption-free fallback for any
+// acceptable Join.
+func genericMaximalSubsets(u *tupleset.Universe, a Join, t *tupleset.Set, tb relation.Ref, tau float64) []*tupleset.Set {
+	if idx, ok := t.Member(int(tb.Rel)); ok && idx == tb {
+		return nil
+	}
+	candidates := make([]relation.Ref, 0, t.Len())
+	for _, ref := range t.Refs() {
+		if ref.Rel == tb.Rel { // conflicting member excluded
+			continue
+		}
+		candidates = append(candidates, ref)
+	}
+	seed := u.Singleton(tb)
+	if a.Score(u, seed) < tau {
+		return nil
+	}
+	seen := map[string]*tupleset.Set{seed.Key(): seed}
+	frontier := []*tupleset.Set{seed}
+	for len(frontier) > 0 {
+		var next []*tupleset.Set
+		for _, s := range frontier {
+			for _, ref := range candidates {
+				if s.HasRelation(int(ref.Rel)) || !u.ConnectedWith(s, ref) {
+					continue
+				}
+				ext := s.Clone().Add(ref)
+				if a.Score(u, ext) < tau {
+					continue
+				}
+				if _, ok := seen[ext.Key()]; !ok {
+					seen[ext.Key()] = ext
+					next = append(next, ext)
+				}
+			}
+		}
+		frontier = next
+	}
+	var out []*tupleset.Set
+	for _, s := range seen {
+		maximal := true
+		for _, ref := range candidates {
+			if s.HasRelation(int(ref.Rel)) || !u.ConnectedWith(s, ref) {
+				continue
+			}
+			if a.Score(u, s.Clone().Add(ref)) >= tau {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, s)
+		}
+	}
+	tupleset.SortSets(u.DB, out)
+	return out
+}

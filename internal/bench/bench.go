@@ -1,0 +1,112 @@
+// Package bench is the experiment harness behind EXPERIMENTS.md and
+// cmd/fdbench: each experiment E1–E11 regenerates one artifact of the
+// paper (a table, a worked example, or a complexity/behaviour claim)
+// and reports it as a formatted table. Wall-clock numbers are
+// laptop-scale; the claims under test are shapes (who wins, how costs
+// grow), which the instrumentation counters capture robustly.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Table is one experiment's result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Markdown renders the table as GitHub-flavoured markdown. Pipes inside
+// cells (e.g. the |FD| notation) are escaped so columns stay aligned.
+func (t *Table) Markdown() string {
+	esc := func(cells []string) []string {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			out[i] = strings.ReplaceAll(c, "|", "\\|")
+		}
+		return out
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(esc(t.Header), " | "))
+	seps := make([]string, len(t.Header))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(seps, " | "))
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, "| %s |\n", strings.Join(esc(row), " | "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n%s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment runs one experiment.
+type Experiment func() (*Table, error)
+
+// Registry maps experiment ids to their runners.
+func Registry() map[string]Experiment {
+	return map[string]Experiment{
+		"E1":  E1Tourist,
+		"E2":  E2Trace,
+		"E3":  E3ApproxExample,
+		"E4":  E4TotalRuntime,
+		"E5":  E5TimeToK,
+		"E6":  E6TopK,
+		"E7":  E7Hardness,
+		"E8":  E8ApproxSweep,
+		"E9":  E9Ablations,
+		"E10": E10Outerjoin,
+		"E11": E11Threshold,
+	}
+}
+
+// IDs returns the experiment ids in order.
+func IDs() []string {
+	ids := make([]string, 0)
+	for id := range Registry() {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		// E1 < E2 < ... < E10 < E11 (numeric suffix).
+		var a, b int
+		fmt.Sscanf(ids[i], "E%d", &a)
+		fmt.Sscanf(ids[j], "E%d", &b)
+		return a < b
+	})
+	return ids
+}
+
+// RunAll executes every experiment in order and returns the tables.
+func RunAll() ([]*Table, error) {
+	var out []*Table
+	for _, id := range IDs() {
+		t, err := Registry()[id]()
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: %w", id, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// msec formats a duration in milliseconds with three significant
+// decimals.
+func msec(d time.Duration) string {
+	return fmt.Sprintf("%.3f", float64(d.Microseconds())/1000)
+}
+
+// timeIt measures fn.
+func timeIt(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}

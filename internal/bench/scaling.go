@@ -1,0 +1,221 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/core"
+	"repro/internal/naive"
+	"repro/internal/rank"
+	"repro/internal/tupleset"
+	"repro/internal/workload"
+)
+
+// E4TotalRuntime compares the total cost of INCREMENTALFD (Cor 4.9,
+// O(sn³f²)) against the BatchFD stand-in for [3] (O(s²n⁵f²)) as the
+// database grows. The claim under test is the shape: the baseline's
+// cost grows with an extra polynomial factor, so the ratio widens.
+func E4TotalRuntime() (*Table, error) {
+	t := &Table{
+		ID:    "E4",
+		Title: "Total runtime vs database size — IncrementalFD vs BatchFD ([3] stand-in)",
+		Header: []string{"tuples/rel", "s (size)", "|FD|", "incremental ms", "batch ms",
+			"batch/incr", "incr JCC checks", "batch JCC checks"},
+	}
+	for _, m := range []int{8, 16, 24, 32} {
+		db, err := workload.Chain(workload.Config{
+			Relations: 4, TuplesPerRelation: m, Domain: 4, NullRate: 0.1, Seed: 11})
+		if err != nil {
+			return nil, err
+		}
+		var sets []*tupleset.Set
+		var incrStats core.Stats
+		incrTime := timeIt(func() {
+			sets, incrStats, err = core.FullDisjunction(db, core.Options{UseIndex: true})
+		})
+		if err != nil {
+			return nil, err
+		}
+		var batchSets []*tupleset.Set
+		var batchStats batch.Stats
+		batchTime := timeIt(func() {
+			batchSets, batchStats = batch.FullDisjunction(db)
+		})
+		if len(batchSets) != len(sets) {
+			return nil, fmt.Errorf("E4: output mismatch: %d vs %d", len(sets), len(batchSets))
+		}
+		ratio := float64(batchTime) / float64(incrTime)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", m),
+			fmt.Sprintf("%d", db.Size()),
+			fmt.Sprintf("%d", len(sets)),
+			msec(incrTime),
+			msec(batchTime),
+			fmt.Sprintf("%.1fx", ratio),
+			fmt.Sprintf("%d", incrStats.JCCChecks),
+			fmt.Sprintf("%d", batchStats.JCCChecks),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"Expected shape (paper §4): both polynomial in s and f, with the batch baseline "+
+			"carrying an extra s·n²-order factor, so its column grows faster and the ratio widens.")
+	return t, nil
+}
+
+// E5TimeToK measures the PINC claim (Thm 4.10 / Cor 4.11): the time to
+// the k-th answer grows polynomially in k for IncrementalFD, while the
+// batch baseline pays its full cost before the first answer.
+func E5TimeToK() (*Table, error) {
+	db, err := workload.Chain(workload.Config{
+		Relations: 4, TuplesPerRelation: 24, Domain: 4, NullRate: 0.1, Seed: 7})
+	if err != nil {
+		return nil, err
+	}
+	// Batch: a single run, all answers at the end.
+	var batchTime time.Duration
+	var batchSets int
+	batchTime = timeIt(func() {
+		sets, _ := batch.FullDisjunction(db)
+		batchSets = len(sets)
+	})
+	t := &Table{
+		ID:    "E5",
+		Title: "Time to k-th answer — incremental vs batch (batch emits nothing early)",
+		Header: []string{"k", "incremental ms", "batch ms (any k)",
+			"incremental fraction of batch"},
+	}
+	for _, k := range []int{1, 2, 4, 8, 16, 32, 64, batchSets} {
+		if k > batchSets {
+			k = batchSets
+		}
+		var incTime time.Duration
+		count := 0
+		incTime = timeIt(func() {
+			_, err = core.Stream(db, core.Options{UseIndex: true}, func(*tupleset.Set) bool {
+				count++
+				return count < k
+			})
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", k),
+			msec(incTime),
+			msec(batchTime),
+			fmt.Sprintf("%.1f%%", 100*float64(incTime)/float64(batchTime)),
+		})
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"|FD| = %d. Expected shape: the incremental column starts near zero and approaches "+
+			"the batch column as k → |FD|; the batch column is flat because [3]-style evaluation "+
+			"cannot emit anything before finishing.", batchSets))
+	return t, nil
+}
+
+// E6TopK measures ranked retrieval (Thm 5.5): top-k via
+// PriorityIncrementalFD vs computing the whole full disjunction and
+// sorting.
+func E6TopK() (*Table, error) {
+	db, err := workload.Star(workload.Config{
+		Relations: 5, TuplesPerRelation: 20, Domain: 4, NullRate: 0.05, ImpMax: 100, Seed: 13})
+	if err != nil {
+		return nil, err
+	}
+	u := tupleset.NewUniverse(db)
+	f := rank.FMax{}
+
+	// Baseline: materialise FD, then sort by rank.
+	var allTime time.Duration
+	var fdSize int
+	allTime = timeIt(func() {
+		sets, _, e := core.FullDisjunction(db, core.Options{UseIndex: true})
+		if e != nil {
+			err = e
+			return
+		}
+		fdSize = len(sets)
+		// Sorting cost is negligible; include rank evaluation.
+		for _, s := range sets {
+			_ = f.Rank(u, s)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "E6",
+		Title:  "Top-(k, fmax) — PriorityIncrementalFD vs compute-all-then-sort",
+		Header: []string{"k", "ranked ms", "compute-all ms", "ranked fraction"},
+	}
+	for _, k := range []int{1, 5, 10, 25, 50} {
+		var rankedTime time.Duration
+		rankedTime = timeIt(func() {
+			_, _, err = rank.TopK(db, f, k, core.Options{UseIndex: true})
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", k),
+			msec(rankedTime),
+			msec(allTime),
+			fmt.Sprintf("%.1f%%", 100*float64(rankedTime)/float64(allTime)),
+		})
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"|FD| = %d. Expected shape: ranked retrieval costs grow with k and stay below "+
+			"materialise-everything for k ≪ |FD|; answers additionally arrive in rank order, "+
+			"which the baseline only achieves after the final sort.", fdSize))
+	return t, nil
+}
+
+// E7Hardness illustrates Proposition 5.1: top-(1,fsum) needs the whole
+// (exponential-time) brute-force enumeration, while top-(1,fmax) runs
+// via PriorityIncrementalFD in polynomial time. The brute-force column
+// grows explosively with n on clique schemas.
+func E7Hardness() (*Table, error) {
+	t := &Table{
+		ID:    "E7",
+		Title: "Top-1 under fsum (NP-hard, brute force) vs fmax (ranked enumeration)",
+		Header: []string{"relations n", "JCC sets enumerated", "fsum brute ms",
+			"fmax ranked ms", "top-1 fsum = n tuples?"},
+	}
+	for _, n := range []int{3, 4, 5, 6, 7} {
+		db, err := workload.Clique(workload.Config{
+			Relations: n, TuplesPerRelation: 4, Domain: 2, ImpMax: 1, Seed: 5})
+		if err != nil {
+			return nil, err
+		}
+		u := tupleset.NewUniverse(db)
+		fsum := rank.FSum{}
+		var enumerated int
+		var bruteTop *tupleset.Set
+		bruteTime := timeIt(func() {
+			enumerated = len(naive.EnumerateConnected(u, func(s *tupleset.Set) bool { return u.JCC(s) }))
+			top := naive.TopK(db, func(s *tupleset.Set) float64 { return fsum.Rank(u, s) }, 1)
+			bruteTop = top[0]
+		})
+		var rankedTime time.Duration
+		var err2 error
+		rankedTime = timeIt(func() {
+			_, _, err2 = rank.TopK(db, rank.FMax{}, 1, core.Options{UseIndex: true})
+		})
+		if err2 != nil {
+			return nil, err2
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", enumerated),
+			msec(bruteTime),
+			msec(rankedTime),
+			fmt.Sprintf("%v", bruteTop.Len() == n),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"Expected shape (Prop 5.1): with imp(t)=1, the top-1 fsum answer decides natural-join "+
+			"emptiness, so no c-determined shortcut exists; the brute-force column (and the number "+
+			"of JCC sets) grows exponentially in n while the fmax column stays flat.")
+	return t, nil
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"repro/internal/relation"
+	"repro/internal/tupleset"
+)
+
+// FDi computes FDi(R): all tuple sets of the full disjunction that
+// contain a tuple of relation seed (Fig 1 executed to completion).
+func FDi(db *relation.Database, seed int, opts Options) ([]*tupleset.Set, Stats, error) {
+	u := tupleset.NewUniverse(db)
+	e, err := NewEnumerator(u, seed, opts)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	out := e.All()
+	return out, e.Stats(), nil
+}
+
+// FullDisjunction computes FD(R) = ⋃i FDi(R) without duplicates,
+// using the initialisation strategy selected in opts.
+func FullDisjunction(db *relation.Database, opts Options) ([]*tupleset.Set, Stats, error) {
+	var out []*tupleset.Set
+	stats, err := Stream(db, opts, func(t *tupleset.Set) bool {
+		out = append(out, t)
+		return true
+	})
+	return out, stats, err
+}
+
+// Stream computes FD(R) and hands each result to yield as soon as it is
+// produced — the incremental behaviour that places the problem in PINC
+// (Corollary 4.11). Enumeration stops early when yield returns false.
+func Stream(db *relation.Database, opts Options, yield func(*tupleset.Set) bool) (Stats, error) {
+	u := tupleset.NewUniverse(db)
+	switch opts.Strategy {
+	case InitSingletons:
+		return streamRestart(u, opts, yield)
+	case InitSeeded, InitProjected:
+		return streamSeeded(u, opts, yield)
+	default:
+		return streamRestart(u, opts, yield)
+	}
+}
+
+// streamRestart runs the textbook driver: INCREMENTALFD(R, i) for every
+// i, suppressing a result when it contains a tuple of an earlier
+// relation (it was printed by that earlier pass) — exactly the
+// duplicate-avoidance rule described below Corollary 4.7.
+func streamRestart(u *tupleset.Universe, opts Options, yield func(*tupleset.Set) bool) (Stats, error) {
+	var total Stats
+	n := u.DB.NumRelations()
+	for i := 0; i < n; i++ {
+		e, err := NewEnumerator(u, i, opts)
+		if err != nil {
+			return total, err
+		}
+		for {
+			t, ok := e.Next()
+			if !ok {
+				break
+			}
+			if minRelation(t) != i {
+				continue // contains a tuple of R1..R(i-1): already printed
+			}
+			total.Emitted++
+			if !yield(t) {
+				s := e.Stats()
+				s.Emitted = 0
+				total.Add(s)
+				return total, nil
+			}
+		}
+		s := e.Stats()
+		s.Emitted = 0 // driver counts emissions itself
+		total.Add(s)
+	}
+	return total, nil
+}
+
+// streamSeeded runs the §7 "minimizing repeated work" drivers
+// (InitSeeded and InitProjected). Pass i scans only relations Ri..Rn,
+// seeds Incomplete from the previously printed results, and suppresses
+// any result contained in a previously printed set. See DESIGN.md for
+// the correctness argument (completeness for results whose minimal
+// relation is i; soundness via the global subsumption filter).
+func streamSeeded(u *tupleset.Universe, opts Options, yield func(*tupleset.Set) bool) (Stats, error) {
+	var total Stats
+	n := u.DB.NumRelations()
+	printed := NewCompleteStore(u, true)
+	for i := 0; i < n; i++ {
+		init := seedInit(u, i, opts, printed, &total)
+		e, err := NewSeededEnumerator(u, i, opts, init, i)
+		if err != nil {
+			return total, err
+		}
+		for {
+			t, ok := e.Next()
+			if !ok {
+				break
+			}
+			anchor, _ := t.Member(i)
+			if printed.ContainsSuperset(t, anchor, &total) {
+				continue
+			}
+			printed.Add(t)
+			total.Emitted++
+			if !yield(t) {
+				s := e.Stats()
+				s.Emitted = 0
+				total.Add(s)
+				return total, nil
+			}
+		}
+		s := e.Stats()
+		s.Emitted = 0
+		total.Add(s)
+	}
+	return total, nil
+}
+
+// seedInit builds the initial Incomplete contents for pass i of the
+// seeded strategies.
+func seedInit(u *tupleset.Universe, i int, opts Options, printed *CompleteStore, stats *Stats) []*tupleset.Set {
+	covered := make(map[int32]bool)
+	var init []*tupleset.Set
+	for _, s := range printed.Sets() {
+		ref, ok := s.Member(i)
+		if !ok {
+			continue
+		}
+		covered[ref.Idx] = true
+		switch opts.Strategy {
+		case InitSeeded:
+			// Option 2: seed with the previous result itself.
+			init = append(init, s.Clone())
+		case InitProjected:
+			// Option 3: project the previous result onto relations
+			// Ri..Rn, keep the connected component of its Ri tuple, and
+			// extend it with suffix tuples to a suffix-maximal set.
+			proj := projectSuffix(u, s, i)
+			extendSuffix(u, proj, i, opts, stats)
+			init = append(init, proj)
+		}
+	}
+	if opts.Strategy == InitProjected {
+		init = dedupContained(init)
+	}
+	rel := u.DB.Relation(i)
+	for t := 0; t < rel.Len(); t++ {
+		if !covered[int32(t)] {
+			init = append(init, u.Singleton(relation.Ref{Rel: int32(i), Idx: int32(t)}))
+		}
+	}
+	return init
+}
+
+// projectSuffix restricts s to relations i..n-1 and keeps the connected
+// component containing s's tuple of relation i.
+func projectSuffix(u *tupleset.Universe, s *tupleset.Set, i int) *tupleset.Set {
+	mask := make([]bool, u.DB.NumRelations())
+	for _, ref := range s.Refs() {
+		if int(ref.Rel) >= i {
+			mask[ref.Rel] = true
+		}
+	}
+	comp := u.Conn.ComponentOf(i, mask)
+	out := u.NewSet()
+	for _, ref := range s.Refs() {
+		if comp[ref.Rel] {
+			out.Add(ref)
+		}
+	}
+	return out
+}
+
+// extendSuffix maximally extends s with tuples of relations i..n-1
+// (the loop of GETNEXTRESULT lines 2–6 restricted to the suffix).
+func extendSuffix(u *tupleset.Universe, s *tupleset.Set, i int, opts Options, stats *Stats) {
+	sc := scanner{db: u.DB, block: opts.blockSize(), minRel: i, stats: stats, pool: opts.Pool}
+	for changed := true; changed; {
+		changed = false
+		sc.forEach(func(ref relation.Ref) bool {
+			if s.Has(ref) {
+				return true
+			}
+			stats.JCCChecks++
+			if u.JCCWithTuple(s, ref) {
+				s.Add(ref)
+				changed = true
+			}
+			return true
+		})
+	}
+}
+
+// dedupContained removes sets contained in another set of the slice
+// (including duplicates), preserving order of the survivors.
+func dedupContained(sets []*tupleset.Set) []*tupleset.Set {
+	var out []*tupleset.Set
+	for i, s := range sets {
+		contained := false
+		for j, t := range sets {
+			if i == j {
+				continue
+			}
+			if t.ContainsAll(s) && (s.Len() < t.Len() || j < i) {
+				// Tie-break equal sets by position so exactly one copy
+				// survives.
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// minRelation returns the smallest relation index with a member in t.
+// The drivers use it for cross-pass duplicate suppression: a result is
+// emitted only by the pass of its minimal relation.
+func minRelation(t *tupleset.Set) int {
+	for _, ref := range t.Refs() {
+		return int(ref.Rel) // Refs is in relation order
+	}
+	return -1
+}

@@ -1,0 +1,203 @@
+// Package core implements INCREMENTALFD and GETNEXTRESULT (Figures 1
+// and 2 of Cohen & Sagiv 2007) together with the engineering
+// refinements of Section 7: hash-indexed Complete/Incomplete lists,
+// block-based execution, and the alternative initialisations of
+// Incomplete that minimise repeated work across the n per-relation
+// passes of a full-disjunction computation.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+	"repro/internal/tupleset"
+)
+
+// Enumerator incrementally produces FDi(R) — the tuple sets of the full
+// disjunction that contain a tuple of the seed relation — one result
+// per Next call, in incremental polynomial time (Theorem 4.10).
+type Enumerator struct {
+	u          *tupleset.Universe
+	seed       int
+	opts       Options
+	stats      Stats
+	incomplete *IncompleteQueue
+	complete   *CompleteStore
+	scan       scanner
+}
+
+// NewEnumerator prepares an enumeration of FDi(R) with the textbook
+// initialisation (Fig 1 lines 1–4): Incomplete holds {t} for every
+// tuple t of the seed relation.
+func NewEnumerator(u *tupleset.Universe, seed int, opts Options) (*Enumerator, error) {
+	e, err := newBareEnumerator(u, seed, opts, 0)
+	if err != nil {
+		return nil, err
+	}
+	rel := u.DB.Relation(seed)
+	for i := 0; i < rel.Len(); i++ {
+		e.incomplete.Push(u.Singleton(relation.Ref{Rel: int32(seed), Idx: int32(i)}))
+	}
+	return e, nil
+}
+
+// NewSeededEnumerator prepares an enumeration whose Incomplete list is
+// initialised with the given tuple sets and whose database scans start
+// at relation minRel (Section 7 drivers, PriorityIncrementalFD). The
+// caller is responsible for the initialisation conditions of Remarks
+// 4.3 and 4.5: every seed set is JCC and contains a tuple of the seed
+// relation; every tuple of the seed relation is covered; and no two
+// seed sets are contained in one result.
+func NewSeededEnumerator(u *tupleset.Universe, seed int, opts Options, init []*tupleset.Set, minRel int) (*Enumerator, error) {
+	e, err := newBareEnumerator(u, seed, opts, minRel)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range init {
+		if !s.HasRelation(seed) {
+			return nil, fmt.Errorf("core: seed set %s lacks a tuple of relation %d", s.Format(u.DB), seed)
+		}
+		e.incomplete.Push(s)
+	}
+	return e, nil
+}
+
+func newBareEnumerator(u *tupleset.Universe, seed int, opts Options, minRel int) (*Enumerator, error) {
+	if seed < 0 || seed >= u.DB.NumRelations() {
+		return nil, fmt.Errorf("core: seed relation %d out of range [0,%d)", seed, u.DB.NumRelations())
+	}
+	e := &Enumerator{
+		u:          u,
+		seed:       seed,
+		opts:       opts,
+		incomplete: NewIncompleteQueue(u, seed, opts.UseIndex),
+		complete:   NewCompleteStore(u, opts.UseIndex),
+	}
+	e.scan = scanner{db: u.DB, block: opts.blockSize(), minRel: minRel, stats: &e.stats, pool: opts.Pool}
+	return e, nil
+}
+
+// Stats returns the counters accumulated so far.
+func (e *Enumerator) Stats() Stats { return e.stats }
+
+// Complete exposes the store of already-produced results.
+func (e *Enumerator) Complete() *CompleteStore { return e.complete }
+
+// Pending returns the number of tuple sets currently awaiting
+// extension.
+func (e *Enumerator) Pending() int { return e.incomplete.Len() }
+
+// Next produces the next tuple set of FDi(R), or ok=false when the
+// enumeration is finished. It performs one iteration of the while loop
+// of Fig 1: pop a tuple set from Incomplete, extend it maximally, emit
+// it, and enqueue the new candidate subsets discovered along the way.
+func (e *Enumerator) Next() (*tupleset.Set, bool) {
+	T, ok := e.incomplete.Pop()
+	if !ok {
+		return nil, false
+	}
+	result := getNextResult(e.u, e.seed, &e.scan, T, e.incomplete, e.complete, &e.stats)
+	e.complete.Add(result)
+	e.stats.Iterations++
+	e.stats.Emitted++
+	if resident := e.complete.Len() + e.incomplete.Len(); resident > e.stats.MaxResident {
+		e.stats.MaxResident = resident
+	}
+	if e.opts.Trace != nil {
+		e.opts.Trace(e.stats.Iterations, result.Clone(), e.incomplete.Snapshot(), snapshotComplete(e.complete))
+	}
+	return result, true
+}
+
+// All drains the enumeration and returns every tuple set of FDi(R).
+func (e *Enumerator) All() []*tupleset.Set {
+	var out []*tupleset.Set
+	for {
+		t, ok := e.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, t)
+	}
+}
+
+func snapshotComplete(cs *CompleteStore) []*tupleset.Set {
+	out := make([]*tupleset.Set, cs.Len())
+	for i, s := range cs.Sets() {
+		out[i] = s.Clone()
+	}
+	return out
+}
+
+// Pool abstracts the Incomplete container of GETNEXTRESULT: the FIFO
+// list of Fig 1 or the priority queue of Fig 3 (package rank).
+type Pool interface {
+	// TryAbsorb implements lines 14–15: if the pool holds a set S with
+	// JCC(S ∪ t), replace S by S ∪ t in place and report true. anchor
+	// is t's seed-relation tuple.
+	TryAbsorb(t *tupleset.Set, anchor relation.Ref, stats *Stats) bool
+	// Push appends a new tuple set (line 18).
+	Push(t *tupleset.Set)
+}
+
+// GetNextResult is GETNEXTRESULT (Fig 2) minus the pop of line 1, which
+// the caller performs (the priority variant of Fig 3 pops from a heap
+// instead of a FIFO). T is mutated into the result and returned.
+//
+//	lines 2–6: maximally extend T with tuples tg such that JCC(T∪{tg});
+//	lines 7–18: for every remaining tuple tb, form the maximal JCC
+//	  subset T' of T∪{tb} containing tb (footnote 3); if T' has a tuple
+//	  of the seed relation and is not contained in a Complete set and
+//	  cannot be merged into an Incomplete set, append it to Incomplete.
+//
+// minRel restricts database scans to relations minRel..n-1 (zero scans
+// everything); opts supplies the block size for simulated page reads.
+func GetNextResult(u *tupleset.Universe, seed int, opts Options, minRel int, T *tupleset.Set,
+	incomplete Pool, complete *CompleteStore, stats *Stats) *tupleset.Set {
+	scan := scanner{db: u.DB, block: opts.blockSize(), minRel: minRel, stats: stats, pool: opts.Pool}
+	return getNextResult(u, seed, &scan, T, incomplete, complete, stats)
+}
+
+func getNextResult(u *tupleset.Universe, seed int, scan *scanner, T *tupleset.Set,
+	incomplete Pool, complete *CompleteStore, stats *Stats) *tupleset.Set {
+
+	// Lines 2–6: extension to a maximal JCC set. Each sweep adds at
+	// least one tuple or terminates; a result has at most n tuples, so
+	// there are at most n+1 sweeps (cost O(s·n), Theorem 4.8).
+	for changed := true; changed; {
+		changed = false
+		scan.forEach(func(ref relation.Ref) bool {
+			if T.Has(ref) {
+				return true
+			}
+			stats.JCCChecks++
+			if u.JCCWithTuple(T, ref) {
+				T.Add(ref)
+				changed = true
+			}
+			return true
+		})
+	}
+
+	// Lines 7–18: discover new candidate subsets.
+	scan.forEach(func(tb relation.Ref) bool {
+		if T.Has(tb) {
+			return true
+		}
+		tPrime := u.MaximalSubsetWith(T, tb)
+		stats.JCCChecks++
+		anchor, hasSeed := tPrime.Member(seed)
+		if !hasSeed {
+			return true // line 9: T' has no tuple of Ri
+		}
+		if complete.ContainsSuperset(tPrime, anchor, stats) {
+			return true // line 11: already represented in Complete
+		}
+		if incomplete.TryAbsorb(tPrime, anchor, stats) {
+			return true // lines 14–15: merged into an Incomplete set
+		}
+		incomplete.Push(tPrime) // line 18
+		return true
+	})
+	return T
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"repro/internal/relation"
+	"repro/internal/storage"
+	"repro/internal/tupleset"
+)
+
+// InitStrategy selects how the Incomplete list of pass i of the
+// full-disjunction driver is initialised (Section 7, "Minimizing
+// repeated work"). All strategies produce the same full disjunction;
+// they differ in how much work the later passes repeat.
+type InitStrategy int
+
+const (
+	// InitSingletons is the textbook initialisation of Fig 1: pass i
+	// seeds Incomplete with {t} for every t ∈ Ri and scans the whole
+	// database. Results containing a tuple of an earlier relation are
+	// suppressed by the driver (they were printed by an earlier pass).
+	InitSingletons InitStrategy = iota
+	// InitSeeded is the second §7 option: pass i seeds Incomplete with
+	// the previously printed tuple sets that contain a tuple of Ri,
+	// plus {t} for every t ∈ Ri not covered by a previous result; scans
+	// are restricted to tuples of Ri..Rn and results subsumed by a
+	// previously printed set are suppressed.
+	InitSeeded
+	// InitProjected is the third §7 option: previously printed sets are
+	// projected onto relations Ri..Rn (keeping the connected component
+	// of their Ri tuple), extended, and deduplicated before seeding;
+	// otherwise as InitSeeded.
+	InitProjected
+)
+
+// String names the strategy.
+func (s InitStrategy) String() string {
+	switch s {
+	case InitSingletons:
+		return "singletons"
+	case InitSeeded:
+		return "seeded"
+	case InitProjected:
+		return "projected"
+	default:
+		return "unknown"
+	}
+}
+
+// TraceFunc observes the state of the lists after each GetNextResult
+// call; it reproduces Table 3 of the paper. The slices are snapshots
+// and may be retained.
+type TraceFunc func(iteration int, printed *tupleset.Set, incomplete, complete []*tupleset.Set)
+
+// Options configures the algorithms.
+type Options struct {
+	// UseIndex enables the §7 hash index: Complete and Incomplete are
+	// bucketed by their tuple from the seed relation, so the searches
+	// of GETNEXTRESULT lines 11 and 14 touch only candidate sets that
+	// could possibly match.
+	UseIndex bool
+	// BlockSize is the number of tuples fetched per simulated page read
+	// during database scans (block-based execution, §7). Zero or one
+	// means tuple-at-a-time execution.
+	BlockSize int
+	// Pool, when non-nil, routes page fetches through a simulated LRU
+	// buffer pool: only misses count as PageReads, and the pool's
+	// hit/miss counters expose the caching behaviour a real database
+	// buffer would show under the algorithm's scan pattern.
+	Pool *storage.BufferPool
+	// Strategy selects the Incomplete initialisation of the
+	// full-disjunction driver.
+	Strategy InitStrategy
+	// Trace, when non-nil, receives a snapshot after every
+	// GetNextResult call of a single-seed enumeration.
+	Trace TraceFunc
+}
+
+func (o Options) blockSize() int {
+	if o.BlockSize < 1 {
+		return 1
+	}
+	return o.BlockSize
+}
+
+// scanner walks database tuples in deterministic order while counting
+// tuples and simulated page reads. minRel restricts the scan to
+// relations minRel..n-1 (used by the seeded/projected strategies).
+// With a buffer pool attached, only buffer misses count as page reads.
+type scanner struct {
+	db     *relation.Database
+	block  int
+	minRel int
+	stats  *Stats
+	pool   *storage.BufferPool
+}
+
+// forEach visits every tuple in scope; fn returning false stops early.
+func (sc *scanner) forEach(fn func(relation.Ref) bool) {
+	for r := sc.minRel; r < sc.db.NumRelations(); r++ {
+		n := sc.db.Relation(r).Len()
+		for i := 0; i < n; i++ {
+			if i%sc.block == 0 {
+				if sc.pool != nil {
+					if !sc.pool.Fetch(storage.PageID{Rel: int32(r), Block: int32(i / sc.block)}) {
+						sc.stats.PageReads++
+					}
+				} else {
+					sc.stats.PageReads++
+				}
+			}
+			sc.stats.TuplesScanned++
+			if !fn(relation.Ref{Rel: int32(r), Idx: int32(i)}) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/relation"
+	"repro/internal/tupleset"
+)
+
+// ParallelFullDisjunction computes FD(R) by running the n per-relation
+// passes of the textbook driver concurrently. The passes of Fig 1 are
+// independent by construction (each computes FDi(R) from scratch), so
+// this is a safe engineering extension beyond the paper: results are
+// deduplicated exactly as in the sequential driver (a result belongs to
+// the pass of its minimal relation), and the output set is identical —
+// only the order differs, so results are returned sorted by their
+// canonical keys for determinism.
+//
+// workers ≤ 0 selects GOMAXPROCS. Streaming semantics (PINC) are
+// sequential by nature; use Stream when incremental delivery matters
+// more than total wall-clock time.
+func ParallelFullDisjunction(db *relation.Database, opts Options, workers int) ([]*tupleset.Set, Stats, error) {
+	if opts.Strategy != InitSingletons {
+		return nil, Stats{}, fmt.Errorf("core: parallel execution requires the restart strategy (got %s)", opts.Strategy)
+	}
+	if opts.Trace != nil {
+		return nil, Stats{}, fmt.Errorf("core: parallel execution does not support tracing")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	u := tupleset.NewUniverse(db)
+	n := db.NumRelations()
+
+	type passResult struct {
+		seed  int
+		sets  []*tupleset.Set
+		stats Stats
+		err   error
+	}
+	results := make([]passResult, n)
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			e, err := NewEnumerator(u, seed, opts)
+			if err != nil {
+				results[seed] = passResult{seed: seed, err: err}
+				return
+			}
+			var kept []*tupleset.Set
+			for {
+				t, ok := e.Next()
+				if !ok {
+					break
+				}
+				if minRelation(t) == seed {
+					kept = append(kept, t)
+				}
+			}
+			results[seed] = passResult{seed: seed, sets: kept, stats: e.Stats()}
+		}(i)
+	}
+	wg.Wait()
+
+	var out []*tupleset.Set
+	var total Stats
+	for _, r := range results {
+		if r.err != nil {
+			return nil, total, r.err
+		}
+		out = append(out, r.sets...)
+		s := r.stats
+		s.Emitted = 0
+		total.Add(s)
+	}
+	total.Emitted = len(out)
+	tupleset.SortSets(db, out)
+	return out, total, nil
+}

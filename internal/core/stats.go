@@ -1,0 +1,51 @@
+package core
+
+import "fmt"
+
+// Stats collects instrumentation counters for one execution. The
+// complexity-shape experiments (E4, E5, E9) read these counters instead
+// of relying purely on wall-clock time.
+type Stats struct {
+	// Iterations counts calls to GetNextResult (the while loop of
+	// Fig 1, line 5). By Corollary 4.7 it equals the number of results.
+	Iterations int
+	// Emitted counts tuple sets returned to the caller.
+	Emitted int
+	// JCCChecks counts join-consistency predicate evaluations
+	// (JCCWithTuple, UnionJCC and consistency walks).
+	JCCChecks int64
+	// TuplesScanned counts tuples visited by the database scans of
+	// GETNEXTRESULT lines 2 and 7.
+	TuplesScanned int64
+	// ListScans counts tuple sets examined while searching Complete and
+	// Incomplete (lines 11 and 14). The §7 hash index exists to shrink
+	// this counter.
+	ListScans int64
+	// PageReads counts simulated block fetches performed by the
+	// database scans; block-based execution (§7) reduces it by the
+	// block-size factor.
+	PageReads int64
+	// MaxResident tracks the peak number of tuple sets simultaneously
+	// held in Complete and Incomplete (Corollary 4.7 bounds it by the
+	// number of result tuple sets).
+	MaxResident int
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Iterations += other.Iterations
+	s.Emitted += other.Emitted
+	s.JCCChecks += other.JCCChecks
+	s.TuplesScanned += other.TuplesScanned
+	s.ListScans += other.ListScans
+	s.PageReads += other.PageReads
+	if other.MaxResident > s.MaxResident {
+		s.MaxResident = other.MaxResident
+	}
+}
+
+// String renders the counters compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("iters=%d emitted=%d jcc=%d scanned=%d listScans=%d pageReads=%d maxResident=%d",
+		s.Iterations, s.Emitted, s.JCCChecks, s.TuplesScanned, s.ListScans, s.PageReads, s.MaxResident)
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"repro/internal/relation"
+	"repro/internal/tupleset"
+)
+
+// CompleteStore holds the tuple sets that have been printed (the
+// Complete list of Fig 1). It supports the containment test of
+// GETNEXTRESULT line 11: is T' contained in some stored set?
+//
+// With indexing enabled the store is bucketed by member tuple, so the
+// containment test for T' inspects only sets sharing T's anchor tuple —
+// the §7 optimisation. Storage is append-only; by Theorem 4.6 no
+// duplicate is ever added during one enumeration.
+type CompleteStore struct {
+	u        *tupleset.Universe
+	sets     []*tupleset.Set
+	index    map[relation.Ref][]int
+	useIndex bool
+}
+
+// NewCompleteStore creates an empty store.
+func NewCompleteStore(u *tupleset.Universe, useIndex bool) *CompleteStore {
+	cs := &CompleteStore{u: u, useIndex: useIndex}
+	if useIndex {
+		cs.index = make(map[relation.Ref][]int)
+	}
+	return cs
+}
+
+// Len returns the number of stored sets.
+func (cs *CompleteStore) Len() int { return len(cs.sets) }
+
+// Sets returns the stored sets in insertion order; the slice must not
+// be modified.
+func (cs *CompleteStore) Sets() []*tupleset.Set { return cs.sets }
+
+// Add stores s.
+func (cs *CompleteStore) Add(s *tupleset.Set) {
+	id := len(cs.sets)
+	cs.sets = append(cs.sets, s)
+	if cs.useIndex {
+		for _, ref := range s.Refs() {
+			cs.index[ref] = append(cs.index[ref], id)
+		}
+	}
+}
+
+// ContainsSuperset reports whether some stored set contains every tuple
+// of t. anchor must be a member of t (the seed-relation tuple); with
+// indexing it selects the bucket to search. stats.ListScans counts the
+// candidate sets examined.
+func (cs *CompleteStore) ContainsSuperset(t *tupleset.Set, anchor relation.Ref, stats *Stats) bool {
+	if cs.useIndex {
+		for _, id := range cs.index[anchor] {
+			stats.ListScans++
+			if cs.sets[id].ContainsAll(t) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, s := range cs.sets {
+		stats.ListScans++
+		if s.ContainsAll(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// node wraps a tuple set held in an IncompleteQueue. A node whose live
+// flag is cleared has been popped and is skipped by searches.
+type node struct {
+	set  *tupleset.Set
+	live bool
+}
+
+// IncompleteQueue is the Incomplete linked list of Fig 1. The paper's
+// list discipline — reconstructed from the trace in Table 3 — is: tuple
+// sets are removed from the front, and the sets created during one
+// GETNEXTRESULT call are placed at the front as a group, in creation
+// order, before the next removal. Push therefore stages new sets in a
+// pending buffer which Flush moves to the front.
+//
+// The queue also supports the merge operation of GETNEXTRESULT lines
+// 14–15 (replace a stored S by S ∪ T' when JCC(S ∪ T')). Every stored
+// set contains exactly one tuple of the seed relation, and a merge
+// never changes that tuple, so bucketing by it (UseIndex) is lossless
+// for the merge search.
+type IncompleteQueue struct {
+	u    *tupleset.Universe
+	seed int
+	// items holds the main list with the FRONT at the END of the slice
+	// (so Pop is an O(1) truncation and a group prepend is an append of
+	// the reversed pending buffer).
+	items    []*node
+	pending  []*node
+	liveN    int
+	index    map[int32][]*node // seed-relation tuple index -> nodes
+	useIndex bool
+}
+
+// NewIncompleteQueue creates an empty queue for seed relation seed.
+func NewIncompleteQueue(u *tupleset.Universe, seed int, useIndex bool) *IncompleteQueue {
+	q := &IncompleteQueue{u: u, seed: seed, useIndex: useIndex}
+	if useIndex {
+		q.index = make(map[int32][]*node)
+	}
+	return q
+}
+
+// Len returns the number of live sets in the queue (staged sets
+// included).
+func (q *IncompleteQueue) Len() int { return q.liveN }
+
+// Push stages s for insertion at the front of the queue. s must contain
+// a tuple of the seed relation. Call Flush to complete the insertion;
+// staged sets are already visible to TryAbsorb.
+func (q *IncompleteQueue) Push(s *tupleset.Set) {
+	nd := &node{set: s, live: true}
+	q.pending = append(q.pending, nd)
+	q.liveN++
+	if q.useIndex {
+		ref, ok := s.Member(q.seed)
+		if !ok {
+			panic("core: incomplete set lacks seed-relation tuple")
+		}
+		q.index[ref.Idx] = append(q.index[ref.Idx], nd)
+	}
+}
+
+// Flush moves the staged sets to the front of the queue, preserving
+// creation order (the first set staged is the next to pop).
+func (q *IncompleteQueue) Flush() {
+	for i := len(q.pending) - 1; i >= 0; i-- {
+		q.items = append(q.items, q.pending[i])
+	}
+	q.pending = q.pending[:0]
+}
+
+// Pop removes and returns the set at the front of the queue (Fig 2,
+// line 1). ok is false when the queue is empty. Staged sets must be
+// flushed first; Pop flushes automatically for safety.
+func (q *IncompleteQueue) Pop() (*tupleset.Set, bool) {
+	if len(q.pending) > 0 {
+		q.Flush()
+	}
+	for len(q.items) > 0 {
+		nd := q.items[len(q.items)-1]
+		q.items = q.items[:len(q.items)-1]
+		if nd.live {
+			nd.live = false
+			q.liveN--
+			return nd.set, true
+		}
+	}
+	return nil, false
+}
+
+// TryAbsorb implements lines 14–15 of GETNEXTRESULT: if the queue holds
+// a set S with JCC(S ∪ t), S is replaced by S ∪ t in place and true is
+// returned. anchor must be t's seed-relation tuple.
+func (q *IncompleteQueue) TryAbsorb(t *tupleset.Set, anchor relation.Ref, stats *Stats) bool {
+	if q.useIndex {
+		for _, nd := range q.index[anchor.Idx] {
+			if !nd.live {
+				continue
+			}
+			stats.ListScans++
+			stats.JCCChecks++
+			if q.u.UnionJCC(nd.set, t) {
+				nd.set = q.u.Union(nd.set, t)
+				return true
+			}
+		}
+		return false
+	}
+	if q.absorbScan(q.items, t, stats) {
+		return true
+	}
+	return q.absorbScan(q.pending, t, stats)
+}
+
+func (q *IncompleteQueue) absorbScan(nodes []*node, t *tupleset.Set, stats *Stats) bool {
+	for _, nd := range nodes {
+		if !nd.live {
+			continue
+		}
+		stats.ListScans++
+		stats.JCCChecks++
+		if q.u.UnionJCC(nd.set, t) {
+			nd.set = q.u.Union(nd.set, t)
+			return true
+		}
+	}
+	return false
+}
+
+// Snapshot returns the live sets in front-to-back order, for tracing
+// (Table 3). Staged sets appear first, in creation order.
+func (q *IncompleteQueue) Snapshot() []*tupleset.Set {
+	out := make([]*tupleset.Set, 0, q.liveN)
+	for _, nd := range q.pending {
+		if nd.live {
+			out = append(out, nd.set.Clone())
+		}
+	}
+	for i := len(q.items) - 1; i >= 0; i-- {
+		if q.items[i].live {
+			out = append(out, q.items[i].set.Clone())
+		}
+	}
+	return out
+}

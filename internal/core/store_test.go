@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/tupleset"
+	"repro/internal/workload"
+)
+
+func touristU(t *testing.T) (*tupleset.Universe, map[string]relation.Ref) {
+	t.Helper()
+	db := workload.Tourist()
+	u := tupleset.NewUniverse(db)
+	refs := map[string]relation.Ref{}
+	db.ForEachRef(func(r relation.Ref) bool { refs[db.Label(r)] = r; return true })
+	return u, refs
+}
+
+// TestQueueDiscipline pins the Table 3 list behaviour in isolation:
+// pop from the front; staged sets flush to the front as a group in
+// creation order.
+func TestQueueDiscipline(t *testing.T) {
+	u, refs := touristU(t)
+	q := NewIncompleteQueue(u, 0, false)
+	c1, c2, c3 := u.Singleton(refs["c1"]), u.Singleton(refs["c2"]), u.Singleton(refs["c3"])
+	q.Push(c1)
+	q.Push(c2)
+	q.Push(c3)
+	q.Flush()
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	got, ok := q.Pop()
+	if !ok || !got.Equal(c1) {
+		t.Fatalf("first pop = %v", got)
+	}
+	// Stage two new sets mid-iteration; they must pop before c2.
+	a := u.FromRefs(refs["c1"], refs["a2"])
+	b := u.FromRefs(refs["c1"], refs["s2"])
+	q.Push(a)
+	q.Push(b)
+	q.Flush()
+	wantOrder := []*tupleset.Set{a, b, c2, c3}
+	for i, want := range wantOrder {
+		got, ok := q.Pop()
+		if !ok || !got.Equal(want) {
+			t.Fatalf("pop %d = %v, want %v", i, got, want)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Error("queue should be empty")
+	}
+}
+
+// TestQueuePopAutoFlush: Pop flushes staged sets itself.
+func TestQueuePopAutoFlush(t *testing.T) {
+	u, refs := touristU(t)
+	q := NewIncompleteQueue(u, 0, false)
+	q.Push(u.Singleton(refs["c1"]))
+	got, ok := q.Pop() // no explicit Flush
+	if !ok || got.Len() != 1 {
+		t.Fatal("auto-flush failed")
+	}
+}
+
+// TestQueueAbsorb checks the merge of lines 14–15 against both the
+// indexed and unindexed implementations, including staged sets.
+func TestQueueAbsorb(t *testing.T) {
+	for _, useIndex := range []bool{false, true} {
+		u, refs := touristU(t)
+		q := NewIncompleteQueue(u, 0, useIndex)
+		var stats Stats
+		base := u.FromRefs(refs["c1"], refs["a2"])
+		q.Push(base)
+		q.Flush()
+		// {c1, s1} merges into {c1, a2} (same c1, JCC union).
+		if !q.TryAbsorb(u.FromRefs(refs["c1"], refs["s1"]), refs["c1"], &stats) {
+			t.Fatalf("index=%v: absorb failed", useIndex)
+		}
+		got, _ := q.Pop()
+		if got.Format(u.DB) != "{c1, a2, s1}" {
+			t.Errorf("index=%v: merged set = %s", useIndex, got.Format(u.DB))
+		}
+		// Popped sets are dead: nothing to absorb into.
+		if q.TryAbsorb(u.FromRefs(refs["c1"], refs["s2"]), refs["c1"], &stats) {
+			t.Errorf("index=%v: absorbed into a popped set", useIndex)
+		}
+		// A set with a different seed tuple never merges.
+		q.Push(u.Singleton(refs["c2"]))
+		q.Flush()
+		if q.TryAbsorb(u.FromRefs(refs["c1"], refs["s2"]), refs["c1"], &stats) {
+			t.Errorf("index=%v: merged across different seed tuples", useIndex)
+		}
+	}
+}
+
+// TestQueueSnapshotOrder: staged sets come first, then the main list
+// front to back.
+func TestQueueSnapshotOrder(t *testing.T) {
+	u, refs := touristU(t)
+	q := NewIncompleteQueue(u, 0, false)
+	q.Push(u.Singleton(refs["c1"]))
+	q.Push(u.Singleton(refs["c2"]))
+	q.Flush()
+	q.Push(u.Singleton(refs["c3"])) // staged
+	snap := q.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot = %d sets", len(snap))
+	}
+	want := []string{"{c3}", "{c1}", "{c2}"}
+	for i, s := range snap {
+		if s.Format(u.DB) != want[i] {
+			t.Errorf("snapshot[%d] = %s, want %s", i, s.Format(u.DB), want[i])
+		}
+	}
+}
+
+// TestCompleteStoreContainment checks the line-11 test with and without
+// the member index.
+func TestCompleteStoreContainment(t *testing.T) {
+	for _, useIndex := range []bool{false, true} {
+		u, refs := touristU(t)
+		cs := NewCompleteStore(u, useIndex)
+		var stats Stats
+		big := u.FromRefs(refs["c1"], refs["a2"], refs["s1"])
+		cs.Add(big)
+		sub := u.FromRefs(refs["c1"], refs["a2"])
+		if !cs.ContainsSuperset(sub, refs["c1"], &stats) {
+			t.Errorf("index=%v: containment missed", useIndex)
+		}
+		other := u.FromRefs(refs["c1"], refs["a1"])
+		if cs.ContainsSuperset(other, refs["c1"], &stats) {
+			t.Errorf("index=%v: false containment", useIndex)
+		}
+		disjoint := u.FromRefs(refs["c2"], refs["s3"])
+		if cs.ContainsSuperset(disjoint, refs["c2"], &stats) {
+			t.Errorf("index=%v: containment across different anchors", useIndex)
+		}
+		if cs.Len() != 1 || len(cs.Sets()) != 1 {
+			t.Errorf("index=%v: store bookkeeping wrong", useIndex)
+		}
+	}
+}

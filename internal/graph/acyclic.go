@@ -1,0 +1,165 @@
+package graph
+
+import (
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// AlphaAcyclic reports whether the schema hypergraph of db (one
+// hyperedge per relation, vertices are attributes) is α-acyclic,
+// decided with the GYO reduction:
+//
+//	repeat until no rule applies:
+//	  (1) delete a vertex that occurs in exactly one hyperedge ("ear"
+//	      vertex);
+//	  (2) delete a hyperedge contained in another hyperedge.
+//
+// The hypergraph is α-acyclic iff the reduction empties it.
+//
+// The Rajaraman–Ullman outerjoin method requires the stronger property
+// of γ-acyclicity; γ-acyclic ⟹ α-acyclic, so a negative answer here
+// rules the baseline out, while a positive answer plus a tree-shaped
+// connection graph covers the chain and star workloads we benchmark.
+func AlphaAcyclic(db *relation.Database) bool {
+	n := db.NumRelations()
+	// edges[i] is the live attribute set of relation i (nil = deleted).
+	edges := make([]map[relation.Attribute]bool, n)
+	for i := 0; i < n; i++ {
+		set := make(map[relation.Attribute]bool)
+		for _, a := range db.Relation(i).Schema().Attributes() {
+			set[a] = true
+		}
+		edges[i] = set
+	}
+	live := n
+	for {
+		changed := false
+		// Rule 1: remove attributes occurring in at most one live edge.
+		occ := make(map[relation.Attribute]int)
+		for _, e := range edges {
+			for a := range e {
+				occ[a]++
+			}
+		}
+		for i, e := range edges {
+			if e == nil {
+				continue
+			}
+			for a := range e {
+				if occ[a] <= 1 {
+					delete(edges[i], a)
+					changed = true
+				}
+			}
+		}
+		// Rule 2: remove edges contained in another live edge (empty
+		// edges are contained in any edge and are removed too).
+		for i, e := range edges {
+			if e == nil {
+				continue
+			}
+			if len(e) == 0 {
+				edges[i] = nil
+				live--
+				changed = true
+				continue
+			}
+			for j, f := range edges {
+				if i == j || f == nil {
+					continue
+				}
+				if containsAll(f, e) && (len(f) > len(e) || i < j) {
+					// Tie-break i<j so two identical edges delete only
+					// one of the pair per pass.
+					edges[i] = nil
+					live--
+					changed = true
+					break
+				}
+			}
+		}
+		if live <= 1 {
+			return true
+		}
+		if !changed {
+			return false
+		}
+	}
+}
+
+func containsAll(outer, inner map[relation.Attribute]bool) bool {
+	if len(inner) > len(outer) {
+		return false
+	}
+	for a := range inner {
+		if !outer[a] {
+			return false
+		}
+	}
+	return true
+}
+
+// BergeAcyclic reports whether the schema hypergraph of db is
+// Berge-acyclic: its bipartite incidence graph (attributes on one side,
+// relations on the other, an edge when the relation's schema mentions
+// the attribute) contains no cycle. Berge-acyclicity is the strictest
+// level of Fagin's acyclicity hierarchy — Berge ⟹ γ ⟹ β ⟹ α — so it is
+// a sound (sufficient) gate for methods that require γ-acyclicity, such
+// as the Rajaraman–Ullman outerjoin sequence, and unlike γ-acyclicity
+// it has a trivially correct decision procedure.
+//
+// Attributes occurring in a single relation cannot lie on a cycle and
+// are skipped, so payload columns do not affect the answer.
+func BergeAcyclic(db *relation.Database) bool {
+	n := db.NumRelations()
+	// Union-find over relation vertices; each shared attribute links
+	// all its relations in a star. A cycle exists iff some attribute
+	// edge closes a loop — i.e. union finds the two endpoints already
+	// connected — or an attribute pair is shared twice (multi-edge).
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, rels := range AttributeOccurrences(db) {
+		if len(rels) < 2 {
+			continue
+		}
+		// The attribute vertex with degree d contributes d-1 tree edges
+		// in the incidence graph; it closes a cycle iff two of its
+		// relations are already connected (through other attributes or
+		// through this attribute's earlier links).
+		for _, r := range rels[1:] {
+			a, b := find(rels[0]), find(r)
+			if a == b {
+				return false
+			}
+			parent[a] = b
+		}
+	}
+	return true
+}
+
+// AttributeOccurrences returns, for every attribute in the database,
+// the sorted list of relations whose schema mentions it. Useful for
+// diagnostics and for workload validation in tests.
+func AttributeOccurrences(db *relation.Database) map[relation.Attribute][]int {
+	occ := make(map[relation.Attribute][]int)
+	for i := 0; i < db.NumRelations(); i++ {
+		for _, a := range db.Relation(i).Schema().Attributes() {
+			occ[a] = append(occ[a], i)
+		}
+	}
+	for a := range occ {
+		sort.Ints(occ[a])
+	}
+	return occ
+}

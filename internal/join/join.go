@@ -1,0 +1,296 @@
+// Package join implements the padded-tuple relational algebra behind
+// the Rajaraman–Ullman baseline [2]: natural join and full outerjoin
+// with null-rejecting join conditions, subsumption removal (minimal
+// union), and the outerjoin-sequence computation of a full disjunction
+// for γ-acyclic schemas — here applied to tree-connected schemas such
+// as the chain and star workloads, which are γ-acyclic.
+//
+// This is the comparator the paper positions INCREMENTALFD against in
+// the introduction: applicable only to a restricted class of schemas,
+// and inherently non-incremental (every outerjoin materialises fully
+// before the next can run).
+package join
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/relation"
+)
+
+// PaddedRelation is a relation over an explicit attribute list whose
+// rows may be padded with nulls. It is the intermediate representation
+// of the outerjoin pipeline.
+type PaddedRelation struct {
+	Attrs []relation.Attribute // sorted
+	Rows  [][]relation.Value
+}
+
+// FromRelation lifts a base relation into padded form.
+func FromRelation(r *relation.Relation) *PaddedRelation {
+	attrs := r.Schema().Attributes()
+	out := &PaddedRelation{Attrs: append([]relation.Attribute(nil), attrs...)}
+	for i := 0; i < r.Len(); i++ {
+		row := make([]relation.Value, len(attrs))
+		copy(row, r.Tuple(i).Values)
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// Len returns the number of rows.
+func (p *PaddedRelation) Len() int { return len(p.Rows) }
+
+// position returns the index of attribute a in p.Attrs, or -1.
+func (p *PaddedRelation) position(a relation.Attribute) int {
+	lo, hi := 0, len(p.Attrs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.Attrs[mid] < a {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(p.Attrs) && p.Attrs[lo] == a {
+		return lo
+	}
+	return -1
+}
+
+// sharedPositions returns aligned positions of the attributes common to
+// a and b.
+func sharedPositions(a, b *PaddedRelation) (pa, pb []int) {
+	i, j := 0, 0
+	for i < len(a.Attrs) && j < len(b.Attrs) {
+		switch {
+		case a.Attrs[i] == b.Attrs[j]:
+			pa = append(pa, i)
+			pb = append(pb, j)
+			i++
+			j++
+		case a.Attrs[i] < b.Attrs[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return pa, pb
+}
+
+// unionAttrs returns the sorted union of the attribute lists and the
+// projection maps from each input into the union.
+func unionAttrs(a, b *PaddedRelation) (attrs []relation.Attribute, mapA, mapB []int) {
+	seen := make(map[relation.Attribute]bool, len(a.Attrs)+len(b.Attrs))
+	for _, x := range a.Attrs {
+		if !seen[x] {
+			seen[x] = true
+			attrs = append(attrs, x)
+		}
+	}
+	for _, x := range b.Attrs {
+		if !seen[x] {
+			seen[x] = true
+			attrs = append(attrs, x)
+		}
+	}
+	sort.Slice(attrs, func(i, j int) bool { return attrs[i] < attrs[j] })
+	pos := make(map[relation.Attribute]int, len(attrs))
+	for i, x := range attrs {
+		pos[x] = i
+	}
+	mapA = make([]int, len(a.Attrs))
+	for i, x := range a.Attrs {
+		mapA[i] = pos[x]
+	}
+	mapB = make([]int, len(b.Attrs))
+	for i, x := range b.Attrs {
+		mapB[i] = pos[x]
+	}
+	return attrs, mapA, mapB
+}
+
+// joinable reports whether rows ra and rb agree (non-null equality) on
+// every shared attribute. This matches the join-consistency semantics
+// of the full disjunction: a null never matches anything.
+func joinable(ra, rb []relation.Value, pa, pb []int) bool {
+	for k := range pa {
+		if !ra[pa[k]].JoinsWith(rb[pb[k]]) {
+			return false
+		}
+	}
+	return true
+}
+
+// NaturalJoin computes a ⋈ b with null-rejecting equality on shared
+// attributes. Relations with no shared attribute produce the Cartesian
+// product, as usual.
+func NaturalJoin(a, b *PaddedRelation) *PaddedRelation {
+	attrs, mapA, mapB := unionAttrs(a, b)
+	pa, pb := sharedPositions(a, b)
+	out := &PaddedRelation{Attrs: attrs}
+	for _, ra := range a.Rows {
+		for _, rb := range b.Rows {
+			if !joinable(ra, rb, pa, pb) {
+				continue
+			}
+			out.Rows = append(out.Rows, combine(len(attrs), ra, mapA, rb, mapB))
+		}
+	}
+	return out
+}
+
+// FullOuterJoin computes a ⟗ b: matching combinations plus dangling
+// rows of both sides padded with nulls.
+func FullOuterJoin(a, b *PaddedRelation) *PaddedRelation {
+	attrs, mapA, mapB := unionAttrs(a, b)
+	pa, pb := sharedPositions(a, b)
+	out := &PaddedRelation{Attrs: attrs}
+	matchedB := make([]bool, len(b.Rows))
+	for _, ra := range a.Rows {
+		matched := false
+		for bi, rb := range b.Rows {
+			if !joinable(ra, rb, pa, pb) {
+				continue
+			}
+			matched = true
+			matchedB[bi] = true
+			out.Rows = append(out.Rows, combine(len(attrs), ra, mapA, rb, mapB))
+		}
+		if !matched {
+			out.Rows = append(out.Rows, combine(len(attrs), ra, mapA, nil, nil))
+		}
+	}
+	for bi, rb := range b.Rows {
+		if !matchedB[bi] {
+			out.Rows = append(out.Rows, combine(len(attrs), nil, nil, rb, mapB))
+		}
+	}
+	return out
+}
+
+func combine(width int, ra []relation.Value, mapA []int, rb []relation.Value, mapB []int) []relation.Value {
+	row := make([]relation.Value, width)
+	for i, v := range ra {
+		row[mapA[i]] = v
+	}
+	for i, v := range rb {
+		// On shared attributes both sides agree (joinable) except that
+		// one side may carry ⊥ where... it cannot: joinable demands
+		// non-null equality on shared attributes, so overwriting is
+		// safe; for dangling rows the other side is absent entirely.
+		if row[mapB[i]].IsNull() {
+			row[mapB[i]] = v
+		}
+	}
+	return row
+}
+
+// RemoveSubsumed deletes rows subsumed by another row (minimal union):
+// row q is removed when a different row p has every non-null value of
+// q, with ties (duplicate rows) keeping one copy.
+func RemoveSubsumed(p *PaddedRelation) *PaddedRelation {
+	out := &PaddedRelation{Attrs: p.Attrs}
+	for i, q := range p.Rows {
+		subsumed := false
+		for j, r := range p.Rows {
+			if i == j {
+				continue
+			}
+			if rowSubsumes(r, q) && (!rowSubsumes(q, r) || j < i) {
+				subsumed = true
+				break
+			}
+		}
+		if !subsumed {
+			out.Rows = append(out.Rows, q)
+		}
+	}
+	return out
+}
+
+func rowSubsumes(p, q []relation.Value) bool {
+	for i := range q {
+		if q[i].IsNull() {
+			continue
+		}
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FullDisjunction computes the full disjunction of a Berge-acyclic,
+// connected database as a sequence of full outerjoins along a
+// breadth-first order of the connection graph, removing subsumed rows
+// after every join. The method of [2] requires γ-acyclicity;
+// Berge-acyclicity is a decidable sufficient condition (Berge ⟹ γ), and
+// it covers the chain, star and single-attribute-clique workloads the
+// benchmarks exercise. Cyclic schemas — including the tourist triangle
+// of Table 1, whose Country/City sharing makes the incidence graph
+// cyclic — are rejected; INCREMENTALFD has no such restriction, which
+// is exactly the generality gap §1 of the paper highlights.
+func FullDisjunction(db *relation.Database) (*PaddedRelation, error) {
+	conn := graph.NewConnection(db)
+	if !conn.Connected() {
+		return nil, fmt.Errorf("join: relations are not connected; the outerjoin method does not apply")
+	}
+	if !graph.BergeAcyclic(db) {
+		return nil, fmt.Errorf("join: schema is not Berge-acyclic; the outerjoin method does not apply")
+	}
+	order := conn.BFSOrder(0)
+	acc := FromRelation(db.Relation(order[0]))
+	for _, r := range order[1:] {
+		acc = RemoveSubsumed(FullOuterJoin(acc, FromRelation(db.Relation(r))))
+	}
+	return RemoveSubsumed(acc), nil
+}
+
+// Keys returns the canonical row keys of p, sorted, for comparison with
+// the padded rendering of a tuple-set full disjunction. Duplicate rows
+// collapse to one key, matching the set semantics of [2].
+func (p *PaddedRelation) Keys() []string {
+	seen := make(map[string]bool, len(p.Rows))
+	var out []string
+	for _, row := range p.Rows {
+		k := rowKey(row)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func rowKey(row []relation.Value) string {
+	key := ""
+	for i, v := range row {
+		if i > 0 {
+			key += "\x1f"
+		}
+		if v.IsNull() {
+			key += relation.NullToken
+		} else {
+			key += v.Datum()
+		}
+	}
+	return key
+}
+
+// String renders the relation as an ASCII table.
+func (p *PaddedRelation) String() string {
+	s := fmt.Sprintf("%v\n", p.Attrs)
+	for _, row := range p.Rows {
+		for i, v := range row {
+			if i > 0 {
+				s += ", "
+			}
+			s += v.String()
+		}
+		s += "\n"
+	}
+	return s
+}

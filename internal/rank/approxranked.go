@@ -1,0 +1,151 @@
+package rank
+
+import (
+	"fmt"
+
+	"repro/internal/approx"
+	"repro/internal/core"
+	"repro/internal/naive"
+	"repro/internal/relation"
+	"repro/internal/tupleset"
+)
+
+// ApproxStreamRanked implements the adaptation the paper sketches at
+// the end of Section 6: APPROXINCREMENTALFD reorganised in the spirit
+// of PRIORITYINCREMENTALFD, emitting the members of AFD(R, A, τ) in
+// non-increasing order of a monotonically c-determined ranking
+// function f. Return false from yield to stop early.
+//
+// The initialisation enumerates the connected tuple sets of size ≤ c
+// with A(S) ≥ τ (the approximate analogue of Fig 3 lines 2–4 — valid
+// because A is acceptable, so qualifying sets are closed under
+// connected subsets), distributes them to per-relation priority queues,
+// and merges mergeable pairs under the A-threshold predicate.
+func ApproxStreamRanked(db *relation.Database, a approx.Join, tau float64, f Func,
+	yield func(Result) bool) (core.Stats, error) {
+
+	var stats core.Stats
+	if err := Validate(f); err != nil {
+		return stats, err
+	}
+	if a == nil {
+		return stats, fmt.Errorf("rank: nil approximate join function")
+	}
+	if tau <= 0 || tau > 1 {
+		return stats, fmt.Errorf("rank: threshold %v outside (0,1]", tau)
+	}
+	u := tupleset.NewUniverse(db)
+	n := db.NumRelations()
+	c := f.C()
+
+	small := naive.EnumerateConnected(u, func(s *tupleset.Set) bool {
+		return s.Len() <= c && a.Score(u, s) >= tau
+	})
+	perSeed := make([][]*tupleset.Set, n)
+	for _, s := range small {
+		for _, ref := range s.Refs() {
+			perSeed[ref.Rel] = append(perSeed[ref.Rel], s.Clone())
+		}
+	}
+
+	queues := make([]*priorityQueue, n)
+	for i := 0; i < n; i++ {
+		merged := approxMergeFixpoint(u, a, tau, perSeed[i], &stats)
+		queues[i] = newPriorityQueue(u, i, f)
+		queues[i].merge = func(existing, incoming *tupleset.Set, st *core.Stats) (*tupleset.Set, bool) {
+			return approx.TryMerge(u, a, tau, existing, incoming, st)
+		}
+		for _, s := range merged {
+			queues[i].Push(s)
+		}
+	}
+
+	complete := core.NewCompleteStore(u, true)
+	for {
+		best := -1
+		var bestRank float64
+		var bestKey string
+		for i, q := range queues {
+			top, r, ok := q.Top()
+			if !ok {
+				continue
+			}
+			if best < 0 || r > bestRank || (r == bestRank && top.Key() < bestKey) {
+				best, bestRank, bestKey = i, r, top.Key()
+			}
+		}
+		if best < 0 {
+			return stats, nil
+		}
+		T, _ := queues[best].PopSet()
+		result := approx.GetNextResult(u, best, a, tau, T, queues[best], complete, &stats)
+		stats.Iterations++
+		anchor, ok := result.Member(best)
+		if !ok {
+			return stats, fmt.Errorf("rank: internal error: result lacks seed tuple")
+		}
+		if complete.ContainsSuperset(result, anchor, &stats) {
+			continue
+		}
+		complete.Add(result)
+		stats.Emitted++
+		if !yield(Result{Set: result, Rank: f.Rank(u, result)}) {
+			return stats, nil
+		}
+	}
+}
+
+// approxMergeFixpoint is the approximate analogue of mergeFixpoint:
+// pairs merge when the union is conflict-free and scores ≥ τ.
+func approxMergeFixpoint(u *tupleset.Universe, a approx.Join, tau float64,
+	sets []*tupleset.Set, stats *core.Stats) []*tupleset.Set {
+	out := append([]*tupleset.Set(nil), sets...)
+	for {
+		merged := false
+	scan:
+		for i := 0; i < len(out); i++ {
+			for j := i + 1; j < len(out); j++ {
+				if union, ok := approx.TryMerge(u, a, tau, out[i], out[j], stats); ok {
+					out[i] = union
+					out = append(out[:j], out[j+1:]...)
+					merged = true
+					break scan
+				}
+			}
+		}
+		if !merged {
+			return out
+		}
+	}
+}
+
+// ApproxTopK returns the k highest-ranking members of the
+// (A,τ)-approximate full disjunction, in rank order.
+func ApproxTopK(db *relation.Database, a approx.Join, tau float64, f Func, k int) ([]Result, core.Stats, error) {
+	if k < 0 {
+		return nil, core.Stats{}, fmt.Errorf("rank: negative k")
+	}
+	if k == 0 {
+		return nil, core.Stats{}, nil
+	}
+	var out []Result
+	stats, err := ApproxStreamRanked(db, a, tau, f, func(r Result) bool {
+		out = append(out, r)
+		return len(out) < k
+	})
+	return out, stats, err
+}
+
+// ApproxThreshold returns every member of AFD(R, A, τ) whose rank is at
+// least rankTau, in rank order.
+func ApproxThreshold(db *relation.Database, a approx.Join, tau, rankTau float64, f Func) ([]Result, core.Stats, error) {
+	var out []Result
+	stats, err := ApproxStreamRanked(db, a, tau, f, func(r Result) bool {
+		if r.Rank < rankTau {
+			return false
+		}
+		out = append(out, r)
+		return true
+	})
+	return out, stats, err
+}

@@ -1,0 +1,134 @@
+package rank
+
+import (
+	"container/heap"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/tupleset"
+)
+
+// item is one entry of a priority queue.
+type item struct {
+	set  *tupleset.Set
+	rank float64
+	pos  int // index within the heap, maintained by heap.Interface
+}
+
+// itemHeap is the raw max-heap storage (container/heap plumbing).
+type itemHeap []*item
+
+func (h itemHeap) Len() int { return len(h) }
+func (h itemHeap) Less(i, j int) bool {
+	if h[i].rank != h[j].rank {
+		return h[i].rank > h[j].rank // max-heap
+	}
+	// Deterministic tie-break for reproducible output.
+	return h[i].set.Key() < h[j].set.Key()
+}
+func (h itemHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].pos = i
+	h[j].pos = j
+}
+func (h *itemHeap) Push(x any) {
+	it := x.(*item)
+	it.pos = len(*h)
+	*h = append(*h, it)
+}
+func (h *itemHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// mergeFunc attempts to merge an incoming candidate into a stored set;
+// it returns the union and true on success. The exact variant uses the
+// JCC predicate; the approximate variant (Section 6, closing remark)
+// uses A(S ∪ T') ≥ τ.
+type mergeFunc func(existing, incoming *tupleset.Set, stats *core.Stats) (*tupleset.Set, bool)
+
+// priorityQueue is the Incompletei of Fig 3: a max-heap of tuple sets
+// ordered by rank, supporting the merge of GETNEXTRESULT lines 14–15
+// (which may raise a stored set's rank and re-heapify it). It
+// implements core.Pool.
+type priorityQueue struct {
+	u     *tupleset.Universe
+	seed  int
+	f     Func
+	h     itemHeap
+	merge mergeFunc
+}
+
+var _ core.Pool = (*priorityQueue)(nil)
+
+func newPriorityQueue(u *tupleset.Universe, seed int, f Func) *priorityQueue {
+	q := &priorityQueue{u: u, seed: seed, f: f}
+	q.merge = func(existing, incoming *tupleset.Set, stats *core.Stats) (*tupleset.Set, bool) {
+		stats.JCCChecks++
+		if q.u.UnionJCC(existing, incoming) {
+			return q.u.Union(existing, incoming), true
+		}
+		return nil, false
+	}
+	return q
+}
+
+// Len returns the number of queued sets.
+func (q *priorityQueue) Len() int { return len(q.h) }
+
+// Push implements core.Pool (line 18): insert a tuple set with its
+// rank.
+func (q *priorityQueue) Push(s *tupleset.Set) {
+	heap.Push(&q.h, &item{set: s, rank: q.f.Rank(q.u, s)})
+}
+
+// Top returns the highest-ranking set without removing it.
+func (q *priorityQueue) Top() (*tupleset.Set, float64, bool) {
+	if len(q.h) == 0 {
+		return nil, 0, false
+	}
+	return q.h[0].set, q.h[0].rank, true
+}
+
+// PopSet removes and returns the highest-ranking set.
+func (q *priorityQueue) PopSet() (*tupleset.Set, bool) {
+	if len(q.h) == 0 {
+		return nil, false
+	}
+	return heap.Pop(&q.h).(*item).set, true
+}
+
+// Items exposes the queued sets (for the initialisation merge loop).
+func (q *priorityQueue) Items() []*item { return q.h }
+
+// RemoveAt deletes the item at heap position pos.
+func (q *priorityQueue) RemoveAt(pos int) { heap.Remove(&q.h, pos) }
+
+// ReplaceSet swaps the tuple set of an item and re-heapifies.
+func (q *priorityQueue) ReplaceSet(it *item, s *tupleset.Set) {
+	it.set = s
+	it.rank = q.f.Rank(q.u, s)
+	heap.Fix(&q.h, it.pos)
+}
+
+// TryAbsorb implements core.Pool: lines 14–15 of GETNEXTRESULT. A merge
+// can only raise the stored set's rank (f is monotone on connected
+// supersets), so the heap is fixed up after the union.
+func (q *priorityQueue) TryAbsorb(t *tupleset.Set, anchor relation.Ref, stats *core.Stats) bool {
+	for _, it := range q.h {
+		member, ok := it.set.Member(q.seed)
+		if !ok || member != anchor {
+			continue // different seed tuple: the union would be invalid
+		}
+		stats.ListScans++
+		if union, ok := q.merge(it.set, t, stats); ok {
+			q.ReplaceSet(it, union)
+			return true
+		}
+	}
+	return false
+}

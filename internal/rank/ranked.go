@@ -1,0 +1,152 @@
+package rank
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/naive"
+	"repro/internal/relation"
+	"repro/internal/tupleset"
+)
+
+// Result pairs a tuple set of the full disjunction with its rank.
+type Result struct {
+	Set  *tupleset.Set
+	Rank float64
+}
+
+// StreamRanked implements PRIORITYINCREMENTALFD (Fig 3): it yields the
+// tuple sets of FD(R) in non-increasing rank order under the
+// monotonically c-determined ranking function f, stopping early when
+// yield returns false. Lemma 5.4 guarantees the order; Lemma 5.3
+// guarantees that the first k results cost time polynomial in the input
+// and k.
+func StreamRanked(db *relation.Database, f Func, opts core.Options, yield func(Result) bool) (core.Stats, error) {
+	var stats core.Stats
+	if err := Validate(f); err != nil {
+		return stats, err
+	}
+	u := tupleset.NewUniverse(db)
+	n := db.NumRelations()
+	c := f.C()
+
+	// Lines 1–4: enumerate every JCC connected tuple set of size ≤ c
+	// and distribute it to the queue of each relation it touches.
+	small := naive.EnumerateConnected(u, func(s *tupleset.Set) bool {
+		return s.Len() <= c && u.JCC(s)
+	})
+	perSeed := make([][]*tupleset.Set, n)
+	for _, s := range small {
+		for _, ref := range s.Refs() {
+			perSeed[ref.Rel] = append(perSeed[ref.Rel], s.Clone())
+		}
+	}
+
+	// Lines 5–8: merge mergeable pairs within each queue to a fixpoint,
+	// establishing initialisation condition (iii) of Lemma 5.2.
+	queues := make([]*priorityQueue, n)
+	for i := 0; i < n; i++ {
+		merged := mergeFixpoint(u, perSeed[i], &stats)
+		queues[i] = newPriorityQueue(u, i, f)
+		for _, s := range merged {
+			queues[i].Push(s)
+		}
+	}
+
+	complete := core.NewCompleteStore(u, true)
+
+	// Lines 9–18: repeatedly extract from the queue whose top ranks
+	// highest, extend it to a result, and print it unless it was
+	// already printed via another queue.
+	for {
+		best := -1
+		var bestRank float64
+		var bestKey string
+		for i, q := range queues {
+			top, r, ok := q.Top()
+			if !ok {
+				continue
+			}
+			if best < 0 || r > bestRank || (r == bestRank && top.Key() < bestKey) {
+				best, bestRank, bestKey = i, r, top.Key()
+			}
+		}
+		if best < 0 {
+			return stats, nil // all queues empty: FD exhausted
+		}
+		T, _ := queues[best].PopSet()
+		result := core.GetNextResult(u, best, opts, 0, T, queues[best], complete, &stats)
+		stats.Iterations++
+		anchor, ok := result.Member(best)
+		if !ok {
+			return stats, fmt.Errorf("rank: internal error: result lacks seed tuple")
+		}
+		if complete.ContainsSuperset(result, anchor, &stats) {
+			continue // line 17: already printed via another queue
+		}
+		complete.Add(result)
+		stats.Emitted++
+		if !yield(Result{Set: result, Rank: f.Rank(u, result)}) {
+			return stats, nil
+		}
+	}
+}
+
+// mergeFixpoint repeatedly replaces mergeable pairs by their union
+// until no pair can merge (Fig 3, lines 5–8). Containment pairs merge
+// too (the union is the larger set), so the result is containment-free.
+func mergeFixpoint(u *tupleset.Universe, sets []*tupleset.Set, stats *core.Stats) []*tupleset.Set {
+	out := append([]*tupleset.Set(nil), sets...)
+	for {
+		merged := false
+	scan:
+		for i := 0; i < len(out); i++ {
+			for j := i + 1; j < len(out); j++ {
+				stats.JCCChecks++
+				if u.UnionJCC(out[i], out[j]) {
+					union := u.Union(out[i], out[j])
+					out[i] = union
+					out = append(out[:j], out[j+1:]...)
+					merged = true
+					break scan
+				}
+			}
+		}
+		if !merged {
+			return out
+		}
+	}
+}
+
+// TopK solves the top-(k,f) full-disjunction problem (Theorem 5.5):
+// the k highest-ranking tuple sets of FD(R), in rank order.
+func TopK(db *relation.Database, f Func, k int, opts core.Options) ([]Result, core.Stats, error) {
+	if k < 0 {
+		return nil, core.Stats{}, fmt.Errorf("rank: negative k")
+	}
+	if k == 0 {
+		return nil, core.Stats{}, nil
+	}
+	var out []Result
+	stats, err := StreamRanked(db, f, opts, func(r Result) bool {
+		out = append(out, r)
+		return len(out) < k
+	})
+	return out, stats, err
+}
+
+// Threshold solves the (τ,f)-threshold full-disjunction problem
+// (Remark 5.6): every tuple set T of FD(R) with f(T) ≥ τ, in rank
+// order. Because results stream in non-increasing rank order, the
+// enumeration stops at the first result below the threshold.
+func Threshold(db *relation.Database, f Func, tau float64, opts core.Options) ([]Result, core.Stats, error) {
+	var out []Result
+	stats, err := StreamRanked(db, f, opts, func(r Result) bool {
+		if r.Rank < tau {
+			return false
+		}
+		out = append(out, r)
+		return true
+	})
+	return out, stats, err
+}

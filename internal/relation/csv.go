@@ -1,0 +1,130 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV layout: the first row is the header. Ordinary columns name
+// attributes. Three optional metadata columns are recognised:
+//
+//	#label  tuple label (Table 1 uses c1, a2, ...)
+//	#imp    importance imp(t), parsed as float (default 1)
+//	#prob   probability prob(t), parsed as float in [0,1] (default 1)
+//
+// An empty cell or the NullToken ⊥ denotes the null value.
+const (
+	labelColumn = "#label"
+	impColumn   = "#imp"
+	probColumn  = "#prob"
+)
+
+// ReadCSV reads a relation named name from r in the layout above.
+func ReadCSV(name string, r io.Reader) (*Relation, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("relation %s: reading csv: %w", name, err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("relation %s: empty csv (missing header)", name)
+	}
+	header := rows[0]
+	labelCol, impCol, probCol := -1, -1, -1
+	var attrs []Attribute
+	attrCols := make([]int, 0, len(header))
+	for i, h := range header {
+		switch h {
+		case labelColumn:
+			labelCol = i
+		case impColumn:
+			impCol = i
+		case probColumn:
+			probCol = i
+		default:
+			attrs = append(attrs, Attribute(h))
+			attrCols = append(attrCols, i)
+		}
+	}
+	schema, err := NewSchema(attrs...)
+	if err != nil {
+		return nil, fmt.Errorf("relation %s: %w", name, err)
+	}
+	rel, err := NewRelation(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	for rowIdx, row := range rows[1:] {
+		if len(row) != len(header) {
+			return nil, fmt.Errorf("relation %s: row %d has %d fields, header has %d",
+				name, rowIdx+2, len(row), len(header))
+		}
+		t := Tuple{Imp: 1, Prob: 1, Values: make([]Value, schema.Len())}
+		for k, col := range attrCols {
+			cell := row[col]
+			if cell == "" || cell == NullToken {
+				continue // stays Null
+			}
+			pos, _ := schema.Position(attrs[k])
+			t.Values[pos] = V(cell)
+		}
+		if labelCol >= 0 {
+			t.Label = row[labelCol]
+		}
+		if impCol >= 0 && row[impCol] != "" {
+			imp, err := strconv.ParseFloat(row[impCol], 64)
+			if err != nil {
+				return nil, fmt.Errorf("relation %s: row %d: bad imp %q: %w", name, rowIdx+2, row[impCol], err)
+			}
+			t.Imp = imp
+		}
+		if probCol >= 0 && row[probCol] != "" {
+			p, err := strconv.ParseFloat(row[probCol], 64)
+			if err != nil {
+				return nil, fmt.Errorf("relation %s: row %d: bad prob %q: %w", name, rowIdx+2, row[probCol], err)
+			}
+			t.Prob = p
+		}
+		if err := rel.AppendTuple(t); err != nil {
+			return nil, fmt.Errorf("row %d: %w", rowIdx+2, err)
+		}
+	}
+	return rel, nil
+}
+
+// WriteCSV writes rel to w in the layout accepted by ReadCSV, including
+// the #label, #imp and #prob metadata columns.
+func WriteCSV(rel *Relation, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	schema := rel.Schema()
+	header := make([]string, 0, schema.Len()+3)
+	header = append(header, labelColumn, impColumn, probColumn)
+	for _, a := range schema.Attributes() {
+		header = append(header, string(a))
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("relation %s: writing csv header: %w", rel.Name(), err)
+	}
+	row := make([]string, len(header))
+	for i := 0; i < rel.Len(); i++ {
+		t := rel.Tuple(i)
+		row[0] = t.Label
+		row[1] = strconv.FormatFloat(t.Imp, 'g', -1, 64)
+		row[2] = strconv.FormatFloat(t.Prob, 'g', -1, 64)
+		for j, v := range t.Values {
+			if v.IsNull() {
+				row[3+j] = NullToken
+			} else {
+				row[3+j] = v.Datum()
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("relation %s: writing csv row %d: %w", rel.Name(), i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,198 @@
+package relation
+
+import (
+	"fmt"
+)
+
+// Ref identifies a tuple globally within a Database: relation index Rel
+// and tuple index Idx within that relation.
+type Ref struct {
+	Rel int32
+	Idx int32
+}
+
+// String renders the reference using the tuple's label when available.
+func (ref Ref) String() string { return fmt.Sprintf("(%d,%d)", ref.Rel, ref.Idx) }
+
+// PosPair names a pair of value positions: P1 in the schema of the
+// first relation and P2 in the schema of the second, both referring to
+// the same shared attribute.
+type PosPair struct {
+	P1, P2 int
+}
+
+// Database is an immutable collection of relations R1..Rn together with
+// the precomputed structures the algorithms need:
+//
+//   - the connection graph over relations (two relations are connected
+//     iff their schemas share an attribute, Section 2), and
+//   - for each connected pair, the list of shared attribute positions,
+//     which makes pairwise join-consistency a linear walk.
+//
+// Build a Database with NewDatabase; afterwards neither the relations
+// nor their tuples may be mutated.
+type Database struct {
+	rels []*Relation
+	// shared[i][j] lists the shared attribute positions between
+	// relations i and j; empty iff i and j are not connected (or i==j).
+	shared [][][]PosPair
+	// adj[i] lists the relations connected to relation i.
+	adj [][]int
+	// size is the total database size s (sum of relation sizes).
+	size int
+	// tuples is the total number of tuples across all relations.
+	tuples int
+}
+
+// NewDatabase builds a database over the given relations. Relation
+// names must be unique. The paper additionally assumes the relation set
+// is connected for the full disjunction to be a single problem; that is
+// the caller's concern (see graph.Connected) — NewDatabase itself only
+// precomputes structure.
+func NewDatabase(rels ...*Relation) (*Database, error) {
+	if len(rels) == 0 {
+		return nil, fmt.Errorf("relation: database must contain at least one relation")
+	}
+	names := make(map[string]bool, len(rels))
+	for _, r := range rels {
+		if r == nil {
+			return nil, fmt.Errorf("relation: nil relation in database")
+		}
+		if names[r.Name()] {
+			return nil, fmt.Errorf("relation: duplicate relation name %q", r.Name())
+		}
+		names[r.Name()] = true
+	}
+	n := len(rels)
+	db := &Database{
+		rels:   rels,
+		shared: make([][][]PosPair, n),
+		adj:    make([][]int, n),
+	}
+	for i := 0; i < n; i++ {
+		db.shared[i] = make([][]PosPair, n)
+		db.size += rels[i].Size()
+		db.tuples += rels[i].Len()
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			common := rels[i].Schema().Shared(rels[j].Schema())
+			if len(common) == 0 {
+				continue
+			}
+			pairs := make([]PosPair, 0, len(common))
+			for _, a := range common {
+				p1, _ := rels[i].Schema().Position(a)
+				p2, _ := rels[j].Schema().Position(a)
+				pairs = append(pairs, PosPair{P1: p1, P2: p2})
+			}
+			db.shared[i][j] = pairs
+			rev := make([]PosPair, len(pairs))
+			for k, p := range pairs {
+				rev[k] = PosPair{P1: p.P2, P2: p.P1}
+			}
+			db.shared[j][i] = rev
+			db.adj[i] = append(db.adj[i], j)
+			db.adj[j] = append(db.adj[j], i)
+		}
+	}
+	return db, nil
+}
+
+// MustDatabase is like NewDatabase but panics on error.
+func MustDatabase(rels ...*Relation) *Database {
+	db, err := NewDatabase(rels...)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// NumRelations returns n, the number of relations.
+func (db *Database) NumRelations() int { return len(db.rels) }
+
+// Relation returns the i-th relation.
+func (db *Database) Relation(i int) *Relation { return db.rels[i] }
+
+// Relations returns the underlying relation slice; callers must not
+// modify it.
+func (db *Database) Relations() []*Relation { return db.rels }
+
+// RelationIndex returns the index of the relation with the given name.
+func (db *Database) RelationIndex(name string) (int, bool) {
+	for i, r := range db.rels {
+		if r.Name() == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Size returns the total database size s used in the paper's complexity
+// bounds (tuple count plus cell count over all relations).
+func (db *Database) Size() int { return db.size }
+
+// NumTuples returns the total number of tuples across all relations.
+func (db *Database) NumTuples() int { return db.tuples }
+
+// Tuple resolves a Ref to the tuple it names.
+func (db *Database) Tuple(ref Ref) *Tuple {
+	return db.rels[ref.Rel].Tuple(int(ref.Idx))
+}
+
+// Label returns a human-readable name for the referenced tuple: its
+// label if set, otherwise Relation[index].
+func (db *Database) Label(ref Ref) string {
+	t := db.Tuple(ref)
+	if t.Label != "" {
+		return t.Label
+	}
+	return fmt.Sprintf("%s[%d]", db.rels[ref.Rel].Name(), ref.Idx)
+}
+
+// SharedPositions returns the shared attribute position pairs between
+// relations i and j (empty when the relations are not connected).
+func (db *Database) SharedPositions(i, j int) []PosPair { return db.shared[i][j] }
+
+// ConnectedRelations reports whether relations i and j share an
+// attribute.
+func (db *Database) ConnectedRelations(i, j int) bool {
+	return i != j && len(db.shared[i][j]) > 0
+}
+
+// Adjacent returns the indices of relations connected to relation i.
+// The returned slice must not be modified.
+func (db *Database) Adjacent(i int) []int { return db.adj[i] }
+
+// JoinConsistent reports whether the two referenced tuples are join
+// consistent: for every attribute shared by their schemas the values
+// are equal and non-null. Tuples of the same relation are never join
+// consistent (they share their whole schema, and a tuple set may not
+// contain two tuples of one relation); a tuple is vacuously consistent
+// with itself.
+func (db *Database) JoinConsistent(a, b Ref) bool {
+	if a.Rel == b.Rel {
+		return a.Idx == b.Idx
+	}
+	ta := db.Tuple(a)
+	tb := db.Tuple(b)
+	for _, p := range db.shared[a.Rel][b.Rel] {
+		if !ta.Values[p.P1].JoinsWith(tb.Values[p.P2]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEachRef calls fn for every tuple in the database in deterministic
+// order (relation order, then tuple order). It is the "foreach tuple in
+// the database" loop of GETNEXTRESULT.
+func (db *Database) ForEachRef(fn func(Ref) bool) {
+	for r := range db.rels {
+		for i := 0; i < db.rels[r].Len(); i++ {
+			if !fn(Ref{Rel: int32(r), Idx: int32(i)}) {
+				return
+			}
+		}
+	}
+}

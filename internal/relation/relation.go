@@ -1,0 +1,140 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tuple is a row of a relation. Values are aligned with the relation's
+// schema in sorted attribute order. Imp is the tuple's importance score
+// used by ranking functions (Section 5); Prob is its probability of
+// being correct, used by approximate join functions (Section 6). Both
+// default to 1.
+type Tuple struct {
+	// Label is an optional human-readable identifier such as "c1" in
+	// Table 1 of the paper. It plays no role in the algorithms.
+	Label string
+	// Values holds one value per schema attribute, in schema order.
+	Values []Value
+	// Imp is the importance imp(t) of the tuple (Section 5).
+	Imp float64
+	// Prob is the probability prob(t) that the tuple is correct
+	// (Section 6). Must lie in [0, 1].
+	Prob float64
+}
+
+// Relation is a named relation: a schema plus a sequence of tuples.
+// Relations are immutable once added to a Database.
+type Relation struct {
+	name   string
+	schema *Schema
+	tuples []Tuple
+}
+
+// NewRelation creates an empty relation with the given name and schema.
+func NewRelation(name string, schema *Schema) (*Relation, error) {
+	if name == "" {
+		return nil, fmt.Errorf("relation: relation name must be non-empty")
+	}
+	if schema == nil {
+		return nil, fmt.Errorf("relation %s: nil schema", name)
+	}
+	return &Relation{name: name, schema: schema}, nil
+}
+
+// MustRelation is like NewRelation but panics on error.
+func MustRelation(name string, schema *Schema) *Relation {
+	r, err := NewRelation(name, schema)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Name returns the relation's name.
+func (r *Relation) Name() string { return r.name }
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *Schema { return r.schema }
+
+// Len returns the number of tuples in the relation.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Tuple returns the i-th tuple. The returned pointer stays valid while
+// the relation is alive; callers must not mutate it after the relation
+// has been added to a Database.
+func (r *Relation) Tuple(i int) *Tuple { return &r.tuples[i] }
+
+// Append adds a tuple given as an attribute→value map. Attributes
+// missing from the map become null. Unknown attributes are an error.
+// The tuple receives Imp=1 and Prob=1; use AppendTuple for full control.
+func (r *Relation) Append(label string, vals map[Attribute]Value) error {
+	row := make([]Value, r.schema.Len())
+	for a, v := range vals {
+		i, ok := r.schema.Position(a)
+		if !ok {
+			return fmt.Errorf("relation %s: unknown attribute %q", r.name, a)
+		}
+		row[i] = v
+	}
+	r.tuples = append(r.tuples, Tuple{Label: label, Values: row, Imp: 1, Prob: 1})
+	return nil
+}
+
+// AppendTuple adds a fully specified tuple. The number of values must
+// match the schema width and Prob must lie in [0, 1].
+func (r *Relation) AppendTuple(t Tuple) error {
+	if len(t.Values) != r.schema.Len() {
+		return fmt.Errorf("relation %s: tuple has %d values, schema has %d attributes",
+			r.name, len(t.Values), r.schema.Len())
+	}
+	if t.Prob < 0 || t.Prob > 1 {
+		return fmt.Errorf("relation %s: tuple probability %v outside [0,1]", r.name, t.Prob)
+	}
+	r.tuples = append(r.tuples, t)
+	return nil
+}
+
+// MustAppend is like Append but panics on error; for tests and examples.
+func (r *Relation) MustAppend(label string, vals map[Attribute]Value) {
+	if err := r.Append(label, vals); err != nil {
+		panic(err)
+	}
+}
+
+// Value returns tuple i's value for attribute a, and whether the schema
+// contains a.
+func (r *Relation) Value(i int, a Attribute) (Value, bool) {
+	p, ok := r.schema.Position(a)
+	if !ok {
+		return Null, false
+	}
+	return r.tuples[i].Values[p], true
+}
+
+// Size returns the total size of the relation in the paper's sense: the
+// number of (attribute, value) cells plus tuple overhead. It is the s
+// contribution of this relation in the complexity bounds.
+func (r *Relation) Size() int {
+	return len(r.tuples) * (1 + r.schema.Len())
+}
+
+// String renders the relation as a small ASCII table, useful in tests
+// and examples.
+func (r *Relation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s%s\n", r.name, r.schema)
+	for i := range r.tuples {
+		t := &r.tuples[i]
+		parts := make([]string, len(t.Values))
+		for j, v := range t.Values {
+			parts[j] = v.String()
+		}
+		if t.Label != "" {
+			fmt.Fprintf(&b, "  %s: %s\n", t.Label, strings.Join(parts, ", "))
+		} else {
+			fmt.Fprintf(&b, "  %s\n", strings.Join(parts, ", "))
+		}
+	}
+	return b.String()
+}

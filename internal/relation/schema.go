@@ -1,0 +1,161 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Attribute is the name of a column. Attribute identity is global: two
+// relations that mention the same attribute name are connected in the
+// sense of Section 2 of the paper.
+type Attribute string
+
+// Schema is an ordered set of attributes. The paper stores, for each
+// relation, the numerical position each attribute would occupy if the
+// attributes were sorted; Schema keeps the attributes sorted and exposes
+// that position index directly (Position).
+type Schema struct {
+	attrs []Attribute       // sorted ascending
+	pos   map[Attribute]int // attribute -> index in attrs
+}
+
+// NewSchema builds a schema from the given attributes. The attribute
+// order given by the caller is irrelevant: attributes are stored in
+// sorted order, matching the paper's sorted-triple representation.
+// It returns an error if attrs is empty or contains duplicates.
+func NewSchema(attrs ...Attribute) (*Schema, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("relation: schema must have at least one attribute")
+	}
+	sorted := make([]Attribute, len(attrs))
+	copy(sorted, attrs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	pos := make(map[Attribute]int, len(sorted))
+	for i, a := range sorted {
+		if a == "" {
+			return nil, fmt.Errorf("relation: empty attribute name")
+		}
+		if _, dup := pos[a]; dup {
+			return nil, fmt.Errorf("relation: duplicate attribute %q", a)
+		}
+		pos[a] = i
+	}
+	return &Schema{attrs: sorted, pos: pos}, nil
+}
+
+// MustSchema is like NewSchema but panics on error. It is intended for
+// statically known schemas in tests and examples.
+func MustSchema(attrs ...Attribute) *Schema {
+	s, err := NewSchema(attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of attributes in the schema.
+func (s *Schema) Len() int { return len(s.attrs) }
+
+// Attributes returns the attributes in sorted order. The returned slice
+// must not be modified.
+func (s *Schema) Attributes() []Attribute { return s.attrs }
+
+// At returns the attribute at position i in sorted order.
+func (s *Schema) At(i int) Attribute { return s.attrs[i] }
+
+// Position returns the index of a within the sorted attribute list and
+// whether the schema contains a.
+func (s *Schema) Position(a Attribute) (int, bool) {
+	i, ok := s.pos[a]
+	return i, ok
+}
+
+// Has reports whether the schema contains attribute a.
+func (s *Schema) Has(a Attribute) bool {
+	_, ok := s.pos[a]
+	return ok
+}
+
+// Shared returns the attributes common to s and t, in sorted order.
+func (s *Schema) Shared(t *Schema) []Attribute {
+	var out []Attribute
+	// Merge walk over two sorted lists.
+	i, j := 0, 0
+	for i < len(s.attrs) && j < len(t.attrs) {
+		switch {
+		case s.attrs[i] == t.attrs[j]:
+			out = append(out, s.attrs[i])
+			i++
+			j++
+		case s.attrs[i] < t.attrs[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// Connected reports whether s and t share at least one attribute, i.e.
+// whether relations with these schemas are connected (Section 2).
+func (s *Schema) Connected(t *Schema) bool {
+	i, j := 0, 0
+	for i < len(s.attrs) && j < len(t.attrs) {
+		switch {
+		case s.attrs[i] == t.attrs[j]:
+			return true
+		case s.attrs[i] < t.attrs[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// Equal reports whether s and t contain exactly the same attributes.
+func (s *Schema) Equal(t *Schema) bool {
+	if len(s.attrs) != len(t.attrs) {
+		return false
+	}
+	for i := range s.attrs {
+		if s.attrs[i] != t.attrs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns a schema over the union of the attributes of s and t.
+func (s *Schema) Union(t *Schema) *Schema {
+	seen := make(map[Attribute]bool, len(s.attrs)+len(t.attrs))
+	var all []Attribute
+	for _, a := range s.attrs {
+		if !seen[a] {
+			seen[a] = true
+			all = append(all, a)
+		}
+	}
+	for _, a := range t.attrs {
+		if !seen[a] {
+			seen[a] = true
+			all = append(all, a)
+		}
+	}
+	u, err := NewSchema(all...)
+	if err != nil {
+		// Unreachable: the union of two valid schemas is valid.
+		panic(err)
+	}
+	return u
+}
+
+// String renders the schema as (A, B, C).
+func (s *Schema) String() string {
+	parts := make([]string, len(s.attrs))
+	for i, a := range s.attrs {
+		parts[i] = string(a)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

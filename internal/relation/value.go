@@ -1,0 +1,63 @@
+// Package relation implements the data model underlying full
+// disjunctions: attribute values with SQL-style nulls, schemas, tuples,
+// relations, and databases of connected relations.
+//
+// The model follows Section 2 of Cohen & Sagiv, "An incremental
+// algorithm for computing ranked full disjunctions" (JCSS 73, 2007).
+// Unlike the classical definition of Rajaraman & Ullman, source
+// relations are allowed to contain null values; a null never joins with
+// anything, including another null.
+package relation
+
+import "fmt"
+
+// NullToken is the textual representation of the null value used by the
+// CSV codec and by String methods. It mirrors the ⊥ symbol of the paper.
+const NullToken = "⊥"
+
+// Value is a single attribute value. The zero Value is null.
+//
+// Values are comparable with == and may be used as map keys. Two values
+// are equal iff both are non-null and carry the same string datum;
+// notably a null value does not equal another null value for the
+// purposes of join consistency (JoinsWith).
+type Value struct {
+	datum string
+	valid bool
+}
+
+// Null is the null value ⊥.
+var Null = Value{}
+
+// V returns a non-null value carrying the datum s.
+func V(s string) Value { return Value{datum: s, valid: true} }
+
+// IsNull reports whether v is the null value.
+func (v Value) IsNull() bool { return !v.valid }
+
+// Datum returns the string carried by v. It returns the empty string
+// for the null value; use IsNull to distinguish an empty datum from ⊥.
+func (v Value) Datum() string { return v.datum }
+
+// JoinsWith reports whether v and w are join consistent: both non-null
+// and equal. This is the predicate behind the paper's requirement
+// t1[A] = t2[A] ≠ ⊥ for every shared attribute A.
+func (v Value) JoinsWith(w Value) bool {
+	return v.valid && w.valid && v.datum == w.datum
+}
+
+// String renders the value, using NullToken for ⊥.
+func (v Value) String() string {
+	if !v.valid {
+		return NullToken
+	}
+	return v.datum
+}
+
+// GoString implements fmt.GoStringer for debugging output.
+func (v Value) GoString() string {
+	if !v.valid {
+		return "relation.Null"
+	}
+	return fmt.Sprintf("relation.V(%q)", v.datum)
+}

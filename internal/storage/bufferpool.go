@@ -1,0 +1,98 @@
+// Package storage models the I/O layer underneath block-based
+// execution (Section 7 of Cohen & Sagiv 2007): relations are divided
+// into fixed-size pages of tuples, and scans fetch pages through a
+// buffer pool with LRU replacement. Tuple data itself stays in memory —
+// the substrate simulates the *cost behaviour* of a paged database
+// (which pages would hit the buffer and which would go to disk), which
+// is what the block-size and buffer-size experiments measure. This is
+// the substitution DESIGN.md documents for "implementing the algorithm
+// within a relational database system": same access pattern, simulated
+// device.
+package storage
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// PageID names one page: a block of consecutive tuples of one relation.
+type PageID struct {
+	Rel   int32
+	Block int32
+}
+
+// String renders the id as rel:block.
+func (id PageID) String() string { return fmt.Sprintf("%d:%d", id.Rel, id.Block) }
+
+// BufferPool is an LRU page cache. The zero value is unusable; create
+// pools with NewBufferPool. Not safe for concurrent use — each
+// enumeration owns its pool, mirroring a per-query buffer.
+type BufferPool struct {
+	capacity int
+	frames   map[PageID]*list.Element
+	lru      *list.List // front = most recently used; values are PageID
+	hits     int64
+	misses   int64
+}
+
+// NewBufferPool creates a pool holding up to capacity pages. A
+// capacity below one page is treated as one (a scan must be able to
+// hold the page it is reading).
+func NewBufferPool(capacity int) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferPool{
+		capacity: capacity,
+		frames:   make(map[PageID]*list.Element, capacity),
+		lru:      list.New(),
+	}
+}
+
+// Capacity returns the pool size in pages.
+func (bp *BufferPool) Capacity() int { return bp.capacity }
+
+// Resident returns the number of pages currently buffered.
+func (bp *BufferPool) Resident() int { return bp.lru.Len() }
+
+// Hits returns the number of fetches served from the buffer.
+func (bp *BufferPool) Hits() int64 { return bp.hits }
+
+// Misses returns the number of fetches that had to "read the device".
+func (bp *BufferPool) Misses() int64 { return bp.misses }
+
+// HitRate returns hits/(hits+misses), or 0 before any fetch.
+func (bp *BufferPool) HitRate() float64 {
+	total := bp.hits + bp.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(bp.hits) / float64(total)
+}
+
+// Fetch requests a page and reports whether it was already buffered.
+// On a miss the page is loaded, evicting the least recently used page
+// if the pool is full; either way the page becomes most recently used.
+func (bp *BufferPool) Fetch(id PageID) (hit bool) {
+	if el, ok := bp.frames[id]; ok {
+		bp.hits++
+		bp.lru.MoveToFront(el)
+		return true
+	}
+	bp.misses++
+	if bp.lru.Len() >= bp.capacity {
+		oldest := bp.lru.Back()
+		bp.lru.Remove(oldest)
+		delete(bp.frames, oldest.Value.(PageID))
+	}
+	bp.frames[id] = bp.lru.PushFront(id)
+	return false
+}
+
+// Reset clears the pool contents and counters.
+func (bp *BufferPool) Reset() {
+	bp.frames = make(map[PageID]*list.Element, bp.capacity)
+	bp.lru.Init()
+	bp.hits = 0
+	bp.misses = 0
+}

@@ -1,0 +1,182 @@
+package tupleset
+
+import (
+	"repro/internal/relation"
+)
+
+// ConsistentWith reports whether the referenced tuple is pairwise join
+// consistent with every member of s. A tuple of a relation already
+// represented in s is consistent only if it is that very member (a set
+// may not hold two tuples of one relation).
+func (u *Universe) ConsistentWith(s *Set, ref relation.Ref) bool {
+	if idx := s.members[ref.Rel]; idx != none {
+		return idx == ref.Idx
+	}
+	for r, idx := range s.members {
+		if idx == none {
+			continue
+		}
+		if !u.DB.JoinConsistent(relation.Ref{Rel: int32(r), Idx: idx}, ref) {
+			return false
+		}
+	}
+	return true
+}
+
+// ConnectedWith reports whether s ∪ {ref} induces a connected set of
+// relations, assuming s itself is connected (the invariant every
+// algorithm in the paper maintains). An empty s is extended by any
+// tuple; otherwise ref's relation must already be present or adjacent
+// to a present relation.
+func (u *Universe) ConnectedWith(s *Set, ref relation.Ref) bool {
+	if s.count == 0 {
+		return true
+	}
+	if s.members[ref.Rel] != none {
+		return true
+	}
+	for _, nb := range u.Conn.Adjacent(int(ref.Rel)) {
+		if s.members[nb] != none {
+			return true
+		}
+	}
+	return false
+}
+
+// JCCWithTuple reports whether s ∪ {ref} is join consistent and
+// connected, assuming s is connected. This is the predicate of line 3
+// of GETNEXTRESULT (Fig 2).
+func (u *Universe) JCCWithTuple(s *Set, ref relation.Ref) bool {
+	return u.ConnectedWith(s, ref) && u.ConsistentWith(s, ref)
+}
+
+// Connected performs the full connectivity check of Section 2: the
+// relations present in s induce a connected subgraph of the connection
+// graph. Unlike ConnectedWith it makes no assumption about s.
+func (u *Universe) Connected(s *Set) bool {
+	if s.count == 0 {
+		return false
+	}
+	return u.Conn.SubsetConnected(s.RelationMask())
+}
+
+// JCC performs the full join-consistent-and-connected check of
+// Section 2 with no assumptions: every pair of members is join
+// consistent and the members' relations are connected. Intended for
+// oracles, property tests and validation; the algorithms use the
+// incremental variants above.
+func (u *Universe) JCC(s *Set) bool {
+	if s.count == 0 {
+		return false
+	}
+	refs := s.Refs()
+	for i := 0; i < len(refs); i++ {
+		for j := i + 1; j < len(refs); j++ {
+			if !u.DB.JoinConsistent(refs[i], refs[j]) {
+				return false
+			}
+		}
+	}
+	return u.Connected(s)
+}
+
+// UnionJCC reports whether a ∪ b is join consistent and connected,
+// assuming a and b are each JCC. Following the paper's analysis
+// (proof of Theorem 4.8), under that assumption the union is JCC iff
+//
+//   - no two members disagree (pairwise join consistency across the two
+//     sets, including the no-two-tuples-per-relation rule), and
+//   - the two sets overlap in a relation or contain a connected pair of
+//     relations (so the union of two connected subgraphs is connected).
+func (u *Universe) UnionJCC(a, b *Set) bool {
+	touching := false
+	for r, idxB := range b.members {
+		if idxB == none {
+			continue
+		}
+		idxA := a.members[r]
+		if idxA != none {
+			if idxA != idxB {
+				return false // two distinct tuples of one relation
+			}
+			touching = true
+			continue
+		}
+		refB := relation.Ref{Rel: int32(r), Idx: idxB}
+		for ra, idxA := range a.members {
+			if idxA == none {
+				continue
+			}
+			refA := relation.Ref{Rel: int32(ra), Idx: idxA}
+			if !u.DB.JoinConsistent(refA, refB) {
+				return false
+			}
+			if !touching && u.DB.ConnectedRelations(ra, r) {
+				touching = true
+			}
+		}
+	}
+	return touching
+}
+
+// Union returns a ∪ b as a fresh set. It panics if a and b hold
+// distinct tuples of the same relation; check UnionJCC first.
+func (u *Universe) Union(a, b *Set) *Set {
+	out := a.Clone()
+	for r, idx := range b.members {
+		if idx == none {
+			continue
+		}
+		if out.members[r] != none && out.members[r] != idx {
+			panic("tupleset: union of sets with conflicting members")
+		}
+		if out.members[r] == none {
+			out.members[r] = idx
+			out.count++
+		}
+	}
+	return out
+}
+
+// MaximalSubsetWith implements footnote 3 of the paper: the unique
+// maximal subset T' of s ∪ {tb} that contains tb and is join consistent
+// and connected. It is computed exactly as the footnote prescribes:
+//
+//  1. remove every member t' of s such that {t', tb} is not join
+//     consistent (in particular any member from tb's relation), then
+//  2. keep the tuples whose relations lie in the connected component of
+//     tb's relation.
+func (u *Universe) MaximalSubsetWith(s *Set, tb relation.Ref) *Set {
+	// Step 1: pairwise join consistency with tb.
+	mask := make([]bool, len(s.members))
+	for r, idx := range s.members {
+		if idx == none {
+			continue
+		}
+		if int32(r) == tb.Rel {
+			continue // same-relation member always removed (unless it is tb itself, handled below)
+		}
+		if u.DB.JoinConsistent(relation.Ref{Rel: int32(r), Idx: idx}, tb) {
+			mask[r] = true
+		}
+	}
+	if s.members[tb.Rel] == tb.Idx {
+		// tb already in s; it survives trivially.
+	}
+	mask[tb.Rel] = true
+	// Step 2: connected component of tb's relation.
+	comp := u.Conn.ComponentOf(int(tb.Rel), mask)
+	out := u.NewSet()
+	for r := range comp {
+		if !comp[r] {
+			continue
+		}
+		if int32(r) == tb.Rel {
+			out.members[r] = tb.Idx
+		} else {
+			out.members[r] = s.members[r]
+		}
+		out.count++
+	}
+	return out
+}

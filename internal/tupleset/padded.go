@@ -1,0 +1,126 @@
+package tupleset
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Padded is the classical rendering of a tuple set: the natural join of
+// its member tuples over the union of their schemas, padded with nulls
+// (the last six columns of Table 2 in the paper). Two padded tuples
+// over the same attribute list are comparable by subsumption, which is
+// how the Rajaraman–Ullman definition of a full disjunction removes
+// redundancy.
+type Padded struct {
+	Attrs  []relation.Attribute // sorted
+	Values []relation.Value     // aligned with Attrs
+}
+
+// Pad materialises the padded tuple of a join-consistent set s. For
+// every attribute of the union schema the value is the (unique, by join
+// consistency) non-null value any member carries for it, or null when
+// the only members mentioning the attribute hold null there.
+func (u *Universe) Pad(s *Set) Padded {
+	vals := make(map[relation.Attribute]relation.Value)
+	for r, idx := range s.members {
+		if idx == none {
+			continue
+		}
+		rel := u.DB.Relation(r)
+		t := rel.Tuple(int(idx))
+		for p, a := range rel.Schema().Attributes() {
+			v := t.Values[p]
+			if old, seen := vals[a]; !seen || old.IsNull() {
+				vals[a] = v
+			}
+		}
+	}
+	attrs := make([]relation.Attribute, 0, len(vals))
+	for a := range vals {
+		attrs = append(attrs, a)
+	}
+	sort.Slice(attrs, func(i, j int) bool { return attrs[i] < attrs[j] })
+	out := Padded{Attrs: attrs, Values: make([]relation.Value, len(attrs))}
+	for i, a := range attrs {
+		out.Values[i] = vals[a]
+	}
+	return out
+}
+
+// PadOver is like Pad but places the values on a caller-supplied
+// attribute universe, padding attributes absent from the set's schema
+// with nulls. All results of one full disjunction rendered with PadOver
+// over the global attribute list are directly comparable.
+func (u *Universe) PadOver(s *Set, attrs []relation.Attribute) Padded {
+	p := u.Pad(s)
+	out := Padded{Attrs: attrs, Values: make([]relation.Value, len(attrs))}
+	j := 0
+	for i, a := range attrs {
+		for j < len(p.Attrs) && p.Attrs[j] < a {
+			j++
+		}
+		if j < len(p.Attrs) && p.Attrs[j] == a {
+			out.Values[i] = p.Values[j]
+		}
+	}
+	return out
+}
+
+// AllAttributes returns the sorted union of all attributes in the
+// database.
+func (u *Universe) AllAttributes() []relation.Attribute {
+	seen := make(map[relation.Attribute]bool)
+	var out []relation.Attribute
+	for i := 0; i < u.DB.NumRelations(); i++ {
+		for _, a := range u.DB.Relation(i).Schema().Attributes() {
+			if !seen[a] {
+				seen[a] = true
+				out = append(out, a)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Subsumes reports whether p subsumes q: over the same attribute list,
+// every non-null value of q appears identically in p. Equal padded
+// tuples subsume each other.
+func (p Padded) Subsumes(q Padded) bool {
+	if len(p.Attrs) != len(q.Attrs) {
+		return false
+	}
+	for i := range q.Values {
+		if q.Values[i].IsNull() {
+			continue
+		}
+		if p.Values[i] != q.Values[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical key for the padded tuple.
+func (p Padded) Key() string {
+	parts := make([]string, len(p.Values))
+	for i, v := range p.Values {
+		if v.IsNull() {
+			parts[i] = relation.NullToken
+		} else {
+			parts[i] = v.Datum()
+		}
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+// String renders the padded tuple as (v1, v2, ...).
+func (p Padded) String() string {
+	parts := make([]string, len(p.Values))
+	for i, v := range p.Values {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

@@ -1,0 +1,203 @@
+// Package tupleset implements tuple sets — the objects a full
+// disjunction is made of — together with the join-consistency and
+// connectivity predicates of Section 2 of Cohen & Sagiv 2007 and the
+// maximal-subset operation of footnote 3.
+//
+// A tuple set contains at most one tuple per relation (a set with two
+// tuples of one relation can never be connected in the paper's sense),
+// so a Set is represented as a fixed-width vector with one optional
+// tuple index per relation. This gives O(1) per-relation membership,
+// O(n) iteration and cheap canonical keys, while the pairwise
+// join-consistency walk over precomputed shared-attribute positions
+// plays the role of the paper's sorted attribute-triple merge.
+package tupleset
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/relation"
+)
+
+// none marks an absent member.
+const none = int32(-1)
+
+// Set is a tuple set: at most one tuple per relation of a fixed
+// database. The zero Set is not usable; create Sets through a Universe.
+type Set struct {
+	members []int32 // tuple index per relation, none = absent
+	count   int
+}
+
+// Universe ties Sets to a database and its connection graph and hosts
+// every predicate that needs schema information.
+type Universe struct {
+	DB   *relation.Database
+	Conn *graph.Connection
+}
+
+// NewUniverse builds the Universe of db.
+func NewUniverse(db *relation.Database) *Universe {
+	return &Universe{DB: db, Conn: graph.NewConnection(db)}
+}
+
+// NewSet returns an empty tuple set over the universe.
+func (u *Universe) NewSet() *Set {
+	m := make([]int32, u.DB.NumRelations())
+	for i := range m {
+		m[i] = none
+	}
+	return &Set{members: m}
+}
+
+// Singleton returns the tuple set {t} for the referenced tuple.
+func (u *Universe) Singleton(ref relation.Ref) *Set {
+	s := u.NewSet()
+	s.members[ref.Rel] = ref.Idx
+	s.count = 1
+	return s
+}
+
+// FromRefs builds a tuple set containing exactly the given tuples.
+// It panics if two refs name tuples of the same relation.
+func (u *Universe) FromRefs(refs ...relation.Ref) *Set {
+	s := u.NewSet()
+	for _, r := range refs {
+		if s.members[r.Rel] != none {
+			panic("tupleset: two tuples from one relation")
+		}
+		s.members[r.Rel] = r.Idx
+		s.count++
+	}
+	return s
+}
+
+// Len returns the number of tuples in the set.
+func (s *Set) Len() int { return s.count }
+
+// Empty reports whether the set has no members.
+func (s *Set) Empty() bool { return s.count == 0 }
+
+// Member returns the tuple of relation rel contained in s, if any.
+func (s *Set) Member(rel int) (relation.Ref, bool) {
+	if idx := s.members[rel]; idx != none {
+		return relation.Ref{Rel: int32(rel), Idx: idx}, true
+	}
+	return relation.Ref{}, false
+}
+
+// Has reports whether s contains the referenced tuple.
+func (s *Set) Has(ref relation.Ref) bool {
+	return s.members[ref.Rel] == ref.Idx
+}
+
+// HasRelation reports whether s contains some tuple of relation rel.
+func (s *Set) HasRelation(rel int) bool { return s.members[rel] != none }
+
+// Refs returns the members in relation order.
+func (s *Set) Refs() []relation.Ref {
+	out := make([]relation.Ref, 0, s.count)
+	for r, idx := range s.members {
+		if idx != none {
+			out = append(out, relation.Ref{Rel: int32(r), Idx: idx})
+		}
+	}
+	return out
+}
+
+// RelationMask returns the inclusion vector of relations present in s.
+// The returned slice is fresh and may be modified by the caller.
+func (s *Set) RelationMask() []bool {
+	mask := make([]bool, len(s.members))
+	for r, idx := range s.members {
+		if idx != none {
+			mask[r] = true
+		}
+	}
+	return mask
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	m := make([]int32, len(s.members))
+	copy(m, s.members)
+	return &Set{members: m, count: s.count}
+}
+
+// Add inserts the referenced tuple into s, replacing any previous tuple
+// of the same relation. It returns s for chaining.
+func (s *Set) Add(ref relation.Ref) *Set {
+	if s.members[ref.Rel] == none {
+		s.count++
+	}
+	s.members[ref.Rel] = ref.Idx
+	return s
+}
+
+// Remove deletes the tuple of relation rel from s, if present.
+func (s *Set) Remove(rel int) {
+	if s.members[rel] != none {
+		s.members[rel] = none
+		s.count--
+	}
+}
+
+// ContainsAll reports whether every member of other is a member of s
+// (other ⊆ s).
+func (s *Set) ContainsAll(other *Set) bool {
+	if other.count > s.count {
+		return false
+	}
+	for r, idx := range other.members {
+		if idx != none && s.members[r] != idx {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and other contain exactly the same tuples.
+func (s *Set) Equal(other *Set) bool {
+	return s.count == other.count && s.ContainsAll(other)
+}
+
+// Key returns a canonical string key for the set, usable as a map key.
+// Two sets over the same universe have equal keys iff they are equal.
+func (s *Set) Key() string {
+	// Compact binary encoding: 4 bytes per relation slot.
+	var b strings.Builder
+	b.Grow(4 * len(s.members))
+	for _, idx := range s.members {
+		v := uint32(idx)
+		b.WriteByte(byte(v))
+		b.WriteByte(byte(v >> 8))
+		b.WriteByte(byte(v >> 16))
+		b.WriteByte(byte(v >> 24))
+	}
+	return b.String()
+}
+
+// Format renders the set as {label, label, ...} using tuple labels,
+// matching the notation of Tables 2 and 3 in the paper. Members are
+// listed in relation order.
+func (s *Set) Format(db *relation.Database) string {
+	parts := make([]string, 0, s.count)
+	for r, idx := range s.members {
+		if idx != none {
+			parts = append(parts, db.Label(relation.Ref{Rel: int32(r), Idx: idx}))
+		}
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// SortKey returns a human-oriented sort key (the Format string), useful
+// for deterministic test output.
+func (s *Set) SortKey(db *relation.Database) string { return s.Format(db) }
+
+// SortSets orders sets deterministically by their Format rendering.
+func SortSets(db *relation.Database, sets []*Set) {
+	sort.Slice(sets, func(i, j int) bool {
+		return sets[i].Format(db) < sets[j].Format(db)
+	})
+}

@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/relation"
+)
+
+// DirtyConfig extends Config for approximate-join workloads: join
+// values are longer strings, a fraction of which receive random edit
+// errors (character substitutions), and tuples receive probabilities
+// below one — the "wrapped Web source" scenario motivating Section 6.
+type DirtyConfig struct {
+	Config
+	// ErrorRate is the probability that a join value is misspelled.
+	ErrorRate float64
+	// MaxEdits bounds the number of character edits per misspelling
+	// (at least 1 when a misspelling occurs).
+	MaxEdits int
+	// MinProb is the lower bound of the per-tuple probability range
+	// [MinProb, 1].
+	MinProb float64
+}
+
+// DirtyChain generates a chain-connected database whose join values are
+// strings like "value_03" with injected spelling errors, and whose
+// tuples carry probabilities in [MinProb, 1]. Pair it with
+// approx.LevenshteinSim: clean matches score 1, misspelled matches
+// score just below 1, and unrelated values score low.
+func DirtyChain(cfg DirtyConfig) (*relation.Database, error) {
+	if err := cfg.Config.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ErrorRate < 0 || cfg.ErrorRate >= 1 {
+		return nil, fmt.Errorf("workload: error rate %v outside [0,1)", cfg.ErrorRate)
+	}
+	if cfg.MaxEdits < 1 {
+		cfg.MaxEdits = 1
+	}
+	if cfg.MinProb <= 0 || cfg.MinProb > 1 {
+		cfg.MinProb = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rels := make([]*relation.Relation, cfg.Relations)
+	for i := 0; i < cfg.Relations; i++ {
+		attrs := []relation.Attribute{relation.Attribute(fmt.Sprintf("P%02d", i))}
+		if i > 0 {
+			attrs = append(attrs, joinAttr(i-1))
+		}
+		if i < cfg.Relations-1 {
+			attrs = append(attrs, joinAttr(i))
+		}
+		rels[i] = relation.MustRelation(fmt.Sprintf("R%02d", i), relation.MustSchema(attrs...))
+		schema := rels[i].Schema()
+		for t := 0; t < cfg.TuplesPerRelation; t++ {
+			tuple := relation.Tuple{
+				Label:  fmt.Sprintf("R%02d_t%d", i, t),
+				Values: make([]relation.Value, schema.Len()),
+				Imp:    1,
+				Prob:   cfg.MinProb + rng.Float64()*(1-cfg.MinProb),
+			}
+			for p, a := range schema.Attributes() {
+				if a[0] == 'P' {
+					tuple.Values[p] = relation.V(fmt.Sprintf("payload_%d_%d", i, t))
+					continue
+				}
+				if cfg.NullRate > 0 && rng.Float64() < cfg.NullRate {
+					continue
+				}
+				v := wordValue(rng.Intn(cfg.Domain))
+				if rng.Float64() < cfg.ErrorRate {
+					v = misspell(rng, v, 1+rng.Intn(cfg.MaxEdits))
+				}
+				tuple.Values[p] = relation.V(v)
+			}
+			if err := rels[i].AppendTuple(tuple); err != nil {
+				panic(err) // unreachable: tuple built to match schema
+			}
+		}
+	}
+	return relation.NewDatabase(rels...)
+}
+
+// wordValue returns the i-th join value: distinct word stems whose
+// pairwise Levenshtein similarity is low, so that under LevenshteinSim
+// only true matches (possibly misspelled) score high while different
+// values stay well below useful thresholds.
+func wordValue(i int) string {
+	words := []string{
+		"albatross", "blueberry", "cathedral", "dragonfly", "evergreen",
+		"flamingo", "grapevine", "hurricane", "isotherm", "jacaranda",
+		"kingfisher", "lighthouse", "mistletoe", "nightshade", "oleander",
+		"periwinkle",
+	}
+	if i < len(words) {
+		return words[i]
+	}
+	return fmt.Sprintf("%s%d", words[i%len(words)], i/len(words))
+}
+
+// misspell applies n random character substitutions to s.
+func misspell(rng *rand.Rand, s string, n int) string {
+	if len(s) == 0 {
+		return s
+	}
+	b := []byte(s)
+	const alphabet = "abcdefghijklmnopqrstuvwxyz"
+	for i := 0; i < n; i++ {
+		pos := rng.Intn(len(b))
+		b[pos] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return string(b)
+}

@@ -1,0 +1,140 @@
+// Package workload builds the datasets used by tests, examples and
+// benchmarks: the paper's running tourist example (Tables 1–2, Fig 4)
+// and deterministic synthetic workload generators (chain, star, cycle,
+// clique and random schemas, with controllable selectivity, null rate
+// and dirtiness).
+package workload
+
+import (
+	"repro/internal/relation"
+)
+
+// Tourist returns the three relations of Table 1 — Climates,
+// Accommodations and Sites — as a database, in that order, with the
+// tuple labels used throughout the paper (c1..c3, a1..a3, s1..s4).
+func Tourist() *relation.Database {
+	climates := relation.MustRelation("Climates",
+		relation.MustSchema("Country", "Climate"))
+	climates.MustAppend("c1", map[relation.Attribute]relation.Value{
+		"Country": relation.V("Canada"), "Climate": relation.V("diverse")})
+	climates.MustAppend("c2", map[relation.Attribute]relation.Value{
+		"Country": relation.V("UK"), "Climate": relation.V("temperate")})
+	climates.MustAppend("c3", map[relation.Attribute]relation.Value{
+		"Country": relation.V("Bahamas"), "Climate": relation.V("tropical")})
+
+	accommodations := relation.MustRelation("Accommodations",
+		relation.MustSchema("Country", "City", "Hotel", "Stars"))
+	accommodations.MustAppend("a1", map[relation.Attribute]relation.Value{
+		"Country": relation.V("Canada"), "City": relation.V("Toronto"),
+		"Hotel": relation.V("Plaza"), "Stars": relation.V("4")})
+	accommodations.MustAppend("a2", map[relation.Attribute]relation.Value{
+		"Country": relation.V("Canada"), "City": relation.V("London"),
+		"Hotel": relation.V("Ramada"), "Stars": relation.V("3")})
+	accommodations.MustAppend("a3", map[relation.Attribute]relation.Value{
+		"Country": relation.V("Bahamas"), "City": relation.V("Nassau"),
+		"Hotel": relation.V("Hilton")}) // Stars is ⊥ in Table 1
+
+	sites := relation.MustRelation("Sites",
+		relation.MustSchema("Country", "City", "Site"))
+	sites.MustAppend("s1", map[relation.Attribute]relation.Value{
+		"Country": relation.V("Canada"), "City": relation.V("London"),
+		"Site": relation.V("Air Show")})
+	sites.MustAppend("s2", map[relation.Attribute]relation.Value{
+		"Country": relation.V("Canada"), // City is ⊥ in Table 1
+		"Site":    relation.V("Mount Logan")})
+	sites.MustAppend("s3", map[relation.Attribute]relation.Value{
+		"Country": relation.V("UK"), "City": relation.V("London"),
+		"Site": relation.V("Buckingham")})
+	sites.MustAppend("s4", map[relation.Attribute]relation.Value{
+		"Country": relation.V("UK"), "City": relation.V("London"),
+		"Site": relation.V("Hyde Park")})
+
+	return relation.MustDatabase(climates, accommodations, sites)
+}
+
+// Table2 lists the tuple sets of FD(Climates, Accommodations, Sites)
+// exactly as the first column of Table 2 presents them, rendered with
+// tuple labels.
+func Table2() []string {
+	return []string{
+		"{c1, a1}",
+		"{c1, a2, s1}",
+		"{c1, s2}",
+		"{c2, s3}",
+		"{c2, s4}",
+		"{c3, a3}",
+	}
+}
+
+// TouristRanked returns the tourist database with the importance
+// assignment motivating Section 1: the tourist prefers tropical to
+// temperate and temperate to diverse climates, and higher-starred
+// hotels to lower ones. imp(c3)=3, imp(c2)=2, imp(c1)=1; hotel tuples
+// carry their star rating; site tuples carry 1.
+func TouristRanked() *relation.Database {
+	db := Tourist()
+	imps := map[string]float64{
+		"c1": 1, "c2": 2, "c3": 3,
+		"a1": 4, "a2": 3, "a3": 1, // a3's rating is unknown (⊥): lowest
+		"s1": 1, "s2": 1, "s3": 1, "s4": 1,
+	}
+	applyMeta(db, imps, nil)
+	return db
+}
+
+// TouristApprox returns the tourist database annotated with the sim and
+// prob values pinned by Examples 6.1 and 6.3 (the values Fig 4 draws):
+// tuple c1 is misspelled "Cannada", sim(c1,a2)=0.8, sim(c1,s2)=0.8,
+// sim(a2,s2)=0.5, and probabilities chosen ≥ 0.5 so the minimum in
+// Amin({c1,a2,s2}) is attained by a sim edge, giving
+// Amin({c1,a2,s2})=0.5 and Aprod({c1,a2,s2})=0.8·0.8·0.5=0.32.
+//
+// The similarity table is returned alongside the database; entries are
+// keyed by the two tuple labels in either order. Pairs absent from the
+// table default to exact-match similarity (1 if join consistent, 0
+// otherwise) under the SimTable model in package approx.
+func TouristApprox() (*relation.Database, map[[2]string]float64) {
+	db := Tourist()
+	// Misspell c1's Country, as in Example 6.1.
+	cl := db.Relation(0)
+	c1 := cl.Tuple(0)
+	pos, _ := cl.Schema().Position("Country")
+	c1.Values[pos] = relation.V("Cannada")
+
+	probs := map[string]float64{
+		"c1": 0.9, "c2": 1, "c3": 1,
+		"a1": 0.9, "a2": 0.9, "a3": 1,
+		"s1": 0.9, "s2": 0.8, "s3": 1, "s4": 1,
+	}
+	applyMeta(db, nil, probs)
+
+	sims := map[[2]string]float64{
+		{"c1", "a1"}: 0.8,
+		{"c1", "a2"}: 0.8,
+		{"c1", "s1"}: 0.8,
+		{"c1", "s2"}: 0.8,
+		{"a2", "s1"}: 0.9,
+		{"a2", "s2"}: 0.5,
+		{"a1", "s2"}: 0.5,
+	}
+	return db, sims
+}
+
+func applyMeta(db *relation.Database, imps, probs map[string]float64) {
+	for r := 0; r < db.NumRelations(); r++ {
+		rel := db.Relation(r)
+		for i := 0; i < rel.Len(); i++ {
+			t := rel.Tuple(i)
+			if imps != nil {
+				if v, ok := imps[t.Label]; ok {
+					t.Imp = v
+				}
+			}
+			if probs != nil {
+				if v, ok := probs[t.Label]; ok {
+					t.Prob = v
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/relation"
+)
+
+func TestTouristMatchesTable1(t *testing.T) {
+	db := Tourist()
+	if db.NumRelations() != 3 {
+		t.Fatalf("relations = %d", db.NumRelations())
+	}
+	names := []string{"Climates", "Accommodations", "Sites"}
+	sizes := []int{3, 3, 4}
+	for i := range names {
+		if db.Relation(i).Name() != names[i] {
+			t.Errorf("relation %d = %s", i, db.Relation(i).Name())
+		}
+		if db.Relation(i).Len() != sizes[i] {
+			t.Errorf("%s has %d tuples, want %d", names[i], db.Relation(i).Len(), sizes[i])
+		}
+	}
+	// a3's Stars and s2's City are the two nulls of Table 1.
+	stars, _ := db.Relation(1).Value(2, "Stars")
+	if !stars.IsNull() {
+		t.Error("a3.Stars must be ⊥")
+	}
+	city, _ := db.Relation(2).Value(1, "City")
+	if !city.IsNull() {
+		t.Error("s2.City must be ⊥")
+	}
+	// Exactly two nulls in total.
+	nulls := 0
+	for r := 0; r < db.NumRelations(); r++ {
+		rel := db.Relation(r)
+		for i := 0; i < rel.Len(); i++ {
+			for _, v := range rel.Tuple(i).Values {
+				if v.IsNull() {
+					nulls++
+				}
+			}
+		}
+	}
+	if nulls != 2 {
+		t.Errorf("tourist data has %d nulls, want 2", nulls)
+	}
+	if !graph.NewConnection(db).Connected() {
+		t.Error("tourist database must be connected")
+	}
+}
+
+func TestTouristRankedImportances(t *testing.T) {
+	db := TouristRanked()
+	want := map[string]float64{"c1": 1, "c2": 2, "c3": 3, "a1": 4, "a2": 3, "a3": 1, "s1": 1}
+	db.ForEachRef(func(ref relation.Ref) bool {
+		tp := db.Tuple(ref)
+		if w, ok := want[tp.Label]; ok && tp.Imp != w {
+			t.Errorf("imp(%s) = %v, want %v", tp.Label, tp.Imp, w)
+		}
+		return true
+	})
+}
+
+func TestTouristApproxPinnedValues(t *testing.T) {
+	db, sims := TouristApprox()
+	// c1 is misspelled.
+	v, _ := db.Relation(0).Value(0, "Country")
+	if v.Datum() != "Cannada" {
+		t.Errorf("c1.Country = %v, want Cannada", v)
+	}
+	// Example 6.1/6.3 pins.
+	if sims[[2]string{"c1", "a2"}] != 0.8 || sims[[2]string{"c1", "s2"}] != 0.8 || sims[[2]string{"a2", "s2"}] != 0.5 {
+		t.Error("sim table does not match Examples 6.1/6.3")
+	}
+	// prob(s2)=0.8 per Fig 4 reconstruction.
+	if got := db.Relation(2).Tuple(1).Prob; got != 0.8 {
+		t.Errorf("prob(s2) = %v", got)
+	}
+}
+
+func TestGeneratorShapes(t *testing.T) {
+	cfg := Config{Relations: 5, TuplesPerRelation: 3, Domain: 4, NullRate: 0.1, Seed: 2}
+	chain, err := Chain(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.NewConnection(chain).IsChain() {
+		t.Error("Chain generator must build a chain")
+	}
+	star, err := Star(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := graph.NewConnection(star)
+	if !c.IsTree() || c.IsChain() {
+		t.Error("Star generator must build a non-chain tree")
+	}
+	cyc, err := Cycle(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := graph.NewConnection(cyc)
+	if !cc.Connected() || cc.IsTree() {
+		t.Error("Cycle generator must build a connected non-tree")
+	}
+	clique, err := Clique(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qc := graph.NewConnection(clique)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			if !clique.ConnectedRelations(i, j) {
+				t.Errorf("clique relations %d,%d not connected", i, j)
+			}
+		}
+	}
+	_ = qc
+	rnd, err := Random(cfg, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.NewConnection(rnd).Connected() {
+		t.Error("Random generator must build a connected graph")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	cfg := Config{Relations: 4, TuplesPerRelation: 5, Domain: 3, NullRate: 0.2, ImpMax: 5, Seed: 77}
+	a, err := Chain(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Chain(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Size() != b.Size() {
+		t.Fatal("sizes differ")
+	}
+	for r := 0; r < a.NumRelations(); r++ {
+		ra, rb := a.Relation(r), b.Relation(r)
+		for i := 0; i < ra.Len(); i++ {
+			ta, tb := ra.Tuple(i), rb.Tuple(i)
+			if ta.Imp != tb.Imp {
+				t.Fatalf("imp differs at %s[%d]", ra.Name(), i)
+			}
+			for p := range ta.Values {
+				if ta.Values[p] != tb.Values[p] {
+					t.Fatalf("value differs at %s[%d][%d]", ra.Name(), i, p)
+				}
+			}
+		}
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	bad := []Config{
+		{Relations: 0, TuplesPerRelation: 1, Domain: 1},
+		{Relations: 1, TuplesPerRelation: 0, Domain: 1},
+		{Relations: 1, TuplesPerRelation: 1, Domain: 0},
+		{Relations: 1, TuplesPerRelation: 1, Domain: 1, NullRate: 1.0},
+	}
+	for _, cfg := range bad {
+		if _, err := Chain(cfg); err == nil {
+			t.Errorf("Chain accepted %+v", cfg)
+		}
+	}
+	if _, err := Star(Config{Relations: 1, TuplesPerRelation: 1, Domain: 1}); err == nil {
+		t.Error("Star accepted a single relation")
+	}
+	if _, err := Cycle(Config{Relations: 2, TuplesPerRelation: 1, Domain: 1}); err == nil {
+		t.Error("Cycle accepted two relations")
+	}
+}
+
+func TestNullRateApplies(t *testing.T) {
+	cfg := Config{Relations: 3, TuplesPerRelation: 200, Domain: 2, NullRate: 0.5, Seed: 9}
+	db, err := Chain(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nulls, joins := 0, 0
+	for r := 0; r < db.NumRelations(); r++ {
+		rel := db.Relation(r)
+		for i := 0; i < rel.Len(); i++ {
+			for p, a := range rel.Schema().Attributes() {
+				if a[0] != 'J' {
+					continue
+				}
+				joins++
+				if rel.Tuple(i).Values[p].IsNull() {
+					nulls++
+				}
+			}
+		}
+	}
+	frac := float64(nulls) / float64(joins)
+	if frac < 0.35 || frac > 0.65 {
+		t.Errorf("null fraction %v far from 0.5", frac)
+	}
+}

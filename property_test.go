@@ -1,0 +1,333 @@
+package fd_test
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	fd "repro"
+	"repro/internal/naive"
+	"repro/internal/tupleset"
+	"repro/internal/workload"
+)
+
+// randomConfig derives a small workload configuration from quick's
+// random values.
+func randomConfig(relations, tuples, domain uint8, nullRate float64, seed int64) workload.Config {
+	nr := nullRate - float64(int(nullRate))
+	if nr < 0 {
+		nr = -nr
+	}
+	return workload.Config{
+		Relations:         2 + int(relations%4),
+		TuplesPerRelation: 1 + int(tuples%5),
+		Domain:            1 + int(domain%4),
+		NullRate:          nr * 0.5,
+		Seed:              seed,
+	}
+}
+
+// TestPropertyFDMatchesOracle drives FullDisjunction against the
+// definitional oracle on quick-generated workload configurations across
+// all generator shapes and execution options.
+func TestPropertyFDMatchesOracle(t *testing.T) {
+	shapes := []func(workload.Config) (*fd.Database, error){
+		workload.Chain,
+		workload.Star,
+		func(c workload.Config) (*fd.Database, error) { return workload.Random(c, 0.5) },
+	}
+	f := func(relations, tuples, domain uint8, nullRate float64, seed int64, shapeSel uint8, useIndex bool, strat uint8) bool {
+		cfg := randomConfig(relations, tuples, domain, nullRate, seed)
+		gen := shapes[int(shapeSel)%len(shapes)]
+		db, err := gen(cfg)
+		if err != nil {
+			return true // star needs ≥2 relations etc.; skip invalid configs
+		}
+		opts := fd.Options{
+			UseIndex: useIndex,
+			Strategy: []fd.InitStrategy{fd.InitSingletons, fd.InitSeeded, fd.InitProjected}[int(strat)%3],
+		}
+		got, _, err := fd.FullDisjunction(db, opts)
+		if err != nil {
+			t.Logf("FullDisjunction error: %v", err)
+			return false
+		}
+		want := naive.FullDisjunction(db)
+		if len(got) != len(want) {
+			t.Logf("size mismatch: got %d want %d (cfg %+v)", len(got), len(want), cfg)
+			return false
+		}
+		gotKeys := make([]string, len(got))
+		for i, s := range got {
+			gotKeys[i] = s.Key()
+		}
+		wantKeys := make([]string, len(want))
+		for i, s := range want {
+			wantKeys[i] = s.Key()
+		}
+		sort.Strings(gotKeys)
+		sort.Strings(wantKeys)
+		return reflect.DeepEqual(gotKeys, wantKeys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyStreamPrefixStable: for every k, stopping the stream at k
+// yields k distinct members of the full full disjunction.
+func TestPropertyStreamPrefixStable(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		db, err := workload.Chain(workload.Config{
+			Relations: 4, TuplesPerRelation: 5, Domain: 3, NullRate: 0.2, Seed: seed})
+		if err != nil {
+			return true
+		}
+		full, _, err := fd.FullDisjunction(db, fd.Options{})
+		if err != nil {
+			return false
+		}
+		if len(full) == 0 {
+			return true
+		}
+		k := 1 + int(kRaw)%len(full)
+		keys := make(map[string]bool, len(full))
+		for _, s := range full {
+			keys[s.Key()] = true
+		}
+		var got []*fd.TupleSet
+		if _, err := fd.Stream(db, fd.Options{}, func(s *fd.TupleSet) bool {
+			got = append(got, s)
+			return len(got) < k
+		}); err != nil {
+			return false
+		}
+		if len(got) != k {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, s := range got {
+			if !keys[s.Key()] || seen[s.Key()] {
+				return false
+			}
+			seen[s.Key()] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyRankedOrder: StreamRanked emits non-increasing ranks and
+// exactly the full disjunction, for random importance assignments.
+func TestPropertyRankedOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		db, err := workload.Star(workload.Config{
+			Relations: 4, TuplesPerRelation: 4, Domain: 3, NullRate: 0.1,
+			ImpMax: 50, Seed: seed})
+		if err != nil {
+			return true
+		}
+		var ranks []float64
+		count := 0
+		if _, err := fd.StreamRanked(db, fd.FMax(), fd.Options{}, func(r fd.Ranked) bool {
+			ranks = append(ranks, r.Rank)
+			count++
+			return true
+		}); err != nil {
+			return false
+		}
+		for i := 1; i < len(ranks); i++ {
+			if ranks[i-1] < ranks[i]-1e-9 {
+				return false
+			}
+		}
+		want, _, err := fd.FullDisjunction(db, fd.Options{})
+		if err != nil {
+			return false
+		}
+		return count == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyCSVRoundTrip: writing and re-reading any generated
+// relation preserves every value, label, importance and probability.
+func TestPropertyCSVRoundTrip(t *testing.T) {
+	f := func(seed int64, dirty bool) bool {
+		var db *fd.Database
+		var err error
+		if dirty {
+			db, err = workload.DirtyChain(workload.DirtyConfig{
+				Config:    workload.Config{Relations: 3, TuplesPerRelation: 6, Domain: 3, NullRate: 0.3, Seed: seed},
+				ErrorRate: 0.4, MaxEdits: 2, MinProb: 0.3,
+			})
+		} else {
+			db, err = workload.Chain(workload.Config{
+				Relations: 3, TuplesPerRelation: 6, Domain: 3, NullRate: 0.3, ImpMax: 9, Seed: seed})
+		}
+		if err != nil {
+			return true
+		}
+		for r := 0; r < db.NumRelations(); r++ {
+			rel := db.Relation(r)
+			var buf bytes.Buffer
+			if err := fd.WriteCSV(rel, &buf); err != nil {
+				return false
+			}
+			back, err := fd.ReadCSV(rel.Name(), &buf)
+			if err != nil {
+				return false
+			}
+			if back.Len() != rel.Len() || !back.Schema().Equal(rel.Schema()) {
+				return false
+			}
+			for i := 0; i < rel.Len(); i++ {
+				a, b := rel.Tuple(i), back.Tuple(i)
+				if a.Label != b.Label || a.Imp != b.Imp || a.Prob != b.Prob {
+					return false
+				}
+				for p := range a.Values {
+					if a.Values[p] != b.Values[p] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyPaddedSubsumptionFree: the padded renderings of a full
+// disjunction never strictly subsume one another — the "no redundancy"
+// condition in the classical [2] reading of the operator.
+func TestPropertyPaddedSubsumptionFree(t *testing.T) {
+	f := func(seed int64) bool {
+		db, err := workload.Chain(workload.Config{
+			Relations: 3, TuplesPerRelation: 5, Domain: 3, NullRate: 0.2, Seed: seed})
+		if err != nil {
+			return true
+		}
+		sets, _, err := fd.FullDisjunction(db, fd.Options{})
+		if err != nil {
+			return false
+		}
+		_, rows := fd.PadAll(db, sets)
+		for i := range rows {
+			for j := range rows {
+				if i == j {
+					continue
+				}
+				// Strict subsumption between distinct padded rows would
+				// contradict maximality of the underlying tuple sets
+				// (equal rows may occur for duplicate source tuples).
+				if rows[i].Subsumes(rows[j]) && !rows[j].Subsumes(rows[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyApproxContainsExact: with unit probabilities, every exact
+// full-disjunction answer is covered by an approximate answer at any
+// τ ∈ (0,1] under Amin+Levenshtein (similarity 1 on exact matches).
+func TestPropertyApproxContainsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 15; trial++ {
+		db, err := workload.Chain(workload.Config{
+			Relations: 3, TuplesPerRelation: 4, Domain: 3, NullRate: 0.2,
+			Seed: rng.Int63()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tau := 0.05 + rng.Float64()*0.9
+		exact, _, err := fd.FullDisjunction(db, fd.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		approxSets, _, err := fd.ApproxFullDisjunction(db, fd.Amin(fd.LevenshteinSim()), tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range exact {
+			covered := false
+			for _, a := range approxSets {
+				if a.ContainsAll(e) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("trial %d τ=%v: exact answer %s not covered by AFD",
+					trial, tau, fd.Format(db, e))
+			}
+		}
+	}
+}
+
+// TestPropertyStatsConsistency: iterations equal results per seed
+// enumeration (Example 4.1's observation), across random workloads.
+func TestPropertyStatsConsistency(t *testing.T) {
+	f := func(seed int64, seedRel uint8) bool {
+		db, err := workload.Random(workload.Config{
+			Relations: 4, TuplesPerRelation: 4, Domain: 3, NullRate: 0.2, Seed: seed}, 0.4)
+		if err != nil {
+			return true
+		}
+		i := int(seedRel) % db.NumRelations()
+		sets, stats, err := fd.FDi(db, i, fd.Options{})
+		if err != nil {
+			return false
+		}
+		return stats.Iterations == len(sets) && stats.MaxResident <= maxInt(len(sets), 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestPropertyKeyInjective: distinct tuple sets have distinct keys;
+// clones share keys.
+func TestPropertyKeyInjective(t *testing.T) {
+	db, err := workload.Chain(workload.Config{
+		Relations: 4, TuplesPerRelation: 6, Domain: 3, NullRate: 0.1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := tupleset.NewUniverse(db)
+	all := naive.EnumerateConnected(u, func(s *tupleset.Set) bool { return u.JCC(s) })
+	seen := make(map[string]*tupleset.Set, len(all))
+	for _, s := range all {
+		if prev, ok := seen[s.Key()]; ok && !prev.Equal(s) {
+			t.Fatalf("key collision: %s vs %s", prev.Format(db), s.Format(db))
+		}
+		seen[s.Key()] = s
+		if s.Clone().Key() != s.Key() {
+			t.Fatal("clone changed key")
+		}
+	}
+	if len(seen) != len(all) {
+		t.Fatalf("%d keys for %d sets", len(seen), len(all))
+	}
+}

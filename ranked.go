@@ -1,0 +1,50 @@
+package fd
+
+import (
+	"repro/internal/rank"
+)
+
+// RankFunc is a ranking function over tuple sets (Section 5). Built-in
+// implementations: FMax (monotonically 1-determined), PairSum
+// (2-determined), PaperTriple (3-determined) and FSum (not
+// c-determined; usable only with brute force — top-(1,fsum) is NP-hard,
+// Proposition 5.1).
+type RankFunc = rank.Func
+
+// Ranked pairs a result with its rank.
+type Ranked = rank.Result
+
+// FMax returns the ranking function fmax(T) = max{imp(t) | t ∈ T}.
+func FMax() RankFunc { return rank.FMax{} }
+
+// FSum returns fsum(T) = Σ imp(t). It cannot drive ranked enumeration.
+func FSum() RankFunc { return rank.FSum{} }
+
+// PairSum returns the monotonically 2-determined function
+// f(T) = max over connected pairs of imp sums.
+func PairSum() RankFunc { return rank.PairSum() }
+
+// PaperTriple returns the paper's 3-determined example
+// f(T) = max{imp(t1) + imp(t2)·imp(t3) | {t1,t2,t3} ⊆ T connected}.
+func PaperTriple() RankFunc { return rank.PaperTriple() }
+
+// StreamRanked yields the members of FD(R) in non-increasing rank order
+// under a monotonically c-determined ranking function
+// (PRIORITYINCREMENTALFD, Fig 3); return false from yield to stop.
+func StreamRanked(db *Database, f RankFunc, opts Options, yield func(Ranked) bool) (Stats, error) {
+	return rank.StreamRanked(db, f, opts, yield)
+}
+
+// TopK solves the top-(k,f) full-disjunction problem: the k highest
+// ranking members of FD(R), in rank order, in time polynomial in the
+// input and k (Theorem 5.5).
+func TopK(db *Database, f RankFunc, k int, opts Options) ([]Ranked, Stats, error) {
+	return rank.TopK(db, f, k, opts)
+}
+
+// Threshold solves the (τ,f)-threshold full-disjunction problem
+// (Remark 5.6): every member of FD(R) ranking at least tau, in rank
+// order.
+func Threshold(db *Database, f RankFunc, tau float64, opts Options) ([]Ranked, Stats, error) {
+	return rank.Threshold(db, f, tau, opts)
+}
