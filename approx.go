@@ -3,6 +3,7 @@ package fd
 import (
 	"repro/internal/approx"
 	"repro/internal/rank"
+	"repro/internal/tupleset"
 )
 
 // Sim supplies pairwise tuple similarities in [0,1] for approximate
@@ -55,7 +56,7 @@ func ApproxStream(db *Database, a ApproxJoin, tau float64, yield func(*TupleSet)
 
 // ApproxScore evaluates A(T) for a tuple set of db.
 func ApproxScore(db *Database, a ApproxJoin, t *TupleSet) float64 {
-	return a.Score(newUniverse(db), t)
+	return a.Score(tupleset.NewUniverse(db), t)
 }
 
 // ApproxStreamRanked combines Sections 5 and 6 (the adaptation the

@@ -237,6 +237,56 @@ func BenchmarkE11Threshold(b *testing.B) {
 	}
 }
 
+// BenchmarkJoinConsistent micro-benchmarks the pairwise
+// join-consistency predicate — the innermost operation of every
+// algorithm in the paper — on a clique workload where every relation
+// pair shares an attribute, so each call walks a shared-position list.
+// After the dictionary-encoding refactor this is pure int32 compares
+// over columnar slices; track it to keep the hot path honest across
+// PRs.
+func BenchmarkJoinConsistent(b *testing.B) {
+	db, err := workload.Clique(workload.Config{
+		Relations: 6, TuplesPerRelation: 32, Domain: 4, NullRate: 0.1, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var refs []fd.Ref
+	db.ForEachRef(func(ref fd.Ref) bool {
+		refs = append(refs, ref)
+		return true
+	})
+	db.JoinConsistent(refs[0], refs[len(refs)-1]) // encode outside the loop
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := refs[i%len(refs)]
+		c := refs[(i*7+1)%len(refs)]
+		db.JoinConsistent(a, c)
+	}
+}
+
+// BenchmarkUnionJCC micro-benchmarks the set-level union predicate of
+// GETNEXTRESULT lines 14–15 on clique results, the companion of
+// BenchmarkJoinConsistent at the tuple-set layer.
+func BenchmarkUnionJCC(b *testing.B) {
+	db, err := workload.Clique(workload.Config{
+		Relations: 5, TuplesPerRelation: 8, Domain: 3, NullRate: 0.1, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	u := tupleset.NewUniverse(db)
+	sets, _, err := core.FullDisjunction(db, core.Options{UseIndex: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(sets) < 2 {
+		b.Fatal("clique workload produced fewer than 2 results")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u.UnionJCC(sets[i%len(sets)], sets[(i*13+1)%len(sets)])
+	}
+}
+
 // BenchmarkSubstrates micro-benchmarks the hot predicates.
 func BenchmarkSubstrates(b *testing.B) {
 	db := chainDB(b, 5, 24)

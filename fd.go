@@ -50,12 +50,15 @@ type (
 	// Schema is a sorted attribute set.
 	Schema = relation.Schema
 	// Tuple is a row with optional Label, Imp (ranking) and Prob
-	// (approximate joins) metadata.
+	// (approximate joins) metadata. Tuples may be adjusted in place
+	// until the database's first query; after that the columnar
+	// dictionary mirror is frozen and mutations are ignored.
 	Tuple = relation.Tuple
 	// Relation is a named relation.
 	Relation = relation.Relation
 	// Database is an immutable set of relations with precomputed join
-	// structure.
+	// structure and a dictionary-encoded columnar mirror of all values,
+	// built lazily at the first query.
 	Database = relation.Database
 	// Ref identifies a tuple by (relation index, tuple index).
 	Ref = relation.Ref
@@ -172,7 +175,3 @@ func PadAll(db *Database, sets []*TupleSet) ([]Attribute, []Padded) {
 	}
 	return attrs, rows
 }
-
-// newUniverse builds the tuple-set universe of db (internal helper for
-// facade functions that need schema structure).
-func newUniverse(db *Database) *tupleset.Universe { return tupleset.NewUniverse(db) }

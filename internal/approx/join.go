@@ -60,7 +60,7 @@ func (a *Amin) Score(u *tupleset.Universe, t *tupleset.Set) float64 {
 	}
 	minV := 1.0
 	for _, ref := range t.Refs() {
-		if p := u.DB.Tuple(ref).Prob; p < minV {
+		if p := u.DB.Prob(ref); p < minV {
 			minV = p
 		}
 	}
@@ -94,7 +94,7 @@ func (a *Amin) MaximalSubsets(u *tupleset.Universe, t *tupleset.Set, tb relation
 	}
 	// Case 2: tb alone is below threshold: no subset containing tb
 	// qualifies (probabilities only shrink the minimum).
-	if u.DB.Tuple(tb).Prob < tau {
+	if u.DB.Prob(tb) < tau {
 		return nil
 	}
 	// Case 3: remove every member connected to tb with sim < τ, then

@@ -66,6 +66,11 @@ func (t *SimTable) Sim(db *relation.Database, a, b relation.Ref) float64 {
 // attribute contributes 0 (nothing approximately matches the unknown),
 // matching the exact semantics in the limit. This is the
 // "sound-alike/misspelling" model motivating Section 6.
+//
+// Similarity is the one consumer that genuinely needs text, so it reads
+// dictionary codes first — null and exact-match cases resolve with
+// integer compares — and decodes real datums through Dict.Lookup only
+// when an edit distance must actually be computed.
 type LevenshteinSim struct{}
 
 // Sim implements Sim.
@@ -74,11 +79,11 @@ func (LevenshteinSim) Sim(db *relation.Database, a, b relation.Ref) float64 {
 	if len(pairs) == 0 {
 		return 0
 	}
-	ta, tb := db.Tuple(a), db.Tuple(b)
+	dict := db.Dict()
 	minSim := 1.0
 	for _, p := range pairs {
-		va, vb := ta.Values[p.P1], tb.Values[p.P2]
-		s := valueSim(va, vb)
+		ca, cb := db.Code(a, p.P1), db.Code(b, p.P2)
+		s := codeSim(dict, ca, cb)
 		if s < minSim {
 			minSim = s
 		}
@@ -86,14 +91,14 @@ func (LevenshteinSim) Sim(db *relation.Database, a, b relation.Ref) float64 {
 	return minSim
 }
 
-func valueSim(a, b relation.Value) float64 {
-	if a.IsNull() || b.IsNull() {
+func codeSim(dict *relation.Dict, ca, cb int32) float64 {
+	if ca == relation.NullCode || cb == relation.NullCode {
 		return 0
 	}
-	sa, sb := a.Datum(), b.Datum()
-	if sa == sb {
+	if ca == cb {
 		return 1
 	}
+	sa, sb := dict.Datum(ca), dict.Datum(cb)
 	maxLen := len(sa)
 	if len(sb) > maxLen {
 		maxLen = len(sb)

@@ -177,10 +177,11 @@ func projectSuffix(u *tupleset.Universe, s *tupleset.Set, i int) *tupleset.Set {
 // extendSuffix maximally extends s with tuples of relations i..n-1
 // (the loop of GETNEXTRESULT lines 2–6 restricted to the suffix).
 func extendSuffix(u *tupleset.Universe, s *tupleset.Set, i int, opts Options, stats *Stats) {
-	sc := scanner{db: u.DB, block: opts.blockSize(), minRel: i, stats: stats, pool: opts.Pool}
+	sc := scanner{db: u.DB, block: opts.blockSize(), minRel: i, stats: stats,
+		pool: opts.Pool, useJoinIndex: opts.UseJoinIndex}
 	for changed := true; changed; {
 		changed = false
-		sc.forEach(func(ref relation.Ref) bool {
+		sc.forEachExtension(s, func(ref relation.Ref) bool {
 			if s.Has(ref) {
 				return true
 			}

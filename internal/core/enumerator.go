@@ -73,7 +73,8 @@ func newBareEnumerator(u *tupleset.Universe, seed int, opts Options, minRel int)
 		incomplete: NewIncompleteQueue(u, seed, opts.UseIndex),
 		complete:   NewCompleteStore(u, opts.UseIndex),
 	}
-	e.scan = scanner{db: u.DB, block: opts.blockSize(), minRel: minRel, stats: &e.stats, pool: opts.Pool}
+	e.scan = scanner{db: u.DB, block: opts.blockSize(), minRel: minRel, stats: &e.stats,
+		pool: opts.Pool, useJoinIndex: opts.UseJoinIndex}
 	return e, nil
 }
 
@@ -154,7 +155,8 @@ type Pool interface {
 // everything); opts supplies the block size for simulated page reads.
 func GetNextResult(u *tupleset.Universe, seed int, opts Options, minRel int, T *tupleset.Set,
 	incomplete Pool, complete *CompleteStore, stats *Stats) *tupleset.Set {
-	scan := scanner{db: u.DB, block: opts.blockSize(), minRel: minRel, stats: stats, pool: opts.Pool}
+	scan := scanner{db: u.DB, block: opts.blockSize(), minRel: minRel, stats: stats,
+		pool: opts.Pool, useJoinIndex: opts.UseJoinIndex}
 	return getNextResult(u, seed, &scan, T, incomplete, complete, stats)
 }
 
@@ -163,10 +165,14 @@ func getNextResult(u *tupleset.Universe, seed int, scan *scanner, T *tupleset.Se
 
 	// Lines 2–6: extension to a maximal JCC set. Each sweep adds at
 	// least one tuple or terminates; a result has at most n tuples, so
-	// there are at most n+1 sweeps (cost O(s·n), Theorem 4.8).
+	// there are at most n+1 sweeps (cost O(s·n), Theorem 4.8). With the
+	// join index, each sweep visits only equi-match candidates of the
+	// current members; a tuple reachable only through a member added
+	// mid-sweep becomes a candidate in the next sweep, so the fixpoint
+	// is still a maximal JCC set.
 	for changed := true; changed; {
 		changed = false
-		scan.forEach(func(ref relation.Ref) bool {
+		scan.forEachExtension(T, func(ref relation.Ref) bool {
 			if T.Has(ref) {
 				return true
 			}
@@ -180,7 +186,7 @@ func getNextResult(u *tupleset.Universe, seed int, scan *scanner, T *tupleset.Se
 	}
 
 	// Lines 7–18: discover new candidate subsets.
-	scan.forEach(func(tb relation.Ref) bool {
+	scan.forEachDiscovery(T, seed, func(tb relation.Ref) bool {
 		if T.Has(tb) {
 			return true
 		}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"slices"
+
 	"repro/internal/relation"
 	"repro/internal/storage"
 	"repro/internal/tupleset"
@@ -57,6 +59,16 @@ type Options struct {
 	// of GETNEXTRESULT lines 11 and 14 touch only candidate sets that
 	// could possibly match.
 	UseIndex bool
+	// UseJoinIndex enables candidate-only database scans backed by the
+	// dictionary-code posting index: instead of sweeping every tuple,
+	// GETNEXTRESULT visits only the tuples that equi-match a member of
+	// the current set on a shared attribute (plus, in the discovery
+	// phase, every tuple of the seed relation — the only tuples that
+	// can yield a new candidate subset without such a match). The
+	// produced full disjunction is identical as a set; the enumeration
+	// order of individual results may differ from the sweep. Stats
+	// records the probes and the tuples the sweep would have visited.
+	UseJoinIndex bool
 	// BlockSize is the number of tuples fetched per simulated page read
 	// during database scans (block-based execution, §7). Zero or one
 	// means tuple-at-a-time execution.
@@ -85,12 +97,20 @@ func (o Options) blockSize() int {
 // tuples and simulated page reads. minRel restricts the scan to
 // relations minRel..n-1 (used by the seeded/projected strategies).
 // With a buffer pool attached, only buffer misses count as page reads.
+//
+// With useJoinIndex set, the extension and discovery walks consult the
+// dictionary-code posting index and visit only equi-match candidates;
+// otherwise they fall back to the full sweep.
 type scanner struct {
-	db     *relation.Database
-	block  int
-	minRel int
-	stats  *Stats
-	pool   *storage.BufferPool
+	db           *relation.Database
+	block        int
+	minRel       int
+	stats        *Stats
+	pool         *storage.BufferPool
+	useJoinIndex bool
+	// cand[r] is reusable scratch for candidate tuple indices of
+	// relation r gathered from posting lookups.
+	cand [][]int32
 }
 
 // forEach visits every tuple in scope; fn returning false stops early.
@@ -98,19 +118,153 @@ func (sc *scanner) forEach(fn func(relation.Ref) bool) {
 	for r := sc.minRel; r < sc.db.NumRelations(); r++ {
 		n := sc.db.Relation(r).Len()
 		for i := 0; i < n; i++ {
-			if i%sc.block == 0 {
-				if sc.pool != nil {
-					if !sc.pool.Fetch(storage.PageID{Rel: int32(r), Block: int32(i / sc.block)}) {
-						sc.stats.PageReads++
-					}
-				} else {
-					sc.stats.PageReads++
-				}
-			}
+			sc.page(r, int(i))
 			sc.stats.TuplesScanned++
 			if !fn(relation.Ref{Rel: int32(r), Idx: int32(i)}) {
 				return
 			}
 		}
 	}
+}
+
+// page accounts one tuple access at (rel, idx) against the simulated
+// block/page model: the first access of each block of a (monotone
+// ascending) walk counts a read, or a pool fetch when a buffer pool is
+// attached.
+func (sc *scanner) page(rel, idx int) {
+	if idx%sc.block == 0 {
+		sc.pageBlock(rel, idx/sc.block)
+	}
+}
+
+func (sc *scanner) pageBlock(rel, blk int) {
+	if sc.pool != nil {
+		if !sc.pool.Fetch(storage.PageID{Rel: int32(rel), Block: int32(blk)}) {
+			sc.stats.PageReads++
+		}
+	} else {
+		sc.stats.PageReads++
+	}
+}
+
+// scopeTuples returns the number of tuples a full sweep would visit.
+func (sc *scanner) scopeTuples() int64 {
+	var n int64
+	for r := sc.minRel; r < sc.db.NumRelations(); r++ {
+		n += int64(sc.db.Relation(r).Len())
+	}
+	return n
+}
+
+// forEachExtension drives the maximal-extension walk of GETNEXTRESULT
+// lines 2–6: it visits every tuple tg that could satisfy JCC(T∪{tg}).
+// A valid extension must be connected to T and join consistent with
+// every member, so it must equi-match (non-null code equality) some
+// member of T on the first shared attribute position of an adjacent
+// relation pair — exactly what the posting index returns.
+func (sc *scanner) forEachExtension(T *tupleset.Set, fn func(relation.Ref) bool) {
+	if !sc.useJoinIndex {
+		sc.forEach(fn)
+		return
+	}
+	sc.forEachCandidate(T, -1, false, fn)
+}
+
+// forEachDiscovery drives the candidate-subset walk of GETNEXTRESULT
+// lines 7–18: it visits every tuple tb whose maximal subset T' of
+// T∪{tb} (footnote 3) can contain a tuple of the seed relation. For
+// tb not of the seed relation, T' reaches the seed tuple only through
+// a member whose relation is adjacent to tb's and that survives the
+// join-consistency filter — forcing an equi-match with that member, so
+// the posting candidates plus the full seed relation cover every tb
+// the sweep would not skip at line 9.
+func (sc *scanner) forEachDiscovery(T *tupleset.Set, seed int, fn func(relation.Ref) bool) {
+	if !sc.useJoinIndex {
+		sc.forEach(fn)
+		return
+	}
+	sc.forEachCandidate(T, seed, true, fn)
+}
+
+// forEachCandidate gathers equi-match candidates for the members of T
+// from the posting index and visits them in deterministic (relation,
+// tuple) order, mirroring the sweep's order restricted to candidates.
+// seedAll ≥ minRel names a relation to be visited in full; includeInT
+// selects whether relations already represented in T yield candidates
+// (discovery needs replacement tuples, extension cannot use them).
+func (sc *scanner) forEachCandidate(T *tupleset.Set, seedAll int, includeInT bool, fn func(relation.Ref) bool) {
+	db := sc.db
+	n := db.NumRelations()
+	ix := db.Index()
+	if sc.cand == nil {
+		sc.cand = make([][]int32, n)
+	}
+	for r := range sc.cand {
+		sc.cand[r] = sc.cand[r][:0]
+	}
+	for _, m := range T.Refs() {
+		for _, r2 := range db.Adjacent(int(m.Rel)) {
+			if r2 < sc.minRel || r2 == seedAll {
+				continue // out of scan scope / already visited in full
+			}
+			if !includeInT && T.HasRelation(r2) {
+				continue // an extension into a represented relation never passes JCC
+			}
+			p := db.SharedPositions(int(m.Rel), r2)[0]
+			code := db.Code(m, p.P1)
+			if code == relation.NullCode {
+				continue // ⊥ joins with nothing
+			}
+			sc.stats.IndexProbes++
+			sc.cand[r2] = append(sc.cand[r2], ix.Postings(r2, p.P2, code)...)
+		}
+	}
+	visited := int64(0)
+	defer func() {
+		sc.stats.TuplesSkipped += sc.scopeTuples() - visited
+	}()
+	for r := sc.minRel; r < n; r++ {
+		if r == seedAll {
+			m := db.Relation(r).Len()
+			for i := 0; i < m; i++ {
+				sc.page(r, i)
+				sc.stats.TuplesScanned++
+				visited++
+				if !fn(relation.Ref{Rel: int32(r), Idx: int32(i)}) {
+					return
+				}
+			}
+			continue
+		}
+		idxs := sortDedup(sc.cand[r])
+		sc.cand[r] = idxs
+		lastBlock := -1
+		for _, i := range idxs {
+			if blk := int(i) / sc.block; blk != lastBlock {
+				lastBlock = blk
+				sc.pageBlock(r, blk)
+			}
+			sc.stats.TuplesScanned++
+			visited++
+			if !fn(relation.Ref{Rel: int32(r), Idx: i}) {
+				return
+			}
+		}
+	}
+}
+
+// sortDedup sorts idxs ascending and removes duplicates in place
+// (posting lists from different members can name the same tuple).
+func sortDedup(idxs []int32) []int32 {
+	if len(idxs) < 2 {
+		return idxs
+	}
+	slices.Sort(idxs)
+	out := idxs[:1]
+	for _, v := range idxs[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
 }

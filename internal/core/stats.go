@@ -25,6 +25,14 @@ type Stats struct {
 	// database scans; block-based execution (§7) reduces it by the
 	// block-size factor.
 	PageReads int64
+	// IndexProbes counts posting-list lookups in the equi-join
+	// candidate index (Options.UseJoinIndex).
+	IndexProbes int64
+	// TuplesSkipped counts tuples a full sweep would have visited that
+	// the candidate-only iteration avoided; TuplesScanned + the skip
+	// count of one scan equals the sweep's scope, so the pair makes the
+	// saving of the join index directly observable.
+	TuplesSkipped int64
 	// MaxResident tracks the peak number of tuple sets simultaneously
 	// held in Complete and Incomplete (Corollary 4.7 bounds it by the
 	// number of result tuple sets).
@@ -39,6 +47,8 @@ func (s *Stats) Add(other Stats) {
 	s.TuplesScanned += other.TuplesScanned
 	s.ListScans += other.ListScans
 	s.PageReads += other.PageReads
+	s.IndexProbes += other.IndexProbes
+	s.TuplesSkipped += other.TuplesSkipped
 	if other.MaxResident > s.MaxResident {
 		s.MaxResident = other.MaxResident
 	}
@@ -46,6 +56,7 @@ func (s *Stats) Add(other Stats) {
 
 // String renders the counters compactly.
 func (s Stats) String() string {
-	return fmt.Sprintf("iters=%d emitted=%d jcc=%d scanned=%d listScans=%d pageReads=%d maxResident=%d",
-		s.Iterations, s.Emitted, s.JCCChecks, s.TuplesScanned, s.ListScans, s.PageReads, s.MaxResident)
+	return fmt.Sprintf("iters=%d emitted=%d jcc=%d scanned=%d skipped=%d probes=%d listScans=%d pageReads=%d maxResident=%d",
+		s.Iterations, s.Emitted, s.JCCChecks, s.TuplesScanned, s.TuplesSkipped, s.IndexProbes,
+		s.ListScans, s.PageReads, s.MaxResident)
 }

@@ -5,6 +5,11 @@
 // for γ-acyclic schemas — here applied to tree-connected schemas such
 // as the chain and star workloads, which are γ-acyclic.
 //
+// Rows are held as dictionary-code slices over the database's value
+// dictionary, so every join condition, subsumption test and row key is
+// computed by integer comparison; the dictionary is consulted only when
+// rendering text.
+//
 // This is the comparator the paper positions INCREMENTALFD against in
 // the introduction: applicable only to a restricted class of schemas,
 // and inherently non-incremental (every outerjoin materialises fully
@@ -14,6 +19,7 @@ package join
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/graph"
 	"repro/internal/relation"
@@ -21,19 +27,32 @@ import (
 
 // PaddedRelation is a relation over an explicit attribute list whose
 // rows may be padded with nulls. It is the intermediate representation
-// of the outerjoin pipeline.
+// of the outerjoin pipeline. Rows hold dictionary codes
+// (relation.NullCode = ⊥) resolved against Dict.
 type PaddedRelation struct {
 	Attrs []relation.Attribute // sorted
-	Rows  [][]relation.Value
+	Dict  *relation.Dict       // decodes Rows for rendering
+	Rows  [][]int32
 }
 
-// FromRelation lifts a base relation into padded form.
-func FromRelation(r *relation.Relation) *PaddedRelation {
+// FromRelation lifts base relation rel of db into padded form, copying
+// the database's code columns into row-major order.
+func FromRelation(db *relation.Database, rel int) *PaddedRelation {
+	r := db.Relation(rel)
 	attrs := r.Schema().Attributes()
-	out := &PaddedRelation{Attrs: append([]relation.Attribute(nil), attrs...)}
+	out := &PaddedRelation{
+		Attrs: append([]relation.Attribute(nil), attrs...),
+		Dict:  db.Dict(),
+	}
+	cols := make([][]int32, len(attrs))
+	for p := range attrs {
+		cols[p] = db.Col(rel, p)
+	}
 	for i := 0; i < r.Len(); i++ {
-		row := make([]relation.Value, len(attrs))
-		copy(row, r.Tuple(i).Values)
+		row := make([]int32, len(attrs))
+		for p := range attrs {
+			row[p] = cols[p][i]
+		}
 		out.Rows = append(out.Rows, row)
 	}
 	return out
@@ -41,23 +60,6 @@ func FromRelation(r *relation.Relation) *PaddedRelation {
 
 // Len returns the number of rows.
 func (p *PaddedRelation) Len() int { return len(p.Rows) }
-
-// position returns the index of attribute a in p.Attrs, or -1.
-func (p *PaddedRelation) position(a relation.Attribute) int {
-	lo, hi := 0, len(p.Attrs)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if p.Attrs[mid] < a {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	if lo < len(p.Attrs) && p.Attrs[lo] == a {
-		return lo
-	}
-	return -1
-}
 
 // sharedPositions returns aligned positions of the attributes common to
 // a and b.
@@ -111,12 +113,14 @@ func unionAttrs(a, b *PaddedRelation) (attrs []relation.Attribute, mapA, mapB []
 	return attrs, mapA, mapB
 }
 
-// joinable reports whether rows ra and rb agree (non-null equality) on
-// every shared attribute. This matches the join-consistency semantics
-// of the full disjunction: a null never matches anything.
-func joinable(ra, rb []relation.Value, pa, pb []int) bool {
+// joinable reports whether rows ra and rb agree (non-null code
+// equality) on every shared attribute. This matches the
+// join-consistency semantics of the full disjunction: a null never
+// matches anything.
+func joinable(ra, rb []int32, pa, pb []int) bool {
 	for k := range pa {
-		if !ra[pa[k]].JoinsWith(rb[pb[k]]) {
+		va := ra[pa[k]]
+		if va == relation.NullCode || va != rb[pb[k]] {
 			return false
 		}
 	}
@@ -129,7 +133,7 @@ func joinable(ra, rb []relation.Value, pa, pb []int) bool {
 func NaturalJoin(a, b *PaddedRelation) *PaddedRelation {
 	attrs, mapA, mapB := unionAttrs(a, b)
 	pa, pb := sharedPositions(a, b)
-	out := &PaddedRelation{Attrs: attrs}
+	out := &PaddedRelation{Attrs: attrs, Dict: a.dict(b)}
 	for _, ra := range a.Rows {
 		for _, rb := range b.Rows {
 			if !joinable(ra, rb, pa, pb) {
@@ -141,12 +145,21 @@ func NaturalJoin(a, b *PaddedRelation) *PaddedRelation {
 	return out
 }
 
+// dict picks the dictionary shared by the two operands (either may be a
+// hand-built relation without one).
+func (p *PaddedRelation) dict(q *PaddedRelation) *relation.Dict {
+	if p.Dict != nil {
+		return p.Dict
+	}
+	return q.Dict
+}
+
 // FullOuterJoin computes a ⟗ b: matching combinations plus dangling
 // rows of both sides padded with nulls.
 func FullOuterJoin(a, b *PaddedRelation) *PaddedRelation {
 	attrs, mapA, mapB := unionAttrs(a, b)
 	pa, pb := sharedPositions(a, b)
-	out := &PaddedRelation{Attrs: attrs}
+	out := &PaddedRelation{Attrs: attrs, Dict: a.dict(b)}
 	matchedB := make([]bool, len(b.Rows))
 	for _, ra := range a.Rows {
 		matched := false
@@ -170,18 +183,18 @@ func FullOuterJoin(a, b *PaddedRelation) *PaddedRelation {
 	return out
 }
 
-func combine(width int, ra []relation.Value, mapA []int, rb []relation.Value, mapB []int) []relation.Value {
-	row := make([]relation.Value, width)
-	for i, v := range ra {
-		row[mapA[i]] = v
+func combine(width int, ra []int32, mapA []int, rb []int32, mapB []int) []int32 {
+	row := make([]int32, width)
+	for i, c := range ra {
+		row[mapA[i]] = c
 	}
-	for i, v := range rb {
+	for i, c := range rb {
 		// On shared attributes both sides agree (joinable) except that
 		// one side may carry ⊥ where... it cannot: joinable demands
 		// non-null equality on shared attributes, so overwriting is
 		// safe; for dangling rows the other side is absent entirely.
-		if row[mapB[i]].IsNull() {
-			row[mapB[i]] = v
+		if row[mapB[i]] == relation.NullCode {
+			row[mapB[i]] = c
 		}
 	}
 	return row
@@ -191,7 +204,7 @@ func combine(width int, ra []relation.Value, mapA []int, rb []relation.Value, ma
 // row q is removed when a different row p has every non-null value of
 // q, with ties (duplicate rows) keeping one copy.
 func RemoveSubsumed(p *PaddedRelation) *PaddedRelation {
-	out := &PaddedRelation{Attrs: p.Attrs}
+	out := &PaddedRelation{Attrs: p.Attrs, Dict: p.Dict}
 	for i, q := range p.Rows {
 		subsumed := false
 		for j, r := range p.Rows {
@@ -210,9 +223,9 @@ func RemoveSubsumed(p *PaddedRelation) *PaddedRelation {
 	return out
 }
 
-func rowSubsumes(p, q []relation.Value) bool {
+func rowSubsumes(p, q []int32) bool {
 	for i := range q {
-		if q[i].IsNull() {
+		if q[i] == relation.NullCode {
 			continue
 		}
 		if p[i] != q[i] {
@@ -241,16 +254,17 @@ func FullDisjunction(db *relation.Database) (*PaddedRelation, error) {
 		return nil, fmt.Errorf("join: schema is not Berge-acyclic; the outerjoin method does not apply")
 	}
 	order := conn.BFSOrder(0)
-	acc := FromRelation(db.Relation(order[0]))
+	acc := FromRelation(db, order[0])
 	for _, r := range order[1:] {
-		acc = RemoveSubsumed(FullOuterJoin(acc, FromRelation(db.Relation(r))))
+		acc = RemoveSubsumed(FullOuterJoin(acc, FromRelation(db, r)))
 	}
 	return RemoveSubsumed(acc), nil
 }
 
 // Keys returns the canonical row keys of p, sorted, for comparison with
-// the padded rendering of a tuple-set full disjunction. Duplicate rows
-// collapse to one key, matching the set semantics of [2].
+// the padded rendering of a tuple-set full disjunction (the binary code
+// encoding of tupleset.Padded.Key). Duplicate rows collapse to one key,
+// matching the set semantics of [2].
 func (p *PaddedRelation) Keys() []string {
 	seen := make(map[string]bool, len(p.Rows))
 	var out []string
@@ -265,32 +279,36 @@ func (p *PaddedRelation) Keys() []string {
 	return out
 }
 
-func rowKey(row []relation.Value) string {
-	key := ""
-	for i, v := range row {
-		if i > 0 {
-			key += "\x1f"
-		}
-		if v.IsNull() {
-			key += relation.NullToken
-		} else {
-			key += v.Datum()
+// rowKey encodes a code row in the canonical binary format shared with
+// tupleset.Padded.Key, so the E10 cross-algorithm comparison compares
+// like with like.
+func rowKey(row []int32) string {
+	return relation.CodeKey(row)
+}
+
+// Render decodes row i into datum strings, using relation.NullToken for
+// ⊥ — the human-readable counterpart of the binary row keys. Hand-built
+// relations without a dictionary render raw codes as #n.
+func (p *PaddedRelation) Render(i int) []string {
+	out := make([]string, len(p.Rows[i]))
+	for j, c := range p.Rows[i] {
+		switch {
+		case c == relation.NullCode:
+			out[j] = relation.NullToken
+		case p.Dict == nil:
+			out[j] = fmt.Sprintf("#%d", c)
+		default:
+			out[j] = p.Dict.Datum(c)
 		}
 	}
-	return key
+	return out
 }
 
 // String renders the relation as an ASCII table.
 func (p *PaddedRelation) String() string {
 	s := fmt.Sprintf("%v\n", p.Attrs)
-	for _, row := range p.Rows {
-		for i, v := range row {
-			if i > 0 {
-				s += ", "
-			}
-			s += v.String()
-		}
-		s += "\n"
+	for i := range p.Rows {
+		s += strings.Join(p.Render(i), ", ") + "\n"
 	}
 	return s
 }

@@ -22,16 +22,46 @@ func mkRel(t *testing.T, name string, attrs []relation.Attribute, rows ...map[re
 
 func v(s string) relation.Value { return relation.V(s) }
 
+// mkDB wraps relations into a database so their values receive
+// dictionary codes.
+func mkDB(t *testing.T, rels ...*relation.Relation) *relation.Database {
+	t.Helper()
+	db, err := relation.NewDatabase(rels...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// key builds the expected binary row key for the given datums ("" = ⊥)
+// using the database dictionary — the test-side mirror of rowKey.
+func key(t *testing.T, db *relation.Database, datums ...string) string {
+	t.Helper()
+	row := make([]int32, len(datums))
+	for i, s := range datums {
+		if s == "" {
+			continue
+		}
+		c, ok := db.Dict().Code(s)
+		if !ok {
+			t.Fatalf("datum %q not in dictionary", s)
+		}
+		row[i] = c
+	}
+	return rowKey(row)
+}
+
 func TestNaturalJoinBasics(t *testing.T) {
-	a := FromRelation(mkRel(t, "A", []relation.Attribute{"X", "Y"},
-		map[relation.Attribute]relation.Value{"X": v("1"), "Y": v("2")},
-		map[relation.Attribute]relation.Value{"X": v("3"), "Y": v("4")},
-	))
-	b := FromRelation(mkRel(t, "B", []relation.Attribute{"Y", "Z"},
-		map[relation.Attribute]relation.Value{"Y": v("2"), "Z": v("9")},
-		map[relation.Attribute]relation.Value{"Y": v("7"), "Z": v("8")},
-	))
-	j := NaturalJoin(a, b)
+	db := mkDB(t,
+		mkRel(t, "A", []relation.Attribute{"X", "Y"},
+			map[relation.Attribute]relation.Value{"X": v("1"), "Y": v("2")},
+			map[relation.Attribute]relation.Value{"X": v("3"), "Y": v("4")},
+		),
+		mkRel(t, "B", []relation.Attribute{"Y", "Z"},
+			map[relation.Attribute]relation.Value{"Y": v("2"), "Z": v("9")},
+			map[relation.Attribute]relation.Value{"Y": v("7"), "Z": v("8")},
+		))
+	j := NaturalJoin(FromRelation(db, 0), FromRelation(db, 1))
 	if j.Len() != 1 {
 		t.Fatalf("join size = %d, want 1", j.Len())
 	}
@@ -39,42 +69,43 @@ func TestNaturalJoinBasics(t *testing.T) {
 	if !reflect.DeepEqual(j.Attrs, want) {
 		t.Errorf("attrs = %v", j.Attrs)
 	}
-	row := j.Rows[0]
-	if row[0] != v("1") || row[1] != v("2") || row[2] != v("9") {
-		t.Errorf("row = %v", row)
+	if got := j.Render(0); !reflect.DeepEqual(got, []string{"1", "2", "9"}) {
+		t.Errorf("row = %v", got)
 	}
 }
 
 func TestNaturalJoinNullNeverMatches(t *testing.T) {
-	a := FromRelation(mkRel(t, "A", []relation.Attribute{"X", "Y"},
-		map[relation.Attribute]relation.Value{"X": v("1")}, // Y = ⊥
-	))
-	b := FromRelation(mkRel(t, "B", []relation.Attribute{"Y", "Z"},
-		map[relation.Attribute]relation.Value{"Z": v("9")}, // Y = ⊥
-	))
-	if j := NaturalJoin(a, b); j.Len() != 0 {
+	db := mkDB(t,
+		mkRel(t, "A", []relation.Attribute{"X", "Y"},
+			map[relation.Attribute]relation.Value{"X": v("1")}, // Y = ⊥
+		),
+		mkRel(t, "B", []relation.Attribute{"Y", "Z"},
+			map[relation.Attribute]relation.Value{"Z": v("9")}, // Y = ⊥
+		))
+	if j := NaturalJoin(FromRelation(db, 0), FromRelation(db, 1)); j.Len() != 0 {
 		t.Errorf("⊥ = ⊥ must not match; join has %d rows", j.Len())
 	}
 }
 
 func TestFullOuterJoinPreservesDangling(t *testing.T) {
-	a := FromRelation(mkRel(t, "A", []relation.Attribute{"X", "Y"},
-		map[relation.Attribute]relation.Value{"X": v("1"), "Y": v("2")},
-		map[relation.Attribute]relation.Value{"X": v("5"), "Y": v("6")},
-	))
-	b := FromRelation(mkRel(t, "B", []relation.Attribute{"Y", "Z"},
-		map[relation.Attribute]relation.Value{"Y": v("2"), "Z": v("9")},
-		map[relation.Attribute]relation.Value{"Y": v("7"), "Z": v("8")},
-	))
-	j := FullOuterJoin(a, b)
+	db := mkDB(t,
+		mkRel(t, "A", []relation.Attribute{"X", "Y"},
+			map[relation.Attribute]relation.Value{"X": v("1"), "Y": v("2")},
+			map[relation.Attribute]relation.Value{"X": v("5"), "Y": v("6")},
+		),
+		mkRel(t, "B", []relation.Attribute{"Y", "Z"},
+			map[relation.Attribute]relation.Value{"Y": v("2"), "Z": v("9")},
+			map[relation.Attribute]relation.Value{"Y": v("7"), "Z": v("8")},
+		))
+	j := FullOuterJoin(FromRelation(db, 0), FromRelation(db, 1))
 	if j.Len() != 3 { // 1 match + 1 dangling left + 1 dangling right
 		t.Fatalf("outerjoin size = %d, want 3: %s", j.Len(), j)
 	}
 	keys := j.Keys()
 	wantKeys := []string{
-		"1\x1f2\x1f9",
-		"5\x1f6\x1f" + relation.NullToken,
-		relation.NullToken + "\x1f7\x1f8",
+		key(t, db, "1", "2", "9"),
+		key(t, db, "5", "6", ""),
+		key(t, db, "", "7", "8"),
 	}
 	sort.Strings(wantKeys)
 	if !reflect.DeepEqual(keys, wantKeys) {
@@ -83,14 +114,15 @@ func TestFullOuterJoinPreservesDangling(t *testing.T) {
 }
 
 func TestRemoveSubsumed(t *testing.T) {
+	// Codes stand in for values directly; no dictionary needed.
 	p := &PaddedRelation{
 		Attrs: []relation.Attribute{"X", "Y"},
-		Rows: [][]relation.Value{
-			{v("1"), v("2")},
-			{v("1"), relation.Null}, // subsumed by the first row
-			{relation.Null, v("3")}, // kept
-			{v("1"), v("2")},        // duplicate: one copy kept
-			{relation.Null, v("3")}, // duplicate
+		Rows: [][]int32{
+			{1, 2},
+			{1, relation.NullCode}, // subsumed by the first row
+			{relation.NullCode, 3}, // kept
+			{1, 2},                 // duplicate: one copy kept
+			{relation.NullCode, 3}, // duplicate
 		},
 	}
 	out := RemoveSubsumed(p)
@@ -166,7 +198,7 @@ func TestFullDisjunctionRejectsNonTree(t *testing.T) {
 func TestKeysCollapseDuplicates(t *testing.T) {
 	p := &PaddedRelation{
 		Attrs: []relation.Attribute{"X"},
-		Rows:  [][]relation.Value{{v("1")}, {v("1")}, {v("2")}},
+		Rows:  [][]int32{{1}, {1}, {2}},
 	}
 	if got := p.Keys(); len(got) != 2 {
 		t.Errorf("keys = %v", got)

@@ -6,6 +6,11 @@
 // small instances in unit and property tests, and to demonstrate the
 // NP-hardness result of Proposition 5.1 empirically. They must never be
 // used on large inputs.
+//
+// The oracles deliberately enumerate by full database sweeps (no
+// candidate index), but their join-consistency checks go through the
+// same columnar dictionary-code predicates as the real algorithms, so
+// agreement between oracle and algorithm also exercises the encoding.
 package naive
 
 import (

@@ -109,7 +109,7 @@ func TestTopKOrdering(t *testing.T) {
 	fmax := func(s *tupleset.Set) float64 {
 		best := 0.0
 		for _, ref := range s.Refs() {
-			if imp := db.Tuple(ref).Imp; imp > best {
+			if imp := db.Imp(ref); imp > best {
 				best = imp
 			}
 		}

@@ -42,7 +42,7 @@ func (FMax) C() int { return 1 }
 func (FMax) Rank(u *tupleset.Universe, t *tupleset.Set) float64 {
 	best := 0.0
 	for _, ref := range t.Refs() {
-		if imp := u.DB.Tuple(ref).Imp; imp > best {
+		if imp := u.DB.Imp(ref); imp > best {
 			best = imp
 		}
 	}
@@ -64,7 +64,7 @@ func (FSum) C() int { return 0 }
 func (FSum) Rank(u *tupleset.Universe, t *tupleset.Set) float64 {
 	sum := 0.0
 	for _, ref := range t.Refs() {
-		sum += u.DB.Tuple(ref).Imp
+		sum += u.DB.Imp(ref)
 	}
 	return sum
 }
@@ -143,7 +143,7 @@ func PairSum() *MaxOverConnected {
 		Score: func(u *tupleset.Universe, members []relation.Ref) float64 {
 			sum := 0.0
 			for _, r := range members {
-				sum += u.DB.Tuple(r).Imp
+				sum += u.DB.Imp(r)
 			}
 			return sum
 		},
@@ -163,7 +163,7 @@ func PaperTriple() *MaxOverConnected {
 		Score: func(u *tupleset.Universe, members []relation.Ref) float64 {
 			imps := make([]float64, len(members))
 			for i, r := range members {
-				imps[i] = u.DB.Tuple(r).Imp
+				imps[i] = u.DB.Imp(r)
 			}
 			switch len(imps) {
 			case 1:

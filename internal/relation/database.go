@@ -2,6 +2,7 @@ package relation
 
 import (
 	"fmt"
+	"sync"
 )
 
 // Ref identifies a tuple globally within a Database: relation index Rel
@@ -29,8 +30,13 @@ type PosPair struct {
 //   - for each connected pair, the list of shared attribute positions,
 //     which makes pairwise join-consistency a linear walk.
 //
-// Build a Database with NewDatabase; afterwards neither the relations
-// nor their tuples may be mutated.
+// Build a Database with NewDatabase. Tuple values and metadata may
+// still be adjusted in place between NewDatabase and the database's
+// first query (the tourist workloads misspell a country that way); the
+// first query freezes the database by encoding it into the columnar
+// dictionary mirror, and any mutation after that point is silently
+// ignored by every predicate. Relations themselves (schemas, tuple
+// counts) must not change once added.
 type Database struct {
 	rels []*Relation
 	// shared[i][j] lists the shared attribute positions between
@@ -42,6 +48,25 @@ type Database struct {
 	size int
 	// tuples is the total number of tuples across all relations.
 	tuples int
+
+	// The columnar value layer: a database-wide dictionary interning
+	// every distinct non-null datum, the relations' values mirrored
+	// column-major as code slices, flat importance/probability columns,
+	// and the equi-join posting index over the code columns.
+	//
+	// The mirror is built lazily on first query (encodeOnce) rather
+	// than in NewDatabase: callers are allowed to adjust tuple values
+	// and metadata between NewDatabase and the first query (the tourist
+	// workloads misspell a country that way); after the first query the
+	// relations must not be mutated at all.
+	encodeOnce sync.Once
+	dict       *Dict
+	// cols[rel][pos][idx] is the dictionary code of tuple idx of
+	// relation rel at schema position pos.
+	cols  [][][]int32
+	imps  [][]float64
+	probs [][]float64
+	index *JoinIndex
 }
 
 // NewDatabase builds a database over the given relations. Relation
@@ -164,20 +189,111 @@ func (db *Database) ConnectedRelations(i, j int) bool {
 // The returned slice must not be modified.
 func (db *Database) Adjacent(i int) []int { return db.adj[i] }
 
+// ensureEncoded builds the columnar value layer on first use: the
+// dictionary, the per-relation code columns, the flat imp/prob columns
+// and the equi-join posting index. It is safe for concurrent use (the
+// parallel driver shares one Database across goroutines).
+func (db *Database) ensureEncoded() {
+	db.encodeOnce.Do(func() {
+		dict := newDictBuilder()
+		n := len(db.rels)
+		cols := make([][][]int32, n)
+		imps := make([][]float64, n)
+		probs := make([][]float64, n)
+		for r, rel := range db.rels {
+			width := rel.Schema().Len()
+			m := rel.Len()
+			relCols := make([][]int32, width)
+			flat := make([]int32, width*m) // one backing array per relation
+			for p := range relCols {
+				relCols[p] = flat[p*m : (p+1)*m : (p+1)*m]
+			}
+			imp := make([]float64, m)
+			prob := make([]float64, m)
+			for i := 0; i < m; i++ {
+				t := rel.Tuple(i)
+				for p, v := range t.Values {
+					relCols[p][i] = dict.intern(v)
+				}
+				imp[i] = t.Imp
+				prob[i] = t.Prob
+			}
+			cols[r] = relCols
+			imps[r] = imp
+			probs[r] = prob
+		}
+		db.dict = dict
+		db.cols = cols
+		db.imps = imps
+		db.probs = probs
+		db.index = buildJoinIndex(cols)
+	})
+}
+
+// Dict returns the database's value dictionary, encoding the database
+// first if needed.
+func (db *Database) Dict() *Dict {
+	db.ensureEncoded()
+	return db.dict
+}
+
+// Index returns the equi-join candidate index, encoding the database
+// first if needed.
+func (db *Database) Index() *JoinIndex {
+	db.ensureEncoded()
+	return db.index
+}
+
+// Col returns the code column of relation rel at schema position pos:
+// one code per tuple, NullCode for ⊥. The slice must not be modified.
+func (db *Database) Col(rel, pos int) []int32 {
+	db.ensureEncoded()
+	return db.cols[rel][pos]
+}
+
+// Code returns the dictionary code of the referenced tuple's value at
+// schema position pos.
+func (db *Database) Code(ref Ref, pos int) int32 {
+	db.ensureEncoded()
+	return db.cols[ref.Rel][pos][ref.Idx]
+}
+
+// Imp returns the importance imp(t) of the referenced tuple from the
+// flat columnar mirror (Section 5 ranking functions read this in their
+// hot loops).
+func (db *Database) Imp(ref Ref) float64 {
+	db.ensureEncoded()
+	return db.imps[ref.Rel][ref.Idx]
+}
+
+// Prob returns the probability prob(t) of the referenced tuple from the
+// flat columnar mirror (Section 6 approximate joins read this in their
+// hot loops).
+func (db *Database) Prob(ref Ref) float64 {
+	db.ensureEncoded()
+	return db.probs[ref.Rel][ref.Idx]
+}
+
 // JoinConsistent reports whether the two referenced tuples are join
 // consistent: for every attribute shared by their schemas the values
 // are equal and non-null. Tuples of the same relation are never join
 // consistent (they share their whole schema, and a tuple set may not
 // contain two tuples of one relation); a tuple is vacuously consistent
 // with itself.
+//
+// The predicate is evaluated over the columnar code mirror: per shared
+// attribute it is two int32 loads and an integer compare, with no Tuple
+// materialisation and no string comparison.
 func (db *Database) JoinConsistent(a, b Ref) bool {
 	if a.Rel == b.Rel {
 		return a.Idx == b.Idx
 	}
-	ta := db.Tuple(a)
-	tb := db.Tuple(b)
+	db.ensureEncoded()
+	ca := db.cols[a.Rel]
+	cb := db.cols[b.Rel]
 	for _, p := range db.shared[a.Rel][b.Rel] {
-		if !ta.Values[p.P1].JoinsWith(tb.Values[p.P2]) {
+		va := ca[p.P1][a.Idx]
+		if va == NullCode || va != cb[p.P2][b.Idx] {
 			return false
 		}
 	}

@@ -1,0 +1,90 @@
+package relation
+
+import "strings"
+
+// NullCode is the dictionary code of the null value ⊥. It is never
+// assigned to a datum, so an equality test between two codes implements
+// the join-consistency predicate t1[A] = t2[A] ≠ ⊥ as
+//
+//	c1 != NullCode && c1 == c2
+//
+// with no string comparison.
+const NullCode int32 = 0
+
+// Dict is a database-wide value dictionary: every distinct non-null
+// datum appearing in any relation of a Database is interned once and
+// assigned a dense positive int32 code. Code 0 (NullCode) is reserved
+// for ⊥. The dictionary is immutable once the database is encoded; all
+// hot-path comparisons happen on codes, and the dictionary is consulted
+// only when real text is needed (rendering, CSV output, similarity).
+type Dict struct {
+	codes  map[string]int32
+	datums []string // datums[c-1] is the datum of code c ≥ 1
+}
+
+// newDictBuilder returns an empty mutable dictionary, used only while a
+// Database encodes itself.
+func newDictBuilder() *Dict {
+	return &Dict{codes: make(map[string]int32)}
+}
+
+// intern returns the code of v, assigning a fresh one on first sight.
+// The null value always maps to NullCode.
+func (d *Dict) intern(v Value) int32 {
+	if v.IsNull() {
+		return NullCode
+	}
+	if c, ok := d.codes[v.datum]; ok {
+		return c
+	}
+	d.datums = append(d.datums, v.datum)
+	c := int32(len(d.datums)) // codes start at 1; 0 is ⊥
+	d.codes[v.datum] = c
+	return c
+}
+
+// Len returns the number of distinct non-null datums interned.
+func (d *Dict) Len() int { return len(d.datums) }
+
+// Code returns the code of datum s and whether s occurs in the
+// database. The empty string is an ordinary datum (V("") is non-null)
+// and receives a regular positive code; ⊥ is not addressable by string.
+func (d *Dict) Code(s string) (int32, bool) {
+	c, ok := d.codes[s]
+	return c, ok
+}
+
+// Lookup decodes a code back into a Value. NullCode decodes to Null.
+func (d *Dict) Lookup(c int32) Value {
+	if c == NullCode {
+		return Null
+	}
+	return V(d.datums[c-1])
+}
+
+// Datum returns the string carried by code c; it returns the empty
+// string for NullCode (mirroring Value.Datum for the null value).
+func (d *Dict) Datum(c int32) string {
+	if c == NullCode {
+		return ""
+	}
+	return d.datums[c-1]
+}
+
+// CodeKey encodes a code row as a compact binary string, 4 bytes per
+// code, little endian. It is the canonical key format shared by the
+// padded-tuple renderings across packages (tupleset.Padded.Key and the
+// outerjoin baseline's row keys): keys built over the same database and
+// attribute list are equal iff the code rows are equal.
+func CodeKey(codes []int32) string {
+	var b strings.Builder
+	b.Grow(4 * len(codes))
+	for _, c := range codes {
+		v := uint32(c)
+		b.WriteByte(byte(v))
+		b.WriteByte(byte(v >> 8))
+		b.WriteByte(byte(v >> 16))
+		b.WriteByte(byte(v >> 24))
+	}
+	return b.String()
+}

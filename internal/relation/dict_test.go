@@ -1,0 +1,229 @@
+package relation_test
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+// mkRelation builds a small relation exercising nulls, duplicate datums
+// and the empty-string datum.
+func mkRelation(t *testing.T) *relation.Relation {
+	t.Helper()
+	r := relation.MustRelation("R", relation.MustSchema("A", "B"))
+	r.MustAppend("t1", map[relation.Attribute]relation.Value{"A": relation.V("x"), "B": relation.V("y")})
+	r.MustAppend("t2", map[relation.Attribute]relation.Value{"A": relation.V("x")}) // B = ⊥
+	r.MustAppend("t3", map[relation.Attribute]relation.Value{"B": relation.V("x")}) // A = ⊥, duplicate datum across columns
+	return r
+}
+
+// TestDictInternsOnce: duplicate datums receive one code, nulls map to
+// NullCode, and every cell round-trips through the dictionary.
+func TestDictInternsOnce(t *testing.T) {
+	db := relation.MustDatabase(mkRelation(t))
+	dict := db.Dict()
+	// Datums are {"x", "y"}: "x" appears three times but is interned once.
+	if dict.Len() != 2 {
+		t.Fatalf("dict.Len() = %d, want 2", dict.Len())
+	}
+	rel := db.Relation(0)
+	for i := 0; i < rel.Len(); i++ {
+		for p := 0; p < rel.Schema().Len(); p++ {
+			want := rel.Tuple(i).Values[p]
+			code := db.Code(relation.Ref{Rel: 0, Idx: int32(i)}, p)
+			if got := dict.Lookup(code); got != want {
+				t.Errorf("tuple %d pos %d: code %d decodes to %#v, want %#v", i, p, code, got, want)
+			}
+			if want.IsNull() != (code == relation.NullCode) {
+				t.Errorf("tuple %d pos %d: null/code mismatch (code %d, value %#v)", i, p, code, want)
+			}
+		}
+	}
+	// The same datum in different columns carries the same code.
+	cx := db.Code(relation.Ref{Rel: 0, Idx: 0}, 0) // t1.A = "x"
+	bx := db.Code(relation.Ref{Rel: 0, Idx: 2}, 1) // t3.B = "x"
+	if cx != bx {
+		t.Errorf("datum \"x\" has codes %d and %d in different columns", cx, bx)
+	}
+}
+
+// TestDictEmptyStringVsNull: V("") is an ordinary non-null datum with a
+// positive code, distinct from ⊥ in memory. The CSV codec, however,
+// reads an empty cell as ⊥, so an empty-string datum does not survive a
+// CSV round-trip — pinned here as documented codec behaviour.
+func TestDictEmptyStringVsNull(t *testing.T) {
+	r := relation.MustRelation("E", relation.MustSchema("A", "B"))
+	r.MustAppend("", map[relation.Attribute]relation.Value{"A": relation.V("")}) // A = "", B = ⊥
+	db := relation.MustDatabase(r)
+	dict := db.Dict()
+	empty := db.Code(relation.Ref{}, 0)
+	null := db.Code(relation.Ref{}, 1)
+	if empty == relation.NullCode {
+		t.Error("V(\"\") received NullCode; empty string must stay distinct from ⊥")
+	}
+	if null != relation.NullCode {
+		t.Errorf("⊥ received code %d, want NullCode", null)
+	}
+	if v := dict.Lookup(empty); v.IsNull() || v.Datum() != "" {
+		t.Errorf("code %d decodes to %#v, want V(\"\")", empty, v)
+	}
+	if c, ok := dict.Code(""); !ok || c != empty {
+		t.Errorf("Dict.Code(\"\") = %d, %v; want %d, true", c, ok, empty)
+	}
+
+	var buf bytes.Buffer
+	if err := relation.WriteCSV(r, &buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := relation.ReadCSV("E", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Tuple(0).Values[0].IsNull() {
+		t.Error("CSV round-trip: empty-string datum should collapse to ⊥ (empty cell)")
+	}
+}
+
+// TestDictRoundTripCSV: writing a relation to CSV, reading it back and
+// re-encoding yields a dictionary that decodes every cell to the same
+// value, with duplicates still interned once.
+func TestDictRoundTripCSV(t *testing.T) {
+	orig := relation.MustDatabase(mkRelation(t))
+	var buf bytes.Buffer
+	if err := relation.WriteCSV(orig.Relation(0), &buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := relation.ReadCSV("R", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2 := relation.MustDatabase(back)
+	if got, want := db2.Dict().Len(), orig.Dict().Len(); got != want {
+		t.Fatalf("round-trip dictionary has %d datums, want %d", got, want)
+	}
+	rel := orig.Relation(0)
+	for i := 0; i < rel.Len(); i++ {
+		for p := 0; p < rel.Schema().Len(); p++ {
+			ref := relation.Ref{Rel: 0, Idx: int32(i)}
+			a := orig.Dict().Lookup(orig.Code(ref, p))
+			b := db2.Dict().Lookup(db2.Code(ref, p))
+			if a != b {
+				t.Errorf("tuple %d pos %d: %#v != %#v after round-trip", i, p, a, b)
+			}
+		}
+	}
+}
+
+// TestPostingsMatchColumns: for every column, the posting lists of the
+// join index partition exactly the non-null tuple indices, ascending.
+func TestPostingsMatchColumns(t *testing.T) {
+	db, err := workload.Random(workload.Config{
+		Relations: 4, TuplesPerRelation: 8, Domain: 3, NullRate: 0.25, Seed: 7}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := db.Index()
+	for r := 0; r < db.NumRelations(); r++ {
+		rel := db.Relation(r)
+		for p := 0; p < rel.Schema().Len(); p++ {
+			col := db.Col(r, p)
+			counted := 0
+			seenCodes := map[int32]bool{}
+			for _, code := range col {
+				if code == relation.NullCode || seenCodes[code] {
+					continue
+				}
+				seenCodes[code] = true
+				idxs := ix.Postings(r, p, code)
+				last := int32(-1)
+				for _, i := range idxs {
+					if i <= last {
+						t.Fatalf("rel %d pos %d code %d: posting list not ascending: %v", r, p, code, idxs)
+					}
+					last = i
+					if col[i] != code {
+						t.Fatalf("rel %d pos %d: posting claims tuple %d has code %d, column has %d",
+							r, p, i, code, col[i])
+					}
+					counted++
+				}
+			}
+			nonNull := 0
+			for _, code := range col {
+				if code != relation.NullCode {
+					nonNull++
+				}
+			}
+			if counted != nonNull {
+				t.Fatalf("rel %d pos %d: postings cover %d tuples, column has %d non-null", r, p, counted, nonNull)
+			}
+			if ix.Postings(r, p, relation.NullCode) != nil {
+				t.Fatalf("rel %d pos %d: NullCode has a posting list", r, p)
+			}
+		}
+	}
+}
+
+// TestPropertyCodeJoinConsistent: the code-based JoinConsistent agrees
+// with a string-based oracle (Value.JoinsWith over the row storage) on
+// every tuple pair of random databases.
+func TestPropertyCodeJoinConsistent(t *testing.T) {
+	f := func(seed int64, relations, tuples, domain uint8, nullRate float64, dense bool) bool {
+		nr := nullRate - float64(int(nullRate))
+		if nr < 0 {
+			nr = -nr
+		}
+		density := 0.3
+		if dense {
+			density = 0.8
+		}
+		db, err := workload.Random(workload.Config{
+			Relations:         2 + int(relations%4),
+			TuplesPerRelation: 1 + int(tuples%6),
+			Domain:            1 + int(domain%4),
+			NullRate:          nr * 0.6,
+			Seed:              seed,
+		}, density)
+		if err != nil {
+			return true
+		}
+		var refs []relation.Ref
+		db.ForEachRef(func(ref relation.Ref) bool {
+			refs = append(refs, ref)
+			return true
+		})
+		for _, a := range refs {
+			for _, b := range refs {
+				got := db.JoinConsistent(a, b)
+				want := oracleJoinConsistent(db, a, b)
+				if got != want {
+					t.Logf("JoinConsistent(%v, %v) = %v, oracle says %v", a, b, got, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// oracleJoinConsistent re-states the paper's definition over the boxed
+// string values, independent of the dictionary encoding.
+func oracleJoinConsistent(db *relation.Database, a, b relation.Ref) bool {
+	if a.Rel == b.Rel {
+		return a.Idx == b.Idx
+	}
+	ta := db.Tuple(a)
+	tb := db.Tuple(b)
+	for _, p := range db.SharedPositions(int(a.Rel), int(b.Rel)) {
+		if !ta.Values[p.P1].JoinsWith(tb.Values[p.P2]) {
+			return false
+		}
+	}
+	return true
+}

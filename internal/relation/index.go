@@ -1,0 +1,46 @@
+package relation
+
+// JoinIndex is the equi-join candidate index of a Database: for every
+// relation and attribute position, a posting map from dictionary code to
+// the ascending list of tuple indices carrying that code in that column.
+//
+// Together with the shared-attribute position pairs the database already
+// precomputes, this turns "which tuples of relation j can possibly be
+// join consistent with tuple t of relation i?" into a single map lookup:
+// take t's code on the first shared position and read the posting list
+// of the opposite column. NullCode never appears in a posting list — a
+// null joins with nothing.
+type JoinIndex struct {
+	// postings[rel][pos] maps code → tuple indices (ascending).
+	postings [][]map[int32][]int32
+}
+
+// buildJoinIndex constructs the index from the columnar code mirror.
+func buildJoinIndex(cols [][][]int32) *JoinIndex {
+	ix := &JoinIndex{postings: make([][]map[int32][]int32, len(cols))}
+	for r, relCols := range cols {
+		ix.postings[r] = make([]map[int32][]int32, len(relCols))
+		for p, col := range relCols {
+			m := make(map[int32][]int32)
+			for idx, code := range col {
+				if code == NullCode {
+					continue
+				}
+				m[code] = append(m[code], int32(idx))
+			}
+			ix.postings[r][p] = m
+		}
+	}
+	return ix
+}
+
+// Postings returns the tuple indices of relation rel whose value at
+// schema position pos has the given code, in ascending order. The
+// returned slice is shared and must not be modified. NullCode and codes
+// absent from the column yield nil.
+func (ix *JoinIndex) Postings(rel, pos int, code int32) []int32 {
+	if code == NullCode {
+		return nil
+	}
+	return ix.postings[rel][pos][code]
+}

@@ -10,6 +10,12 @@ import (
 // used by ranking functions (Section 5); Prob is its probability of
 // being correct, used by approximate join functions (Section 6). Both
 // default to 1.
+//
+// Values, Imp and Prob may be adjusted in place after the relation has
+// been added to a Database, but only until the database's first query:
+// at that point the database snapshots every tuple into its columnar
+// dictionary mirror (see Database), and later mutations are silently
+// invisible to the algorithms.
 type Tuple struct {
 	// Label is an optional human-readable identifier such as "c1" in
 	// Table 1 of the paper. It plays no role in the algorithms.

@@ -1,7 +1,6 @@
 package tupleset
 
 import (
-	"sort"
 	"strings"
 
 	"repro/internal/relation"
@@ -13,38 +12,70 @@ import (
 // over the same attribute list are comparable by subsumption, which is
 // how the Rajaraman–Ullman definition of a full disjunction removes
 // redundancy.
+//
+// Padded tuples are assembled from the database's columnar code mirror:
+// Codes carries the dictionary code per attribute (relation.NullCode
+// for ⊥) and is the representation comparisons and keys work on; Values
+// is the decoded rendering kept for display and for callers that want
+// real text.
 type Padded struct {
 	Attrs  []relation.Attribute // sorted
 	Values []relation.Value     // aligned with Attrs
+	Codes  []int32              // aligned with Attrs; nil only for hand-built values
 }
 
-// Pad materialises the padded tuple of a join-consistent set s. For
-// every attribute of the union schema the value is the (unique, by join
-// consistency) non-null value any member carries for it, or null when
-// the only members mentioning the attribute hold null there.
-func (u *Universe) Pad(s *Set) Padded {
-	vals := make(map[relation.Attribute]relation.Value)
+// padCodes fills the padded tuple of a join-consistent set s over the
+// global attribute universe, as dictionary codes. For every attribute
+// the value is the (unique, by join consistency) non-null code any
+// member carries for it, or NullCode when the only members mentioning
+// the attribute hold ⊥ there.
+func (u *Universe) padCodes(s *Set) []int32 {
+	u.ensureLayout()
+	codes := make([]int32, len(u.allAttrs))
 	for r, idx := range s.members {
 		if idx == none {
 			continue
 		}
-		rel := u.DB.Relation(r)
-		t := rel.Tuple(int(idx))
-		for p, a := range rel.Schema().Attributes() {
-			v := t.Values[p]
-			if old, seen := vals[a]; !seen || old.IsNull() {
-				vals[a] = v
+		for p, g := range u.proj[r] {
+			if codes[g] == relation.NullCode {
+				codes[g] = u.DB.Col(r, p)[idx]
 			}
 		}
 	}
-	attrs := make([]relation.Attribute, 0, len(vals))
-	for a := range vals {
-		attrs = append(attrs, a)
+	return codes
+}
+
+// Pad materialises the padded tuple of a join-consistent set s over the
+// sorted union of its members' schemas.
+func (u *Universe) Pad(s *Set) Padded {
+	u.ensureLayout()
+	codes := u.padCodes(s)
+	mentioned := make([]bool, len(u.allAttrs))
+	width := 0
+	for r, idx := range s.members {
+		if idx == none {
+			continue
+		}
+		for _, g := range u.proj[r] {
+			if !mentioned[g] {
+				mentioned[g] = true
+				width++
+			}
+		}
 	}
-	sort.Slice(attrs, func(i, j int) bool { return attrs[i] < attrs[j] })
-	out := Padded{Attrs: attrs, Values: make([]relation.Value, len(attrs))}
-	for i, a := range attrs {
-		out.Values[i] = vals[a]
+	out := Padded{
+		Attrs:  make([]relation.Attribute, 0, width),
+		Values: make([]relation.Value, 0, width),
+		Codes:  make([]int32, 0, width),
+	}
+	dict := u.DB.Dict()
+	for g, in := range mentioned {
+		if !in {
+			continue
+		}
+		out.Attrs = append(out.Attrs, u.allAttrs[g])
+		out.Codes = append(out.Codes, codes[g])
+		out.Values = append(out.Values, dict.Lookup(codes[g]))
 	}
 	return out
 }
@@ -54,16 +85,19 @@ func (u *Universe) Pad(s *Set) Padded {
 // with nulls. All results of one full disjunction rendered with PadOver
 // over the global attribute list are directly comparable.
 func (u *Universe) PadOver(s *Set, attrs []relation.Attribute) Padded {
-	p := u.Pad(s)
-	out := Padded{Attrs: attrs, Values: make([]relation.Value, len(attrs))}
-	j := 0
+	u.ensureLayout()
+	codes := u.padCodes(s)
+	out := Padded{
+		Attrs:  attrs,
+		Values: make([]relation.Value, len(attrs)),
+		Codes:  make([]int32, len(attrs)),
+	}
+	dict := u.DB.Dict()
 	for i, a := range attrs {
-		for j < len(p.Attrs) && p.Attrs[j] < a {
-			j++
+		if g, ok := u.attrPos[a]; ok {
+			out.Codes[i] = codes[g]
 		}
-		if j < len(p.Attrs) && p.Attrs[j] == a {
-			out.Values[i] = p.Values[j]
-		}
+		out.Values[i] = dict.Lookup(out.Codes[i])
 	}
 	return out
 }
@@ -71,26 +105,28 @@ func (u *Universe) PadOver(s *Set, attrs []relation.Attribute) Padded {
 // AllAttributes returns the sorted union of all attributes in the
 // database.
 func (u *Universe) AllAttributes() []relation.Attribute {
-	seen := make(map[relation.Attribute]bool)
-	var out []relation.Attribute
-	for i := 0; i < u.DB.NumRelations(); i++ {
-		for _, a := range u.DB.Relation(i).Schema().Attributes() {
-			if !seen[a] {
-				seen[a] = true
-				out = append(out, a)
-			}
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	u.ensureLayout()
+	return u.allAttrs
 }
 
 // Subsumes reports whether p subsumes q: over the same attribute list,
 // every non-null value of q appears identically in p. Equal padded
-// tuples subsume each other.
+// tuples subsume each other. When both sides carry codes the test is
+// pure integer comparison.
 func (p Padded) Subsumes(q Padded) bool {
 	if len(p.Attrs) != len(q.Attrs) {
 		return false
+	}
+	if p.Codes != nil && q.Codes != nil {
+		for i := range q.Codes {
+			if q.Codes[i] == relation.NullCode {
+				continue
+			}
+			if p.Codes[i] != q.Codes[i] {
+				return false
+			}
+		}
+		return true
 	}
 	for i := range q.Values {
 		if q.Values[i].IsNull() {
@@ -103,17 +139,24 @@ func (p Padded) Subsumes(q Padded) bool {
 	return true
 }
 
-// Key returns a canonical key for the padded tuple.
+// Key returns a canonical key for the padded tuple: a compact binary
+// encoding of the code vector (4 bytes per attribute). Keys of padded
+// tuples over the same database and attribute list are equal iff the
+// tuples are equal; no datum strings are materialised.
 func (p Padded) Key() string {
-	parts := make([]string, len(p.Values))
-	for i, v := range p.Values {
-		if v.IsNull() {
-			parts[i] = relation.NullToken
-		} else {
-			parts[i] = v.Datum()
+	if p.Codes == nil {
+		// Hand-built padded tuples (tests) fall back to datum rendering.
+		parts := make([]string, len(p.Values))
+		for i, v := range p.Values {
+			if v.IsNull() {
+				parts[i] = relation.NullToken
+			} else {
+				parts[i] = v.Datum()
+			}
 		}
+		return strings.Join(parts, "\x1f")
 	}
-	return strings.Join(parts, "\x1f")
+	return relation.CodeKey(p.Codes)
 }
 
 // String renders the padded tuple as (v1, v2, ...).

@@ -15,6 +15,7 @@ package tupleset
 import (
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/relation"
@@ -35,11 +36,53 @@ type Set struct {
 type Universe struct {
 	DB   *relation.Database
 	Conn *graph.Connection
+
+	// Lazily built padding layout over the global attribute universe:
+	// allAttrs is the sorted union of all schema attributes, attrPos
+	// its inverse, and proj[rel][schemaPos] the global position of each
+	// relation column. Built once; the universe may be shared across
+	// goroutines (the parallel driver does).
+	layoutOnce sync.Once
+	allAttrs   []relation.Attribute
+	attrPos    map[relation.Attribute]int
+	proj       [][]int
 }
 
 // NewUniverse builds the Universe of db.
 func NewUniverse(db *relation.Database) *Universe {
 	return &Universe{DB: db, Conn: graph.NewConnection(db)}
+}
+
+// ensureLayout builds the padding layout on first use.
+func (u *Universe) ensureLayout() {
+	u.layoutOnce.Do(func() {
+		seen := make(map[relation.Attribute]bool)
+		var attrs []relation.Attribute
+		for i := 0; i < u.DB.NumRelations(); i++ {
+			for _, a := range u.DB.Relation(i).Schema().Attributes() {
+				if !seen[a] {
+					seen[a] = true
+					attrs = append(attrs, a)
+				}
+			}
+		}
+		sort.Slice(attrs, func(i, j int) bool { return attrs[i] < attrs[j] })
+		pos := make(map[relation.Attribute]int, len(attrs))
+		for i, a := range attrs {
+			pos[a] = i
+		}
+		proj := make([][]int, u.DB.NumRelations())
+		for r := range proj {
+			schema := u.DB.Relation(r).Schema()
+			proj[r] = make([]int, schema.Len())
+			for p, a := range schema.Attributes() {
+				proj[r][p] = pos[a]
+			}
+		}
+		u.allAttrs = attrs
+		u.attrPos = pos
+		u.proj = proj
+	})
 }
 
 // NewSet returns an empty tuple set over the universe.

@@ -39,7 +39,7 @@ func TestPropertyFDMatchesOracle(t *testing.T) {
 		workload.Star,
 		func(c workload.Config) (*fd.Database, error) { return workload.Random(c, 0.5) },
 	}
-	f := func(relations, tuples, domain uint8, nullRate float64, seed int64, shapeSel uint8, useIndex bool, strat uint8) bool {
+	f := func(relations, tuples, domain uint8, nullRate float64, seed int64, shapeSel uint8, useIndex, useJoinIndex bool, strat uint8) bool {
 		cfg := randomConfig(relations, tuples, domain, nullRate, seed)
 		gen := shapes[int(shapeSel)%len(shapes)]
 		db, err := gen(cfg)
@@ -47,8 +47,9 @@ func TestPropertyFDMatchesOracle(t *testing.T) {
 			return true // star needs ≥2 relations etc.; skip invalid configs
 		}
 		opts := fd.Options{
-			UseIndex: useIndex,
-			Strategy: []fd.InitStrategy{fd.InitSingletons, fd.InitSeeded, fd.InitProjected}[int(strat)%3],
+			UseIndex:     useIndex,
+			UseJoinIndex: useJoinIndex,
+			Strategy:     []fd.InitStrategy{fd.InitSingletons, fd.InitSeeded, fd.InitProjected}[int(strat)%3],
 		}
 		got, _, err := fd.FullDisjunction(db, opts)
 		if err != nil {
@@ -329,5 +330,59 @@ func TestPropertyKeyInjective(t *testing.T) {
 	}
 	if len(seen) != len(all) {
 		t.Fatalf("%d keys for %d sets", len(seen), len(all))
+	}
+}
+
+// TestPropertyJoinIndexEquivalence: the candidate-only iteration backed
+// by the dictionary-code posting index produces exactly the same full
+// disjunction as the full sweep, for every initialisation strategy and
+// workload shape, while visiting strictly fewer tuples on selective
+// workloads.
+func TestPropertyJoinIndexEquivalence(t *testing.T) {
+	shapes := map[string]func(workload.Config) (*fd.Database, error){
+		"chain":  workload.Chain,
+		"star":   workload.Star,
+		"clique": workload.Clique,
+		"cycle":  workload.Cycle,
+	}
+	var skippedSomewhere bool
+	for name, gen := range shapes {
+		for seed := int64(1); seed <= 10; seed++ {
+			db, err := gen(workload.Config{
+				Relations: 4, TuplesPerRelation: 6, Domain: 4, NullRate: 0.2, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, strat := range []fd.InitStrategy{fd.InitSingletons, fd.InitSeeded, fd.InitProjected} {
+				sweep, _, err := fd.FullDisjunction(db, fd.Options{Strategy: strat})
+				if err != nil {
+					t.Fatal(err)
+				}
+				indexed, stats, err := fd.FullDisjunction(db, fd.Options{Strategy: strat, UseJoinIndex: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := make(map[string]bool, len(sweep))
+				for _, s := range sweep {
+					want[s.Key()] = true
+				}
+				if len(indexed) != len(sweep) {
+					t.Fatalf("%s seed %d %v: %d results with join index, %d without",
+						name, seed, strat, len(indexed), len(sweep))
+				}
+				for _, s := range indexed {
+					if !want[s.Key()] {
+						t.Fatalf("%s seed %d %v: join index produced a result the sweep did not: %s",
+							name, seed, strat, s.Format(db))
+					}
+				}
+				if stats.TuplesSkipped > 0 {
+					skippedSomewhere = true
+				}
+			}
+		}
+	}
+	if !skippedSomewhere {
+		t.Error("candidate iteration never skipped a tuple; the index is not being consulted")
 	}
 }
