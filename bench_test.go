@@ -287,6 +287,97 @@ func BenchmarkUnionJCC(b *testing.B) {
 	}
 }
 
+// BenchmarkJCCWithTuple compares the two implementations of the
+// innermost GETNEXTRESULT predicate (line 3 of Fig 2): the
+// attribute-binding signature probe (O(arity) code compares) against
+// the retained pairwise walk (O(|T|·sharedAttrs) JoinConsistent
+// calls). The clique workload makes every relation pair share an
+// attribute, so the pairwise walk has real work to do — the regime the
+// asymptotic gap describes.
+func BenchmarkJCCWithTuple(b *testing.B) {
+	db, err := workload.Clique(workload.Config{
+		Relations: 8, TuplesPerRelation: 12, Domain: 4, NullRate: 0.1, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	u := tupleset.NewUniverse(db)
+	sets, _, err := core.FullDisjunction(db, core.Options{UseIndex: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	big := sets[0]
+	for _, s := range sets {
+		if s.Len() > big.Len() {
+			big = s
+		}
+	}
+	if big.Len() > 1 {
+		// Free one relation so candidate tuples exercise the full
+		// consistency walk instead of the same-relation early exit.
+		big = big.Clone()
+		big.Remove(int(big.Refs()[big.Len()-1].Rel))
+	}
+	// Only tuples of relations absent from the set reach the
+	// consistency walk; everything else exits identically in both
+	// implementations and would dilute the comparison.
+	var refs []fd.Ref
+	db.ForEachRef(func(ref fd.Ref) bool {
+		if !big.HasRelation(int(ref.Rel)) {
+			refs = append(refs, ref)
+		}
+		return true
+	})
+	b.Run("signature", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			u.JCCWithTuple(big, refs[i%len(refs)])
+		}
+	})
+	b.Run("pairwise", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ref := refs[i%len(refs)]
+			_ = u.ConnectedWith(big, ref) && u.OracleConsistentWith(big, ref)
+		}
+	})
+}
+
+// BenchmarkMaximalSubset compares the two implementations of footnote 3
+// on maximal chain results: the signature path (binding probe, pooled
+// bitset scratch, recycled destination set) against the retained
+// boolean-mask oracle.
+func BenchmarkMaximalSubset(b *testing.B) {
+	db := chainDB(b, 5, 24)
+	u := tupleset.NewUniverse(db)
+	sets, _, err := core.FullDisjunction(db, core.Options{UseIndex: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	big := sets[0]
+	for _, s := range sets {
+		if s.Len() > big.Len() {
+			big = s
+		}
+	}
+	var refs []fd.Ref
+	db.ForEachRef(func(ref fd.Ref) bool {
+		refs = append(refs, ref)
+		return true
+	})
+	b.Run("signature", func(b *testing.B) {
+		var ctr tupleset.SigCounters
+		dst := u.NewSet()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			u.MaximalSubsetInto(dst, big, refs[i%len(refs)], &ctr)
+		}
+	})
+	b.Run("pairwise", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			u.OracleMaximalSubsetWith(big, refs[i%len(refs)])
+		}
+	})
+}
+
 // BenchmarkSubstrates micro-benchmarks the hot predicates.
 func BenchmarkSubstrates(b *testing.B) {
 	db := chainDB(b, 5, 24)

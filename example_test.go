@@ -67,7 +67,7 @@ func ExampleStream() {
 func ExampleTopK() {
 	db := tourist()
 	// imp defaults to 1; promote the four-star Plaza tuple.
-	db.Relation(1).Tuple(0).Imp = 4
+	db.Relation(1).MutateTuple(0, func(t *fd.Tuple) { t.Imp = 4 })
 	top, _, err := fd.TopK(db, fd.FMax(), 1, fd.Options{})
 	if err != nil {
 		panic(err)

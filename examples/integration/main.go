@@ -77,5 +77,5 @@ func printSets(db *fd.Database, sets []*fd.TupleSet) {
 
 func add(rel *fd.Relation, label string, prob float64, vals map[fd.Attribute]fd.Value) {
 	rel.MustAppend(label, vals)
-	rel.Tuple(rel.Len() - 1).Prob = prob
+	rel.MutateTuple(rel.Len()-1, func(t *fd.Tuple) { t.Prob = prob })
 }

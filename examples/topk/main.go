@@ -77,5 +77,5 @@ func main() {
 
 func addWithImp(rel *fd.Relation, label string, imp float64, vals map[fd.Attribute]fd.Value) {
 	rel.MustAppend(label, vals)
-	rel.Tuple(rel.Len() - 1).Imp = imp
+	rel.MutateTuple(rel.Len()-1, func(t *fd.Tuple) { t.Imp = imp })
 }

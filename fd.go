@@ -50,9 +50,10 @@ type (
 	// Schema is a sorted attribute set.
 	Schema = relation.Schema
 	// Tuple is a row with optional Label, Imp (ranking) and Prob
-	// (approximate joins) metadata. Tuples may be adjusted in place
-	// until the database's first query; after that the columnar
-	// dictionary mirror is frozen and mutations are ignored.
+	// (approximate joins) metadata. Tuples may be adjusted through
+	// Relation.MutateTuple until the database freezes (its first query,
+	// or an explicit Database.Freeze); after that MutateTuple panics
+	// and appends return an error.
 	Tuple = relation.Tuple
 	// Relation is a named relation.
 	Relation = relation.Relation

@@ -82,7 +82,7 @@ func TestPublicAPITopKAndThreshold(t *testing.T) {
 		rel := db.Relation(r)
 		for i := 0; i < rel.Len(); i++ {
 			if v, ok := imp[rel.Tuple(i).Label]; ok {
-				rel.Tuple(i).Imp = v
+				rel.MutateTuple(i, func(t *fd.Tuple) { t.Imp = v })
 			}
 		}
 	}

@@ -101,21 +101,21 @@ func (a *Amin) MaximalSubsets(u *tupleset.Universe, t *tupleset.Set, tb relation
 	// keep the connected component of tb. The survivors qualify: pairs
 	// within T carry sims ≥ τ (A(T) ≥ τ), pairs with tb survived the
 	// filter, and probs within T are ≥ τ.
-	mask := make([]bool, u.DB.NumRelations())
+	words := u.Conn.Words()
+	mask := make([]uint64, 2*words)
+	comp := mask[words:]
+	mask = mask[:words:words]
 	for _, ref := range base.Refs() {
-		if !u.DB.ConnectedRelations(int(ref.Rel), int(tb.Rel)) {
-			mask[ref.Rel] = true
-			continue
-		}
-		if a.S.Sim(u.DB, ref, tb) >= tau {
-			mask[ref.Rel] = true
+		if !u.DB.ConnectedRelations(int(ref.Rel), int(tb.Rel)) ||
+			a.S.Sim(u.DB, ref, tb) >= tau {
+			mask[ref.Rel/64] |= 1 << (uint(ref.Rel) % 64)
 		}
 	}
-	mask[tb.Rel] = true
-	comp := u.Conn.ComponentOf(int(tb.Rel), mask)
+	mask[tb.Rel/64] |= 1 << (uint(tb.Rel) % 64)
+	u.Conn.ComponentOfBitsInto(comp, mask, int(tb.Rel))
 	out := u.NewSet().Add(tb)
 	for _, ref := range base.Refs() {
-		if comp[ref.Rel] {
+		if comp[ref.Rel/64]&(1<<(uint(ref.Rel)%64)) != 0 {
 			out.Add(ref)
 		}
 	}

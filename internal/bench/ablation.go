@@ -72,34 +72,28 @@ func E8ApproxSweep() (*Table, error) {
 // three Incomplete initialisation strategies, and block-based
 // execution.
 func E9Ablations() (*Table, error) {
-	db, err := workload.Chain(workload.Config{
-		Relations: 4, TuplesPerRelation: 28, Domain: 4, NullRate: 0.1, Seed: 23})
+	return e9Table(nil)
+}
+
+// e9Table runs the E9 ablation ladder and the buffer-pool sweep,
+// rendering the markdown table. When rec is non-nil, the ladder's
+// measurements (wall-clock, counters, allocation deltas) are also
+// appended to it, so one run feeds both artifacts.
+func e9Table(rec *Record) (*Table, error) {
+	db, err := e9DB()
 	if err != nil {
 		return nil, err
 	}
 	t := &Table{
 		ID:     "E9",
 		Title:  "Section 7 ablations (chain workload)",
-		Header: []string{"variant", "ms", "JCC checks", "tuples scanned", "tuples skipped", "list scans", "page reads", "|FD|"},
-	}
-	type variant struct {
-		name string
-		opts core.Options
-	}
-	variants := []variant{
-		{"tuple-at-a-time, no index, restart init", core.Options{}},
-		{"+ hash index", core.Options{UseIndex: true}},
-		{"+ join-candidate index (dictionary codes)", core.Options{UseIndex: true, UseJoinIndex: true}},
-		{"+ seeded init (§7 opt 2)", core.Options{UseIndex: true, UseJoinIndex: true, Strategy: core.InitSeeded}},
-		{"+ projected init (§7 opt 3)", core.Options{UseIndex: true, UseJoinIndex: true, Strategy: core.InitProjected}},
-		{"+ blocks of 8", core.Options{UseIndex: true, UseJoinIndex: true, Strategy: core.InitSeeded, BlockSize: 8}},
-		{"+ blocks of 64", core.Options{UseIndex: true, UseJoinIndex: true, Strategy: core.InitSeeded, BlockSize: 64}},
+		Header: []string{"variant", "ms", "JCC checks", "sig hits", "tuples scanned", "tuples skipped", "list scans", "page reads", "|FD|"},
 	}
 	var baseline int
-	for i, v := range variants {
+	for i, v := range e9Variants() {
 		var sets []*tupleset.Set
 		var stats core.Stats
-		d := timeIt(func() {
+		d, mallocs, bytes := measure(func() {
 			sets, stats, err = core.FullDisjunction(db, v.opts)
 		})
 		if err != nil {
@@ -110,10 +104,28 @@ func E9Ablations() (*Table, error) {
 		} else if len(sets) != baseline {
 			return nil, fmt.Errorf("E9: variant %q changed the output: %d vs %d", v.name, len(sets), baseline)
 		}
+		if rec != nil {
+			rec.Variants = append(rec.Variants, Metric{
+				Name:          v.name,
+				WallMillis:    float64(d.Microseconds()) / 1000,
+				Results:       len(sets),
+				JCCChecks:     stats.JCCChecks,
+				SigHits:       stats.SigHits,
+				SigRebuilds:   stats.SigRebuilds,
+				TuplesScanned: stats.TuplesScanned,
+				TuplesSkipped: stats.TuplesSkipped,
+				IndexProbes:   stats.IndexProbes,
+				ListScans:     stats.ListScans,
+				PageReads:     stats.PageReads,
+				Mallocs:       mallocs,
+				BytesAlloc:    bytes,
+			})
+		}
 		t.Rows = append(t.Rows, []string{
 			v.name,
 			msec(d),
 			fmt.Sprintf("%d", stats.JCCChecks),
+			fmt.Sprintf("%d", stats.SigHits),
 			fmt.Sprintf("%d", stats.TuplesScanned),
 			fmt.Sprintf("%d", stats.TuplesSkipped),
 			fmt.Sprintf("%d", stats.ListScans),
@@ -143,6 +155,7 @@ func E9Ablations() (*Table, error) {
 				capacity, totalPages, 100*pool.HitRate()),
 			msec(d),
 			fmt.Sprintf("%d", stats.JCCChecks),
+			fmt.Sprintf("%d", stats.SigHits),
 			fmt.Sprintf("%d", stats.TuplesScanned),
 			fmt.Sprintf("%d", stats.TuplesSkipped),
 			fmt.Sprintf("%d", stats.ListScans),

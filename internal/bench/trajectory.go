@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+// Metric is one measured variant of a trajectory record: wall-clock,
+// the algorithm counters of core.Stats, and allocation deltas sampled
+// around the run (testing.Benchmark-style, via runtime.MemStats).
+type Metric struct {
+	Name          string  `json:"name"`
+	WallMillis    float64 `json:"wall_ms"`
+	Results       int     `json:"results"`
+	JCCChecks     int64   `json:"jcc_checks"`
+	SigHits       int64   `json:"sig_hits"`
+	SigRebuilds   int64   `json:"sig_rebuilds"`
+	TuplesScanned int64   `json:"tuples_scanned"`
+	TuplesSkipped int64   `json:"tuples_skipped"`
+	IndexProbes   int64   `json:"index_probes"`
+	ListScans     int64   `json:"list_scans"`
+	PageReads     int64   `json:"page_reads"`
+	Mallocs       uint64  `json:"mallocs"`
+	BytesAlloc    uint64  `json:"bytes_alloc"`
+}
+
+// Record is one machine-readable benchmark trajectory: the per-variant
+// metrics of one workload, tagged with the Go version so numbers are
+// comparable across PRs (the file is committed as BENCH_<workload>.json
+// and appended to, diffed or plotted by later sessions).
+type Record struct {
+	Workload string   `json:"workload"`
+	Title    string   `json:"title"`
+	Go       string   `json:"go"`
+	Variants []Metric `json:"variants"`
+}
+
+// Trajectories maps experiment ids to runners that produce the
+// rendered table AND the machine-readable record from one measured run
+// (so the two artifacts of one fdbench invocation never disagree).
+// Experiments without a structured form are simply absent.
+func Trajectories() map[string]func() (*Table, *Record, error) {
+	return map[string]func() (*Table, *Record, error){
+		"E9": E9Both,
+	}
+}
+
+// WriteRecords writes records as an indented JSON document
+// {"records": [...]}.
+func WriteRecords(w io.Writer, records []*Record) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Records []*Record `json:"records"`
+	}{records})
+}
+
+// measure runs fn once and captures wall-clock plus allocation deltas.
+func measure(fn func()) (time.Duration, uint64, uint64) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	fn()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return wall, after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc
+}
+
+// E9Both measures the E9 ablation ladder once and renders both
+// artifacts from the same run: the markdown table (including the
+// buffer-pool sweep) and the structured trajectory record.
+func E9Both() (*Table, *Record, error) {
+	rec := &Record{
+		Workload: "e9",
+		Title:    "Section 7 ablations (chain workload)",
+		Go:       runtime.Version(),
+	}
+	t, err := e9Table(rec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return t, rec, nil
+}
+
+// e9DB builds the chain workload shared by E9Ablations and
+// E9Trajectory.
+func e9DB() (*relation.Database, error) {
+	return workload.Chain(workload.Config{
+		Relations: 4, TuplesPerRelation: 28, Domain: 4, NullRate: 0.1, Seed: 23})
+}
+
+// e9Variant is one rung of the E9 ablation ladder.
+type e9Variant struct {
+	name string
+	opts core.Options
+}
+
+// e9Variants returns the §7 ablation ladder in presentation order.
+func e9Variants() []e9Variant {
+	return []e9Variant{
+		{"tuple-at-a-time, no index, restart init", core.Options{}},
+		{"+ hash index", core.Options{UseIndex: true}},
+		{"+ join-candidate index (dictionary codes)", core.Options{UseIndex: true, UseJoinIndex: true}},
+		{"+ seeded init (§7 opt 2)", core.Options{UseIndex: true, UseJoinIndex: true, Strategy: core.InitSeeded}},
+		{"+ projected init (§7 opt 3)", core.Options{UseIndex: true, UseJoinIndex: true, Strategy: core.InitProjected}},
+		{"+ blocks of 8", core.Options{UseIndex: true, UseJoinIndex: true, Strategy: core.InitSeeded, BlockSize: 8}},
+		{"+ blocks of 64", core.Options{UseIndex: true, UseJoinIndex: true, Strategy: core.InitSeeded, BlockSize: 64}},
+	}
+}

@@ -158,16 +158,19 @@ func seedInit(u *tupleset.Universe, i int, opts Options, printed *CompleteStore,
 // projectSuffix restricts s to relations i..n-1 and keeps the connected
 // component containing s's tuple of relation i.
 func projectSuffix(u *tupleset.Universe, s *tupleset.Set, i int) *tupleset.Set {
-	mask := make([]bool, u.DB.NumRelations())
+	words := u.Conn.Words()
+	mask := make([]uint64, 2*words)
+	comp := mask[words:]
+	mask = mask[:words:words]
 	for _, ref := range s.Refs() {
 		if int(ref.Rel) >= i {
-			mask[ref.Rel] = true
+			mask[ref.Rel/64] |= 1 << (uint(ref.Rel) % 64)
 		}
 	}
-	comp := u.Conn.ComponentOf(i, mask)
+	u.Conn.ComponentOfBitsInto(comp, mask, i)
 	out := u.NewSet()
 	for _, ref := range s.Refs() {
-		if comp[ref.Rel] {
+		if comp[ref.Rel/64]&(1<<(uint(ref.Rel)%64)) != 0 {
 			out.Add(ref)
 		}
 	}
@@ -179,6 +182,8 @@ func projectSuffix(u *tupleset.Universe, s *tupleset.Set, i int) *tupleset.Set {
 func extendSuffix(u *tupleset.Universe, s *tupleset.Set, i int, opts Options, stats *Stats) {
 	sc := scanner{db: u.DB, block: opts.blockSize(), minRel: i, stats: stats,
 		pool: opts.Pool, useJoinIndex: opts.UseJoinIndex}
+	var sig tupleset.SigCounters
+	defer stats.AddSig(&sig)
 	for changed := true; changed; {
 		changed = false
 		sc.forEachExtension(s, func(ref relation.Ref) bool {
@@ -186,7 +191,7 @@ func extendSuffix(u *tupleset.Universe, s *tupleset.Set, i int, opts Options, st
 				return true
 			}
 			stats.JCCChecks++
-			if u.JCCWithTuple(s, ref) {
+			if u.JCCWithTupleCounted(s, ref, &sig) {
 				s.Add(ref)
 				changed = true
 			}

@@ -163,6 +163,9 @@ func GetNextResult(u *tupleset.Universe, seed int, opts Options, minRel int, T *
 func getNextResult(u *tupleset.Universe, seed int, scan *scanner, T *tupleset.Set,
 	incomplete Pool, complete *CompleteStore, stats *Stats) *tupleset.Set {
 
+	var sig tupleset.SigCounters
+	defer stats.AddSig(&sig)
+
 	// Lines 2–6: extension to a maximal JCC set. Each sweep adds at
 	// least one tuple or terminates; a result has at most n tuples, so
 	// there are at most n+1 sweeps (cost O(s·n), Theorem 4.8). With the
@@ -177,7 +180,7 @@ func getNextResult(u *tupleset.Universe, seed int, scan *scanner, T *tupleset.Se
 				return true
 			}
 			stats.JCCChecks++
-			if u.JCCWithTuple(T, ref) {
+			if u.JCCWithTupleCounted(T, ref, &sig) {
 				T.Add(ref)
 				changed = true
 			}
@@ -185,12 +188,16 @@ func getNextResult(u *tupleset.Universe, seed int, scan *scanner, T *tupleset.Se
 		})
 	}
 
-	// Lines 7–18: discover new candidate subsets.
+	// Lines 7–18: discover new candidate subsets. One candidate buffer
+	// is recycled across the whole scan — the containment and absorb
+	// probes do not retain it — and is replaced only when a candidate
+	// survives every filter and enters Incomplete.
+	tPrime := u.NewSet()
 	scan.forEachDiscovery(T, seed, func(tb relation.Ref) bool {
 		if T.Has(tb) {
 			return true
 		}
-		tPrime := u.MaximalSubsetWith(T, tb)
+		u.MaximalSubsetInto(tPrime, T, tb, &sig)
 		stats.JCCChecks++
 		anchor, hasSeed := tPrime.Member(seed)
 		if !hasSeed {
@@ -203,7 +210,9 @@ func getNextResult(u *tupleset.Universe, seed int, scan *scanner, T *tupleset.Se
 			return true // lines 14–15: merged into an Incomplete set
 		}
 		incomplete.Push(tPrime) // line 18
+		tPrime = u.NewSet()
 		return true
 	})
+	u.ReleaseSet(tPrime)
 	return T
 }

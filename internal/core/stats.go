@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/tupleset"
+)
 
 // Stats collects instrumentation counters for one execution. The
 // complexity-shape experiments (E4, E5, E9) read these counters instead
@@ -33,6 +37,13 @@ type Stats struct {
 	// count of one scan equals the sweep's scope, so the pair makes the
 	// saving of the join index directly observable.
 	TuplesSkipped int64
+	// SigHits counts predicate evaluations answered by the attribute-
+	// binding signature fast path (O(arity) code compares and bitmask
+	// words instead of pairwise tuple walks).
+	SigHits int64
+	// SigRebuilds counts lazy signature rebuilds of stale tuple sets
+	// (a set goes stale when a member is removed or replaced).
+	SigRebuilds int64
 	// MaxResident tracks the peak number of tuple sets simultaneously
 	// held in Complete and Incomplete (Corollary 4.7 bounds it by the
 	// number of result tuple sets).
@@ -49,14 +60,24 @@ func (s *Stats) Add(other Stats) {
 	s.PageReads += other.PageReads
 	s.IndexProbes += other.IndexProbes
 	s.TuplesSkipped += other.TuplesSkipped
+	s.SigHits += other.SigHits
+	s.SigRebuilds += other.SigRebuilds
 	if other.MaxResident > s.MaxResident {
 		s.MaxResident = other.MaxResident
 	}
 }
 
+// AddSig folds a tupleset signature counter block into s. Callers that
+// evaluate the Counted predicate variants with a local counter block
+// flush it here.
+func (s *Stats) AddSig(c *tupleset.SigCounters) {
+	s.SigHits += c.Hits
+	s.SigRebuilds += c.Rebuilds
+}
+
 // String renders the counters compactly.
 func (s Stats) String() string {
-	return fmt.Sprintf("iters=%d emitted=%d jcc=%d scanned=%d skipped=%d probes=%d listScans=%d pageReads=%d maxResident=%d",
-		s.Iterations, s.Emitted, s.JCCChecks, s.TuplesScanned, s.TuplesSkipped, s.IndexProbes,
+	return fmt.Sprintf("iters=%d emitted=%d jcc=%d sigHits=%d sigRebuilds=%d scanned=%d skipped=%d probes=%d listScans=%d pageReads=%d maxResident=%d",
+		s.Iterations, s.Emitted, s.JCCChecks, s.SigHits, s.SigRebuilds, s.TuplesScanned, s.TuplesSkipped, s.IndexProbes,
 		s.ListScans, s.PageReads, s.MaxResident)
 }

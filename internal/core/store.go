@@ -14,9 +14,13 @@ import (
 // the §7 optimisation. Storage is append-only; by Theorem 4.6 no
 // duplicate is ever added during one enumeration.
 type CompleteStore struct {
-	u        *tupleset.Universe
-	sets     []*tupleset.Set
-	index    map[relation.Ref][]int
+	u    *tupleset.Universe
+	sets []*tupleset.Set
+	// index[rel][idx] lists the ids of stored sets containing tuple
+	// (rel, idx) — a dense two-level posting table (O(db tuples) slice
+	// headers), so the hot containment probe indexes two arrays instead
+	// of hashing a map key.
+	index    [][][]int
 	useIndex bool
 }
 
@@ -24,7 +28,10 @@ type CompleteStore struct {
 func NewCompleteStore(u *tupleset.Universe, useIndex bool) *CompleteStore {
 	cs := &CompleteStore{u: u, useIndex: useIndex}
 	if useIndex {
-		cs.index = make(map[relation.Ref][]int)
+		cs.index = make([][][]int, u.DB.NumRelations())
+		for r := range cs.index {
+			cs.index[r] = make([][]int, u.DB.Relation(r).Len())
+		}
 	}
 	return cs
 }
@@ -42,18 +49,41 @@ func (cs *CompleteStore) Add(s *tupleset.Set) {
 	cs.sets = append(cs.sets, s)
 	if cs.useIndex {
 		for _, ref := range s.Refs() {
-			cs.index[ref] = append(cs.index[ref], id)
+			cs.index[ref.Rel][ref.Idx] = append(cs.index[ref.Rel][ref.Idx], id)
 		}
 	}
 }
 
 // ContainsSuperset reports whether some stored set contains every tuple
 // of t. anchor must be a member of t (the seed-relation tuple); with
-// indexing it selects the bucket to search. stats.ListScans counts the
+// indexing the search scans the SHORTEST posting bucket among t's
+// members — a superset of t must appear in every member's bucket, so
+// the rarest member bounds the candidates, and a member with no bucket
+// at all disproves containment outright. stats.ListScans counts the
 // candidate sets examined.
 func (cs *CompleteStore) ContainsSuperset(t *tupleset.Set, anchor relation.Ref, stats *Stats) bool {
 	if cs.useIndex {
-		for _, id := range cs.index[anchor] {
+		bucket := cs.index[anchor.Rel][anchor.Idx]
+		if len(bucket) == 0 {
+			return false
+		}
+		if len(bucket) > 4 {
+			// Worth looking for a rarer member before scanning.
+			for r, n := 0, cs.u.DB.NumRelations(); r < n; r++ {
+				ref, ok := t.Member(r)
+				if !ok || ref == anchor {
+					continue
+				}
+				ids := cs.index[ref.Rel][ref.Idx]
+				if len(ids) == 0 {
+					return false
+				}
+				if len(ids) < len(bucket) {
+					bucket = ids
+				}
+			}
+		}
+		for _, id := range bucket {
 			stats.ListScans++
 			if cs.sets[id].ContainsAll(t) {
 				return true
@@ -95,10 +125,12 @@ type IncompleteQueue struct {
 	// items holds the main list with the FRONT at the END of the slice
 	// (so Pop is an O(1) truncation and a group prepend is an append of
 	// the reversed pending buffer).
-	items    []*node
-	pending  []*node
-	liveN    int
-	index    map[int32][]*node // seed-relation tuple index -> nodes
+	items   []*node
+	pending []*node
+	liveN   int
+	// index[idx] lists the nodes whose seed-relation tuple is idx — a
+	// dense per-tuple bucket table, directly indexed.
+	index    [][]*node
 	useIndex bool
 }
 
@@ -106,7 +138,7 @@ type IncompleteQueue struct {
 func NewIncompleteQueue(u *tupleset.Universe, seed int, useIndex bool) *IncompleteQueue {
 	q := &IncompleteQueue{u: u, seed: seed, useIndex: useIndex}
 	if useIndex {
-		q.index = make(map[int32][]*node)
+		q.index = make([][]*node, u.DB.Relation(seed).Len())
 	}
 	return q
 }
@@ -163,35 +195,42 @@ func (q *IncompleteQueue) Pop() (*tupleset.Set, bool) {
 // a set S with JCC(S ∪ t), S is replaced by S ∪ t in place and true is
 // returned. anchor must be t's seed-relation tuple.
 func (q *IncompleteQueue) TryAbsorb(t *tupleset.Set, anchor relation.Ref, stats *Stats) bool {
+	var sig tupleset.SigCounters
+	defer stats.AddSig(&sig)
+	// Hoist t's signature check out of the bucket loop; stored sets are
+	// rebuilt at most once each (the rebuild result is cached on the
+	// set), so the loop body stays on the valid-signature fast path.
+	tValid := q.u.EnsureSig(t, &sig)
 	if q.useIndex {
-		for _, nd := range q.index[anchor.Idx] {
-			if !nd.live {
-				continue
-			}
-			stats.ListScans++
-			stats.JCCChecks++
-			if q.u.UnionJCC(nd.set, t) {
-				nd.set = q.u.Union(nd.set, t)
-				return true
-			}
+		if q.absorbScan(q.index[anchor.Idx], t, tValid, stats, &sig) {
+			return true
 		}
 		return false
 	}
-	if q.absorbScan(q.items, t, stats) {
+	if q.absorbScan(q.items, t, tValid, stats, &sig) {
 		return true
 	}
-	return q.absorbScan(q.pending, t, stats)
+	return q.absorbScan(q.pending, t, tValid, stats, &sig)
 }
 
-func (q *IncompleteQueue) absorbScan(nodes []*node, t *tupleset.Set, stats *Stats) bool {
+func (q *IncompleteQueue) absorbScan(nodes []*node, t *tupleset.Set, tValid bool, stats *Stats, sig *tupleset.SigCounters) bool {
 	for _, nd := range nodes {
 		if !nd.live {
 			continue
 		}
 		stats.ListScans++
 		stats.JCCChecks++
-		if q.u.UnionJCC(nd.set, t) {
-			nd.set = q.u.Union(nd.set, t)
+		var joins bool
+		if tValid && (nd.set.SigValid() || q.u.EnsureSig(nd.set, sig)) {
+			sig.Hits++
+			joins = q.u.UnionJCCValid(nd.set, t)
+		} else {
+			joins = q.u.OracleUnionJCC(nd.set, t)
+		}
+		if joins {
+			// The queue owns its sets exclusively (pushed candidates
+			// and seed clones), so the merge mutates in place.
+			q.u.UnionInto(nd.set, t)
 			return true
 		}
 	}

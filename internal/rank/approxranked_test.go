@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/approx"
 	"repro/internal/naive"
+	"repro/internal/relation"
 	"repro/internal/tupleset"
 	"repro/internal/workload"
 )
@@ -77,7 +78,7 @@ func TestApproxTopKAndThreshold(t *testing.T) {
 		rel := db.Relation(r)
 		for i := 0; i < rel.Len(); i++ {
 			if v, ok := imp[rel.Tuple(i).Label]; ok {
-				rel.Tuple(i).Imp = v
+				rel.MutateTuple(i, func(t *relation.Tuple) { t.Imp = v })
 			}
 		}
 	}

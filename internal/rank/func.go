@@ -126,11 +126,11 @@ func connectedRefs(u *tupleset.Universe, refs []relation.Ref) bool {
 	if len(refs) == 1 {
 		return true
 	}
-	mask := make([]bool, u.DB.NumRelations())
+	mask := make([]uint64, u.Conn.Words())
 	for _, r := range refs {
-		mask[r.Rel] = true
+		mask[r.Rel/64] |= 1 << (uint(r.Rel) % 64)
 	}
-	return u.Conn.SubsetConnected(mask)
+	return u.Conn.SubsetConnectedBits(mask, nil)
 }
 
 // PairSum is a ready-made monotonically 2-determined instance:

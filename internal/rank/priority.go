@@ -69,7 +69,9 @@ func newPriorityQueue(u *tupleset.Universe, seed int, f Func) *priorityQueue {
 	q := &priorityQueue{u: u, seed: seed, f: f}
 	q.merge = func(existing, incoming *tupleset.Set, stats *core.Stats) (*tupleset.Set, bool) {
 		stats.JCCChecks++
-		if q.u.UnionJCC(existing, incoming) {
+		var sig tupleset.SigCounters
+		defer stats.AddSig(&sig)
+		if q.u.UnionJCCCounted(existing, incoming, &sig) {
 			return q.u.Union(existing, incoming), true
 		}
 		return nil, false

@@ -96,6 +96,8 @@ func StreamRanked(db *relation.Database, f Func, opts core.Options, yield func(R
 // until no pair can merge (Fig 3, lines 5–8). Containment pairs merge
 // too (the union is the larger set), so the result is containment-free.
 func mergeFixpoint(u *tupleset.Universe, sets []*tupleset.Set, stats *core.Stats) []*tupleset.Set {
+	var sig tupleset.SigCounters
+	defer stats.AddSig(&sig)
 	out := append([]*tupleset.Set(nil), sets...)
 	for {
 		merged := false
@@ -103,7 +105,7 @@ func mergeFixpoint(u *tupleset.Universe, sets []*tupleset.Set, stats *core.Stats
 		for i := 0; i < len(out); i++ {
 			for j := i + 1; j < len(out); j++ {
 				stats.JCCChecks++
-				if u.UnionJCC(out[i], out[j]) {
+				if u.UnionJCCCounted(out[i], out[j], &sig) {
 					union := u.Union(out[i], out[j])
 					out[i] = union
 					out = append(out[:j], out[j+1:]...)

@@ -31,11 +31,13 @@ type PosPair struct {
 //     which makes pairwise join-consistency a linear walk.
 //
 // Build a Database with NewDatabase. Tuple values and metadata may
-// still be adjusted in place between NewDatabase and the database's
-// first query (the tourist workloads misspell a country that way); the
-// first query freezes the database by encoding it into the columnar
-// dictionary mirror, and any mutation after that point is silently
-// ignored by every predicate. Relations themselves (schemas, tuple
+// still be adjusted between NewDatabase and the database's first query
+// (the tourist workloads misspell a country that way) through
+// Relation.MutateTuple; the first query — or an explicit Freeze call —
+// freezes the database by encoding it into the columnar dictionary
+// mirror. From that point on MutateTuple panics and appends return an
+// error, so a late mutation fails loudly instead of being silently
+// invisible to the algorithms. Relations themselves (schemas, tuple
 // counts) must not change once added.
 type Database struct {
 	rels []*Relation
@@ -189,12 +191,30 @@ func (db *Database) ConnectedRelations(i, j int) bool {
 // The returned slice must not be modified.
 func (db *Database) Adjacent(i int) []int { return db.adj[i] }
 
+// Freeze makes the database immutable and builds the columnar mirror
+// now. It is implied by the first query; calling it explicitly is
+// useful to pin the freeze point in programs that interleave loading
+// and querying. Freeze is idempotent and safe for concurrent use.
+func (db *Database) Freeze() { db.ensureEncoded() }
+
+// Frozen reports whether the database has been frozen (first query or
+// explicit Freeze). Tuple mutation panics and appends fail once this
+// returns true.
+func (db *Database) Frozen() bool {
+	return len(db.rels) > 0 && db.rels[0].Frozen()
+}
+
 // ensureEncoded builds the columnar value layer on first use: the
 // dictionary, the per-relation code columns, the flat imp/prob columns
-// and the equi-join posting index. It is safe for concurrent use (the
-// parallel driver shares one Database across goroutines).
+// and the equi-join posting index. It freezes every relation first, so
+// a mutation racing the first query trips the freeze check instead of
+// tearing the mirror. It is safe for concurrent use (the parallel
+// driver shares one Database across goroutines).
 func (db *Database) ensureEncoded() {
 	db.encodeOnce.Do(func() {
+		for _, rel := range db.rels {
+			rel.freeze()
+		}
 		dict := newDictBuilder()
 		n := len(db.rels)
 		cols := make([][][]int32, n)

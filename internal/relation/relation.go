@@ -3,6 +3,7 @@ package relation
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Tuple is a row of a relation. Values are aligned with the relation's
@@ -11,10 +12,13 @@ import (
 // being correct, used by approximate join functions (Section 6). Both
 // default to 1.
 //
-// Values, Imp and Prob may be adjusted in place after the relation has
-// been added to a Database, but only until the database's first query:
-// at that point the database snapshots every tuple into its columnar
-// dictionary mirror (see Database), and later mutations are silently
+// Values, Imp and Prob may be adjusted after the relation has been
+// added to a Database, but only until the database freezes (its first
+// query, or an explicit Database.Freeze): at that point the database
+// snapshots every tuple into its columnar dictionary mirror (see
+// Database). Mutate tuples through Relation.MutateTuple, which enforces
+// the contract by panicking after the freeze; writing through a
+// retained *Tuple bypasses the check and the write is silently
 // invisible to the algorithms.
 type Tuple struct {
 	// Label is an optional human-readable identifier such as "c1" in
@@ -30,11 +34,20 @@ type Tuple struct {
 }
 
 // Relation is a named relation: a schema plus a sequence of tuples.
-// Relations are immutable once added to a Database.
+// Tuple values and metadata may be adjusted through MutateTuple until
+// the owning Database freezes; appending tuples is likewise rejected
+// after the freeze.
 type Relation struct {
 	name   string
 	schema *Schema
 	tuples []Tuple
+	// mu orders mutations against the freeze and against each other:
+	// MutateTuple and the appenders hold it exclusively while they
+	// write, as does freeze(), so a mutation racing the database's
+	// first query either completes before the mirror is encoded or
+	// panics — never tears the encoding.
+	mu     sync.RWMutex
+	frozen bool
 }
 
 // NewRelation creates an empty relation with the given name and schema.
@@ -67,14 +80,52 @@ func (r *Relation) Schema() *Schema { return r.schema }
 func (r *Relation) Len() int { return len(r.tuples) }
 
 // Tuple returns the i-th tuple. The returned pointer stays valid while
-// the relation is alive; callers must not mutate it after the relation
-// has been added to a Database.
+// the relation is alive; callers must not mutate through it — use
+// MutateTuple, which enforces the freeze contract.
 func (r *Relation) Tuple(i int) *Tuple { return &r.tuples[i] }
+
+// Frozen reports whether the relation belongs to a frozen Database (see
+// Database.Freeze).
+func (r *Relation) Frozen() bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.frozen
+}
+
+// freeze marks the relation immutable; called by Database.Freeze. The
+// lock waits out any in-flight MutateTuple/append, so the mirror
+// encoding that follows never observes a torn write.
+func (r *Relation) freeze() {
+	r.mu.Lock()
+	r.frozen = true
+	r.mu.Unlock()
+}
+
+// MutateTuple adjusts the i-th tuple through fn. It is the supported
+// mutation path: it panics once the owning Database has frozen (built
+// its columnar mirror at the first query or an explicit Freeze), where
+// a write through a retained *Tuple would be silently ignored by every
+// predicate. The freeze check and the write happen under one lock, so
+// a mutation racing the first query either lands before the mirror is
+// encoded or panics.
+func (r *Relation) MutateTuple(i int, fn func(*Tuple)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.frozen {
+		panic(fmt.Sprintf("relation %s: tuple mutation after the database froze", r.name))
+	}
+	fn(&r.tuples[i])
+}
 
 // Append adds a tuple given as an attribute→value map. Attributes
 // missing from the map become null. Unknown attributes are an error.
 // The tuple receives Imp=1 and Prob=1; use AppendTuple for full control.
 func (r *Relation) Append(label string, vals map[Attribute]Value) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.frozen {
+		return fmt.Errorf("relation %s: append after the database froze", r.name)
+	}
 	row := make([]Value, r.schema.Len())
 	for a, v := range vals {
 		i, ok := r.schema.Position(a)
@@ -90,6 +141,11 @@ func (r *Relation) Append(label string, vals map[Attribute]Value) error {
 // AppendTuple adds a fully specified tuple. The number of values must
 // match the schema width and Prob must lie in [0, 1].
 func (r *Relation) AppendTuple(t Tuple) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.frozen {
+		return fmt.Errorf("relation %s: append after the database froze", r.name)
+	}
 	if len(t.Values) != r.schema.Len() {
 		return fmt.Errorf("relation %s: tuple has %d values, schema has %d attributes",
 			r.name, len(t.Values), r.schema.Len())

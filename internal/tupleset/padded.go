@@ -28,10 +28,21 @@ type Padded struct {
 // global attribute universe, as dictionary codes. For every attribute
 // the value is the (unique, by join consistency) non-null code any
 // member carries for it, or NullCode when the only members mentioning
-// the attribute hold ⊥ there.
+// the attribute hold ⊥ there. A valid binding signature IS that vector,
+// so for signature-carrying sets this is a straight copy.
 func (u *Universe) padCodes(s *Set) []int32 {
 	u.ensureLayout()
 	codes := make([]int32, len(u.allAttrs))
+	if u.sigReady(s, nil) {
+		for g := range codes {
+			// Zero bindings are unmentioned, negative bindings are ⊥
+			// tags; both pad to NullCode.
+			if b := s.binding[g]; b > relation.NullCode {
+				codes[g] = b
+			}
+		}
+		return codes
+	}
 	for r, idx := range s.members {
 		if idx == none {
 			continue

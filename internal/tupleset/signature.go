@@ -1,0 +1,165 @@
+package tupleset
+
+import (
+	"repro/internal/relation"
+)
+
+// SigCounters instruments the signature machinery. Callers on a hot
+// path (the enumerator core) pass a pointer so hits and rebuilds land
+// in their Stats; nil is accepted everywhere and counts nothing.
+// Counters are plain ints — every Set is owned by one goroutine, and
+// each caller supplies its own counter block. The block also carries
+// the bitmask scratch of MaximalSubsetWith, so a counter-passing caller
+// bypasses the shared sync.Pool entirely.
+type SigCounters struct {
+	// Hits counts predicate evaluations answered entirely by the
+	// signature fast path (no pairwise tuple comparisons).
+	Hits int64
+	// Rebuilds counts lazy signature rebuilds of stale sets.
+	Rebuilds int64
+
+	work *sigScratch
+}
+
+func (c *SigCounters) hit() {
+	if c != nil {
+		c.Hits++
+	}
+}
+
+// bindMember merges the referenced tuple's attribute bindings into the
+// signature of s, assuming s.sig == sigValid. A binding conflict — the
+// new tuple disagrees with an existing binding, or meets or carries ⊥
+// on a jointly mentioned attribute — proves the grown set is not
+// pairwise join consistent and demotes the signature to sigConflict.
+//
+// A ⊥ mention is recorded as ^rel (negative, unique per relation): a
+// join-consistent set can have at most one member mentioning an
+// attribute it holds ⊥ at, so tagging the mention with its relation
+// lets UnionJCC distinguish "the shared member holds ⊥ here" (fine)
+// from "two distinct members hold ⊥ here" (inconsistent) with the same
+// single compare that handles real codes.
+func (s *Set) bindMember(ref relation.Ref) {
+	u := s.u
+	u.ensureCols()
+	cols := u.cols[ref.Rel]
+	for p, g := range u.proj[ref.Rel] {
+		c := cols[p][ref.Idx]
+		if c == relation.NullCode {
+			c = ^ref.Rel
+		}
+		switch b := s.binding[g]; b {
+		case 0:
+			s.binding[g] = c
+		case c:
+			// Same non-null code (a ⊥ tag can never repeat here: the
+			// tagging relation would already hold a member).
+		default:
+			s.sig = sigConflict
+			return
+		}
+	}
+}
+
+// rebuildSig recomputes the signature of a stale set from scratch in
+// O(|T|·arity). It leaves the set either sigValid (members pairwise
+// join consistent, bindings exact) or sigConflict.
+func (u *Universe) rebuildSig(s *Set, ctr *SigCounters) {
+	if ctr != nil {
+		ctr.Rebuilds++
+	}
+	for g := range s.binding {
+		s.binding[g] = 0
+	}
+	s.sig = sigValid
+	for r, idx := range s.members {
+		if idx == none {
+			continue
+		}
+		s.bindMember(relation.Ref{Rel: int32(r), Idx: idx})
+		if s.sig == sigConflict {
+			return
+		}
+	}
+}
+
+// sigReady brings the signature of s up to date if possible and reports
+// whether it may be used (sigValid).
+func (u *Universe) sigReady(s *Set, ctr *SigCounters) bool {
+	if s.sig == sigStale {
+		u.rebuildSig(s, ctr)
+	}
+	return s.sig == sigValid
+}
+
+// SigValid reports whether s currently carries a valid signature (no
+// rebuild is attempted; see EnsureSig).
+func (s *Set) SigValid() bool { return s.sig == sigValid }
+
+// EnsureSig rebuilds a stale signature and reports whether the
+// signature may be used. Hot callers hoist this out of candidate loops
+// and then call the *Valid predicate variants directly.
+func (u *Universe) EnsureSig(s *Set, ctr *SigCounters) bool {
+	return u.sigReady(s, ctr)
+}
+
+// bindingConsistent reports whether ref's codes agree with the valid
+// signature of s on every attribute both mention — the O(arity)
+// equivalent of the pairwise consistency walk. It must only be called
+// while s.sig == sigValid and ref's relation is absent from s. A ⊥ on
+// either side of a jointly mentioned attribute fails: ref's ⊥ fails the
+// NullCode test, a member's ⊥ is stored as a negative tag no real code
+// equals.
+func (u *Universe) bindingConsistent(s *Set, ref relation.Ref) bool {
+	u.ensureCols()
+	cols := u.cols[ref.Rel]
+	for p, g := range u.proj[ref.Rel] {
+		b := s.binding[g]
+		if b == 0 {
+			continue
+		}
+		c := cols[p][ref.Idx]
+		if c == relation.NullCode || b != c {
+			return false
+		}
+	}
+	return true
+}
+
+// sigScratch is the pooled working storage of MaximalSubsetWith: a
+// member bitmask and a component bitmask, one word set per universe.
+type sigScratch struct {
+	mask []uint64
+	comp []uint64
+}
+
+func (u *Universe) newScratch() *sigScratch {
+	u.ensureLayout()
+	words := make([]uint64, 2*u.relWords)
+	return &sigScratch{
+		mask: words[:u.relWords:u.relWords],
+		comp: words[u.relWords:],
+	}
+}
+
+// scratch returns working storage for one predicate evaluation: the
+// counter block's private scratch when one is supplied (no
+// synchronisation — the block is goroutine-local), the shared pool
+// otherwise. pooled reports which, so the caller knows whether to give
+// it back.
+func (u *Universe) scratch(ctr *SigCounters) (sc *sigScratch, pooled bool) {
+	if ctr != nil {
+		if ctr.work == nil {
+			ctr.work = u.newScratch()
+		}
+		return ctr.work, false
+	}
+	if v := u.scratchPool.Get(); v != nil {
+		return v.(*sigScratch), true
+	}
+	return u.newScratch(), true
+}
+
+func (u *Universe) releaseScratch(sc *sigScratch) {
+	u.scratchPool.Put(sc)
+}

@@ -418,14 +418,14 @@ func TestSortSetsDeterministic(t *testing.T) {
 	}
 }
 
-func TestRelationMaskAndRefs(t *testing.T) {
+func TestRelationBitsAndRefs(t *testing.T) {
 	db := workload.Tourist()
 	u := NewUniverse(db)
 	refs := touristRefs(t, db)
 	s := u.FromRefs(refs["c2"], refs["s3"])
-	mask := s.RelationMask()
-	if !mask[0] || mask[1] || !mask[2] {
-		t.Errorf("mask = %v", mask)
+	bits := s.RelationBits()
+	if len(bits) != 1 || bits[0] != 0b101 {
+		t.Errorf("relation bits = %b", bits)
 	}
 	rs := s.Refs()
 	if len(rs) != 2 || rs[0] != refs["c2"] || rs[1] != refs["s3"] {

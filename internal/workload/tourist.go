@@ -95,11 +95,13 @@ func TouristRanked() *relation.Database {
 // otherwise) under the SimTable model in package approx.
 func TouristApprox() (*relation.Database, map[[2]string]float64) {
 	db := Tourist()
-	// Misspell c1's Country, as in Example 6.1.
+	// Misspell c1's Country, as in Example 6.1 (before the first query,
+	// so the freeze contract permits the mutation).
 	cl := db.Relation(0)
-	c1 := cl.Tuple(0)
 	pos, _ := cl.Schema().Position("Country")
-	c1.Values[pos] = relation.V("Cannada")
+	cl.MutateTuple(0, func(c1 *relation.Tuple) {
+		c1.Values[pos] = relation.V("Cannada")
+	})
 
 	probs := map[string]float64{
 		"c1": 0.9, "c2": 1, "c3": 1,
@@ -124,17 +126,18 @@ func applyMeta(db *relation.Database, imps, probs map[string]float64) {
 	for r := 0; r < db.NumRelations(); r++ {
 		rel := db.Relation(r)
 		for i := 0; i < rel.Len(); i++ {
-			t := rel.Tuple(i)
-			if imps != nil {
-				if v, ok := imps[t.Label]; ok {
-					t.Imp = v
+			rel.MutateTuple(i, func(t *relation.Tuple) {
+				if imps != nil {
+					if v, ok := imps[t.Label]; ok {
+						t.Imp = v
+					}
 				}
-			}
-			if probs != nil {
-				if v, ok := probs[t.Label]; ok {
-					t.Prob = v
+				if probs != nil {
+					if v, ok := probs[t.Label]; ok {
+						t.Prob = v
+					}
 				}
-			}
+			})
 		}
 	}
 }

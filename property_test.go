@@ -333,6 +333,117 @@ func TestPropertyKeyInjective(t *testing.T) {
 	}
 }
 
+// TestPropertySignatureOracles: the signature-based predicates —
+// ConsistentWith (binding probe), UnionJCC (binding-vector merge +
+// bitmask adjacency) and MaximalSubsetWith (bitset component walk) —
+// agree with the retained pairwise oracles on randomized chain, star
+// and clique databases, across set states the enumerator produces:
+// freshly built (valid signature), shrunk or member-replaced (stale,
+// rebuilt lazily) and internally inconsistent (conflicted, answered by
+// the pairwise fallback).
+func TestPropertySignatureOracles(t *testing.T) {
+	shapes := map[string]func(workload.Config) (*fd.Database, error){
+		"chain":  workload.Chain,
+		"star":   workload.Star,
+		"clique": workload.Clique,
+	}
+	for name, gen := range shapes {
+		for seed := int64(1); seed <= 5; seed++ {
+			db, err := gen(workload.Config{
+				Relations: 4, TuplesPerRelation: 5, Domain: 3, NullRate: 0.25, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			u := tupleset.NewUniverse(db)
+			rng := rand.New(rand.NewSource(seed * 977))
+			var refs []fd.Ref
+			db.ForEachRef(func(r fd.Ref) bool { refs = append(refs, r); return true })
+			randRef := func() fd.Ref { return refs[rng.Intn(len(refs))] }
+
+			var sets []*fd.TupleSet
+			for i := 0; i < 12; i++ {
+				// (a) greedy JC extension from a random singleton —
+				// valid signatures, the enumerator's steady state.
+				s := u.Singleton(randRef())
+				for tries := 0; tries < 8; tries++ {
+					if ref := randRef(); u.JCCWithTuple(s, ref) {
+						s.Add(ref)
+					}
+				}
+				sets = append(sets, s)
+				// (b) arbitrary member combinations — frequently
+				// inconsistent, exercising the conflicted fallback.
+				a := u.NewSet()
+				for k := 0; k <= rng.Intn(3); k++ {
+					a.Add(randRef())
+				}
+				if !a.Empty() {
+					sets = append(sets, a)
+				}
+				// (c) shrunk and member-replaced copies — stale
+				// signatures rebuilt lazily.
+				c := s.Clone()
+				c.Remove(rng.Intn(db.NumRelations()))
+				if !c.Empty() {
+					sets = append(sets, c)
+				}
+				d := s.Clone()
+				d.Add(randRef()) // may replace an existing member
+				sets = append(sets, d)
+			}
+
+			for _, s := range sets {
+				for trial := 0; trial < 12; trial++ {
+					ref := randRef()
+					if got, want := u.ConsistentWith(s, ref), u.OracleConsistentWith(s, ref); got != want {
+						t.Fatalf("%s seed %d: ConsistentWith(%s, %v) = %v, oracle %v",
+							name, seed, s.Format(db), ref, got, want)
+					}
+					got := u.MaximalSubsetWith(s, ref)
+					want := u.OracleMaximalSubsetWith(s, ref)
+					if !got.Equal(want) {
+						t.Fatalf("%s seed %d: MaximalSubsetWith(%s, %v) = %s, oracle %s",
+							name, seed, s.Format(db), ref, got.Format(db), want.Format(db))
+					}
+				}
+			}
+			for i := range sets {
+				for j := range sets {
+					a, b := sets[i], sets[j]
+					if a.Empty() || b.Empty() {
+						continue
+					}
+					if got, want := u.UnionJCC(a, b), u.OracleUnionJCC(a, b); got != want {
+						t.Fatalf("%s seed %d: UnionJCC(%s, %s) = %v, oracle %v",
+							name, seed, a.Format(db), b.Format(db), got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPropertySignatureCountersMove: an indexed enumeration actually
+// runs on the signature fast path (hits accrue) and the lazily built
+// discovery candidates account for the rebuilds.
+func TestPropertySignatureCountersMove(t *testing.T) {
+	db, err := workload.Chain(workload.Config{
+		Relations: 4, TuplesPerRelation: 8, Domain: 3, NullRate: 0.1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := fd.FullDisjunction(db, fd.Options{UseIndex: true, UseJoinIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SigHits == 0 {
+		t.Error("SigHits = 0; the signature fast path never ran")
+	}
+	if stats.SigRebuilds == 0 {
+		t.Error("SigRebuilds = 0; lazily built candidates were never rebuilt")
+	}
+}
+
 // TestPropertyJoinIndexEquivalence: the candidate-only iteration backed
 // by the dictionary-code posting index produces exactly the same full
 // disjunction as the full sweep, for every initialisation strategy and
