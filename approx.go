@@ -54,6 +54,17 @@ func ApproxStream(db *Database, a ApproxJoin, tau float64, yield func(*TupleSet)
 	return approx.Stream(db, a, tau, yield)
 }
 
+// ApproxCursor is the pull-based form of ApproxStream: a suspended
+// enumeration of AFD(R, A, τ) producing one result per Next call, with
+// explicit state and no goroutine.
+type ApproxCursor = approx.Cursor
+
+// NewApproxCursor prepares a pull-based enumeration of AFD(R, A, τ); no
+// work happens until the first Next call.
+func NewApproxCursor(db *Database, a ApproxJoin, tau float64) (*ApproxCursor, error) {
+	return approx.NewCursor(db, a, tau)
+}
+
 // ApproxScore evaluates A(T) for a tuple set of db.
 func ApproxScore(db *Database, a ApproxJoin, t *TupleSet) float64 {
 	return a.Score(tupleset.NewUniverse(db), t)

@@ -1,0 +1,450 @@
+// Command fdserve serves full disjunctions over HTTP: a JSON front end
+// to internal/service, the concurrent query-session subsystem with
+// pull-based cursors, fingerprint-keyed result caching and bounded
+// admission.
+//
+// Endpoints:
+//
+//	POST   /databases            load a database (workload spec or rows)
+//	DELETE /databases/{name}     drop a database (for reload/Refresh flows)
+//	POST   /queries              open a query session
+//	GET    /queries/{id}/next?k= pull the next page of results
+//	DELETE /queries/{id}         close a session early
+//	GET    /stats                service counters (cache hits, engine stats)
+//	GET    /healthz              liveness
+//
+// A walkthrough lives in the README ("Serving full disjunctions").
+// Sessions idle past -idle are evicted; the server shuts down
+// gracefully on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/service"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
+		workers = flag.Int("workers", 0, "concurrent page computations (0 = GOMAXPROCS)")
+		cache   = flag.Int("cache", 64, "result-cache capacity in cached result lists (negative disables caching)")
+		idle    = flag.Duration("idle", 5*time.Minute, "query-session idle eviction timeout")
+		pageMax = flag.Int("page-max", 1024, "maximum results per page")
+	)
+	flag.Parse()
+	if *idle <= 0 {
+		// Mirror the service default here: the janitor ticker below
+		// needs a positive interval.
+		*idle = 5 * time.Minute
+	}
+
+	svc := service.New(service.Config{
+		Workers:       *workers,
+		CacheCapacity: *cache,
+		IdleTimeout:   *idle,
+		MaxPageSize:   *pageMax,
+	})
+	srv := &http.Server{Addr: *addr, Handler: newMux(svc)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Janitor: sweep idle sessions at a fraction of the timeout.
+	go func() {
+		tick := time.NewTicker(*idle / 4)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				if n := svc.EvictIdle(); n > 0 {
+					log.Printf("evicted %d idle query session(s)", n)
+				}
+			}
+		}
+	}()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("fdserve listening on %s", *addr)
+
+	select {
+	case <-ctx.Done():
+		log.Printf("shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		svc.Close()
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("serve: %v", err)
+		}
+	}
+}
+
+// newMux wires the HTTP surface onto a service. Split from main so
+// tests drive the handlers through httptest.
+func newMux(svc *service.Service) *http.ServeMux {
+	s := &server{svc: svc}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /databases", s.handleCreateDatabase)
+	mux.HandleFunc("DELETE /databases/{name}", s.handleDropDatabase)
+	mux.HandleFunc("POST /queries", s.handleCreateQuery)
+	mux.HandleFunc("GET /queries/{id}/next", s.handleNext)
+	mux.HandleFunc("DELETE /queries/{id}", s.handleDeleteQuery)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+type server struct {
+	svc *service.Service
+}
+
+// --- request/response shapes -------------------------------------------
+
+// workloadSpec selects one of the internal/workload generators; the
+// same (kind, parameters, seed) always produces the same database (and
+// therefore the same fingerprint), so generated workloads share cached
+// results across reloads and processes.
+type workloadSpec struct {
+	Kind          string  `json:"kind"` // chain, star, cycle, clique, random, dirty
+	Relations     int     `json:"relations"`
+	Tuples        int     `json:"tuples"`
+	Domain        int     `json:"domain"`
+	NullRate      float64 `json:"null_rate"`
+	ImpMax        float64 `json:"imp_max"`
+	Seed          int64   `json:"seed"`
+	ExtraEdgeProb float64 `json:"extra_edge_prob"` // random kind
+	ErrorRate     float64 `json:"error_rate"`      // dirty kind
+}
+
+// tupleSpec is one uploaded row; a null JSON value is ⊥. Imp defaults
+// to 1 when omitted or zero; Prob defaults to 1 when omitted.
+type tupleSpec struct {
+	Label  string    `json:"label"`
+	Values []*string `json:"values"`
+	Imp    float64   `json:"imp"`
+	Prob   *float64  `json:"prob"`
+}
+
+type relationSpec struct {
+	Name       string      `json:"name"`
+	Attributes []string    `json:"attributes"`
+	Tuples     []tupleSpec `json:"tuples"`
+}
+
+type createDatabaseRequest struct {
+	Name string `json:"name"`
+	// Exactly one of Workload and Relations must be set.
+	Workload  *workloadSpec  `json:"workload,omitempty"`
+	Relations []relationSpec `json:"relations,omitempty"`
+}
+
+type optionsSpec struct {
+	// UseIndex and UseJoinIndex default to true when omitted.
+	UseIndex     *bool  `json:"use_index,omitempty"`
+	UseJoinIndex *bool  `json:"use_join_index,omitempty"`
+	BlockSize    int    `json:"block_size,omitempty"`
+	Strategy     string `json:"strategy,omitempty"` // singletons, seeded, projected
+}
+
+type createQueryRequest struct {
+	Database string      `json:"database"`
+	Mode     string      `json:"mode"` // exact (default), ranked, approx
+	Rank     string      `json:"rank,omitempty"`
+	Tau      float64     `json:"tau,omitempty"`
+	Sim      string      `json:"sim,omitempty"`
+	Options  optionsSpec `json:"options"`
+}
+
+type createQueryResponse struct {
+	ID     string `json:"id"`
+	Cached bool   `json:"cached"`
+}
+
+type resultJSON struct {
+	// Set is the tuple-set notation of the paper's Table 2, e.g.
+	// "{c1, a2}".
+	Set  string   `json:"set"`
+	Rank *float64 `json:"rank,omitempty"`
+	// Values is the padded tuple over the database's full attribute
+	// universe; null values are JSON nulls.
+	Values map[string]*string `json:"values"`
+}
+
+type pageResponse struct {
+	Results []resultJSON `json:"results"`
+	Done    bool         `json:"done"`
+	Served  int          `json:"served"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// --- handlers ----------------------------------------------------------
+
+func (s *server) handleCreateDatabase(w http.ResponseWriter, r *http.Request) {
+	var req createDatabaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	var (
+		db  *relation.Database
+		err error
+	)
+	switch {
+	case req.Workload != nil && req.Relations != nil:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("set either workload or relations, not both"))
+		return
+	case req.Workload != nil:
+		db, err = buildWorkload(*req.Workload)
+	case req.Relations != nil:
+		db, err = buildUploaded(req.Relations)
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing workload or relations"))
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	info, err := s.svc.AddDatabase(req.Name, db)
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func buildWorkload(spec workloadSpec) (*relation.Database, error) {
+	cfg := workload.Config{
+		Relations:         spec.Relations,
+		TuplesPerRelation: spec.Tuples,
+		Domain:            spec.Domain,
+		NullRate:          spec.NullRate,
+		ImpMax:            spec.ImpMax,
+		Seed:              spec.Seed,
+	}
+	switch spec.Kind {
+	case "chain":
+		return workload.Chain(cfg)
+	case "star":
+		return workload.Star(cfg)
+	case "cycle":
+		return workload.Cycle(cfg)
+	case "clique":
+		return workload.Clique(cfg)
+	case "random":
+		return workload.Random(cfg, spec.ExtraEdgeProb)
+	case "dirty":
+		return workload.DirtyChain(workload.DirtyConfig{
+			Config: cfg, ErrorRate: spec.ErrorRate, MaxEdits: 2, MinProb: 0.4})
+	default:
+		return nil, fmt.Errorf("unknown workload kind %q", spec.Kind)
+	}
+}
+
+func buildUploaded(specs []relationSpec) (*relation.Database, error) {
+	rels := make([]*relation.Relation, 0, len(specs))
+	for _, rs := range specs {
+		attrs := make([]relation.Attribute, len(rs.Attributes))
+		for i, a := range rs.Attributes {
+			attrs[i] = relation.Attribute(a)
+		}
+		schema, err := relation.NewSchema(attrs...)
+		if err != nil {
+			return nil, fmt.Errorf("relation %s: %w", rs.Name, err)
+		}
+		rel, err := relation.NewRelation(rs.Name, schema)
+		if err != nil {
+			return nil, err
+		}
+		for i, ts := range rs.Tuples {
+			if len(ts.Values) != len(rs.Attributes) {
+				return nil, fmt.Errorf("relation %s tuple %d: %d values for %d attributes",
+					rs.Name, i, len(ts.Values), len(rs.Attributes))
+			}
+			t := relation.Tuple{Label: ts.Label, Imp: ts.Imp, Prob: 1,
+				Values: make([]relation.Value, schema.Len())}
+			if t.Imp == 0 {
+				t.Imp = 1
+			}
+			if ts.Prob != nil {
+				t.Prob = *ts.Prob
+			}
+			// Uploaded values arrive in the caller's attribute order;
+			// the schema sorts attributes, so place each value by name.
+			for j, v := range ts.Values {
+				if v == nil {
+					continue // stays ⊥
+				}
+				pos, _ := schema.Position(attrs[j])
+				t.Values[pos] = relation.V(*v)
+			}
+			if err := rel.AppendTuple(t); err != nil {
+				return nil, fmt.Errorf("relation %s tuple %d: %w", rs.Name, i, err)
+			}
+		}
+		rels = append(rels, rel)
+	}
+	return relation.NewDatabase(rels...)
+}
+
+func (s *server) handleDropDatabase(w http.ResponseWriter, r *http.Request) {
+	if err := s.svc.DropDatabase(r.PathValue("name")); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *server) handleCreateQuery(w http.ResponseWriter, r *http.Request) {
+	var req createQueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	spec, err := toSpec(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	q, err := s.svc.StartQuery(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, createQueryResponse{ID: q.ID(), Cached: q.FromCache()})
+}
+
+func toSpec(req createQueryRequest) (service.QuerySpec, error) {
+	mode := service.Mode(req.Mode)
+	if req.Mode == "" {
+		mode = service.ModeExact
+	}
+	spec := service.QuerySpec{
+		Database:     req.Database,
+		Mode:         mode,
+		Rank:         req.Rank,
+		Tau:          req.Tau,
+		Sim:          req.Sim,
+		UseIndex:     true,
+		UseJoinIndex: true,
+		BlockSize:    req.Options.BlockSize,
+	}
+	if req.Options.UseIndex != nil {
+		spec.UseIndex = *req.Options.UseIndex
+	}
+	if req.Options.UseJoinIndex != nil {
+		spec.UseJoinIndex = *req.Options.UseJoinIndex
+	}
+	switch req.Options.Strategy {
+	case "", "singletons":
+		spec.Strategy = core.InitSingletons
+	case "seeded":
+		spec.Strategy = core.InitSeeded
+	case "projected":
+		spec.Strategy = core.InitProjected
+	default:
+		return spec, fmt.Errorf("unknown init strategy %q (singletons, seeded, projected)", req.Options.Strategy)
+	}
+	return spec, nil
+}
+
+func (s *server) handleNext(w http.ResponseWriter, r *http.Request) {
+	q, ok := s.svc.Query(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown query %q", r.PathValue("id")))
+		return
+	}
+	k := 10
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid page size %q", raw))
+			return
+		}
+		k = v
+	}
+	page, done, err := q.Next(k)
+	if err != nil {
+		writeError(w, http.StatusGone, err)
+		return
+	}
+	db := q.DB()
+	u := q.Universe()
+	attrs := u.AllAttributes()
+	out := pageResponse{Results: make([]resultJSON, len(page)), Done: done, Served: q.Served()}
+	for i, res := range page {
+		rj := resultJSON{
+			Set:    res.Set.Format(db),
+			Values: make(map[string]*string, len(attrs)),
+		}
+		if res.Ranked {
+			rank := res.Rank
+			rj.Rank = &rank
+		}
+		padded := u.PadOver(res.Set, attrs)
+		for j, a := range padded.Attrs {
+			if padded.Values[j].IsNull() {
+				rj.Values[string(a)] = nil
+				continue
+			}
+			datum := padded.Values[j].Datum()
+			rj.Values[string(a)] = &datum
+		}
+		out.Results[i] = rj
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handleDeleteQuery(w http.ResponseWriter, r *http.Request) {
+	q, ok := s.svc.Query(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown query %q", r.PathValue("id")))
+		return
+	}
+	q.Close()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.Stats())
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("encode response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}

@@ -147,6 +147,18 @@ func Stream(db *Database, opts Options, yield func(*TupleSet) bool) (Stats, erro
 	return core.Stream(db, opts, yield)
 }
 
+// Cursor is the pull-based form of Stream: a suspended enumeration of
+// FD(R) producing one result per Next call. A cursor holds explicit
+// state and no goroutine, so abandoning it with Close leaks nothing —
+// the shape internal/service builds its paginated query sessions on.
+type Cursor = core.Cursor
+
+// NewCursor prepares a pull-based enumeration of FD(R); no work happens
+// until the first Next call. Call Close when done (or drain it).
+func NewCursor(db *Database, opts Options) (*Cursor, error) {
+	return core.NewCursor(db, opts)
+}
+
 // FDi computes FDi(R): the members of the full disjunction containing a
 // tuple of relation seed (the algorithm INCREMENTALFD of Fig 1).
 func FDi(db *Database, seed int, opts Options) ([]*TupleSet, Stats, error) {

@@ -203,37 +203,124 @@ func AFDi(db *relation.Database, seed int, a Join, tau float64) ([]*tupleset.Set
 	return out, e.Stats(), nil
 }
 
+// Cursor is the pull-based form of Stream: a suspended enumeration of
+// AFD(R, A, τ) producing one result per Next call. The suspended state
+// is explicit — the current per-relation pass and its Enumerator — so a
+// cursor holds no goroutine and abandoning one with Close leaks
+// nothing.
+//
+// A Cursor is not safe for concurrent use.
+type Cursor struct {
+	db     *relation.Database
+	a      Join
+	tau    float64
+	total  core.Stats
+	pass   int
+	e      *Enumerator
+	err    error
+	closed bool
+}
+
+// NewCursor prepares a pull-based enumeration of AFD(R, A, τ). No work
+// happens until the first Next call.
+func NewCursor(db *relation.Database, a Join, tau float64) (*Cursor, error) {
+	if a == nil {
+		return nil, fmt.Errorf("approx: nil approximate join function")
+	}
+	if tau <= 0 || tau > 1 {
+		return nil, fmt.Errorf("approx: threshold %v outside (0,1]", tau)
+	}
+	return &Cursor{db: db, a: a, tau: tau}, nil
+}
+
+// Next produces the next member of AFD(R, A, τ), or ok=false when the
+// enumeration is exhausted, closed, or failed (check Err). A result is
+// emitted once, by the pass of its minimal relation.
+func (c *Cursor) Next() (*tupleset.Set, bool) {
+	if c.closed || c.err != nil {
+		return nil, false
+	}
+	for {
+		if c.e == nil {
+			if c.pass >= c.db.NumRelations() {
+				return nil, false
+			}
+			e, err := NewEnumerator(c.db, c.pass, c.a, c.tau)
+			if err != nil {
+				c.err = err
+				return nil, false
+			}
+			c.e = e
+		}
+		t, ok := c.e.Next()
+		if !ok {
+			c.foldPass()
+			c.pass++
+			continue
+		}
+		if minRel(t) != c.pass {
+			continue // already emitted by an earlier pass
+		}
+		c.total.Emitted++
+		return t, true
+	}
+}
+
+// foldPass folds the in-flight enumerator's counters into the total;
+// Emitted is zeroed because the cursor counts emissions itself.
+func (c *Cursor) foldPass() {
+	if c.e == nil {
+		return
+	}
+	s := c.e.Stats()
+	s.Emitted = 0
+	c.total.Add(s)
+	c.e = nil
+}
+
+// Stats returns a snapshot of the counters accumulated so far,
+// including the in-flight pass.
+func (c *Cursor) Stats() core.Stats {
+	s := c.total
+	if c.e != nil {
+		es := c.e.Stats()
+		es.Emitted = 0
+		s.Add(es)
+	}
+	return s
+}
+
+// Err returns the error that terminated the enumeration, if any.
+func (c *Cursor) Err() error { return c.err }
+
+// Close abandons the enumeration; idempotent, leaks nothing.
+func (c *Cursor) Close() {
+	if c.closed {
+		return
+	}
+	c.foldPass()
+	c.closed = true
+}
+
 // Stream computes the whole AFD(R, A, τ) incrementally, yielding each
 // result once (a result is emitted by the pass of its minimal
-// relation). Enumeration stops early when yield returns false.
+// relation). Enumeration stops early when yield returns false. It is
+// the push-style rendering of a Cursor.
 func Stream(db *relation.Database, a Join, tau float64, yield func(*tupleset.Set) bool) (core.Stats, error) {
-	var total core.Stats
-	for seed := 0; seed < db.NumRelations(); seed++ {
-		e, err := NewEnumerator(db, seed, a, tau)
-		if err != nil {
-			return total, err
-		}
-		for {
-			t, ok := e.Next()
-			if !ok {
-				break
-			}
-			if minRel(t) != seed {
-				continue // already emitted by an earlier pass
-			}
-			total.Emitted++
-			if !yield(t) {
-				s := e.Stats()
-				s.Emitted = 0
-				total.Add(s)
-				return total, nil
-			}
-		}
-		s := e.Stats()
-		s.Emitted = 0
-		total.Add(s)
+	c, err := NewCursor(db, a, tau)
+	if err != nil {
+		return core.Stats{}, err
 	}
-	return total, nil
+	defer c.Close()
+	for {
+		t, ok := c.Next()
+		if !ok {
+			return c.Stats(), c.Err()
+		}
+		if !yield(t) {
+			return c.Stats(), nil
+		}
+	}
 }
 
 func minRel(t *tupleset.Set) int {

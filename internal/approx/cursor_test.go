@@ -1,0 +1,107 @@
+package approx
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/relation"
+	"repro/internal/tupleset"
+	"repro/internal/workload"
+)
+
+func cursorDB(t *testing.T) *relation.Database {
+	t.Helper()
+	db, err := workload.DirtyChain(workload.DirtyConfig{
+		Config:    workload.Config{Relations: 3, TuplesPerRelation: 8, Domain: 3, Seed: 43},
+		ErrorRate: 0.3, MaxEdits: 2, MinProb: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestCursorMatchesStream checks that the pull-based approximate cursor
+// reproduces Stream exactly.
+func TestCursorMatchesStream(t *testing.T) {
+	db := cursorDB(t)
+	a := &Amin{S: LevenshteinSim{}}
+	const tau = 0.7
+
+	var want []string
+	wantStats, err := Stream(db, a, tau, func(s *tupleset.Set) bool {
+		want = append(want, s.Key())
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := NewCursor(db, a, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for {
+		s, ok := c.Next()
+		if !ok {
+			break
+		}
+		got = append(got, s.Key())
+	}
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("cursor emitted %d results, Stream %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("sequence diverges at %d", i)
+		}
+	}
+	if cs := c.Stats(); cs != wantStats {
+		t.Errorf("cursor stats %+v, Stream stats %+v", cs, wantStats)
+	}
+	c.Close()
+}
+
+// TestCursorValidation mirrors the Stream argument checks.
+func TestCursorValidation(t *testing.T) {
+	db := cursorDB(t)
+	if _, err := NewCursor(db, nil, 0.5); err == nil {
+		t.Error("NewCursor accepted a nil join function")
+	}
+	if _, err := NewCursor(db, &Amin{S: ExactSim{}}, 0); err == nil {
+		t.Error("NewCursor accepted τ=0")
+	}
+	if _, err := NewCursor(db, &Amin{S: ExactSim{}}, 1.5); err == nil {
+		t.Error("NewCursor accepted τ>1")
+	}
+}
+
+// TestApproxCursorNoGoroutineLeak asserts that abandoning approximate
+// enumerations mid-flight leaks no goroutine.
+func TestApproxCursorNoGoroutineLeak(t *testing.T) {
+	db := cursorDB(t)
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		c, err := NewCursor(db, &Amin{S: LevenshteinSim{}}, 0.7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Next()
+		c.Close()
+		if _, ok := c.Next(); ok {
+			t.Fatal("Next after Close emitted a result")
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines grew from %d to %d", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

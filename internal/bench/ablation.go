@@ -94,7 +94,11 @@ func e9Table(rec *Record) (*Table, error) {
 		var sets []*tupleset.Set
 		var stats core.Stats
 		d, mallocs, bytes := measure(func() {
-			sets, stats, err = core.FullDisjunction(db, v.opts)
+			if v.parallel {
+				sets, stats, err = core.ParallelFullDisjunction(db, v.opts, 0)
+			} else {
+				sets, stats, err = core.FullDisjunction(db, v.opts)
+			}
 		})
 		if err != nil {
 			return nil, err

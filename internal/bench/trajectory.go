@@ -96,21 +96,26 @@ func e9DB() (*relation.Database, error) {
 		Relations: 4, TuplesPerRelation: 28, Domain: 4, NullRate: 0.1, Seed: 23})
 }
 
-// e9Variant is one rung of the E9 ablation ladder.
+// e9Variant is one rung of the E9 ablation ladder. A parallel variant
+// runs ParallelFullDisjunction (restart strategy, GOMAXPROCS workers)
+// instead of the sequential driver.
 type e9Variant struct {
-	name string
-	opts core.Options
+	name     string
+	opts     core.Options
+	parallel bool
 }
 
 // e9Variants returns the §7 ablation ladder in presentation order.
 func e9Variants() []e9Variant {
 	return []e9Variant{
-		{"tuple-at-a-time, no index, restart init", core.Options{}},
-		{"+ hash index", core.Options{UseIndex: true}},
-		{"+ join-candidate index (dictionary codes)", core.Options{UseIndex: true, UseJoinIndex: true}},
-		{"+ seeded init (§7 opt 2)", core.Options{UseIndex: true, UseJoinIndex: true, Strategy: core.InitSeeded}},
-		{"+ projected init (§7 opt 3)", core.Options{UseIndex: true, UseJoinIndex: true, Strategy: core.InitProjected}},
-		{"+ blocks of 8", core.Options{UseIndex: true, UseJoinIndex: true, Strategy: core.InitSeeded, BlockSize: 8}},
-		{"+ blocks of 64", core.Options{UseIndex: true, UseJoinIndex: true, Strategy: core.InitSeeded, BlockSize: 64}},
+		{name: "tuple-at-a-time, no index, restart init", opts: core.Options{}},
+		{name: "+ hash index", opts: core.Options{UseIndex: true}},
+		{name: "+ join-candidate index (dictionary codes)", opts: core.Options{UseIndex: true, UseJoinIndex: true}},
+		{name: "+ seeded init (§7 opt 2)", opts: core.Options{UseIndex: true, UseJoinIndex: true, Strategy: core.InitSeeded}},
+		{name: "+ projected init (§7 opt 3)", opts: core.Options{UseIndex: true, UseJoinIndex: true, Strategy: core.InitProjected}},
+		{name: "+ blocks of 8", opts: core.Options{UseIndex: true, UseJoinIndex: true, Strategy: core.InitSeeded, BlockSize: 8}},
+		{name: "+ blocks of 64", opts: core.Options{UseIndex: true, UseJoinIndex: true, Strategy: core.InitSeeded, BlockSize: 64}},
+		{name: "parallel driver (restart init, GOMAXPROCS workers)",
+			opts: core.Options{UseIndex: true, UseJoinIndex: true}, parallel: true},
 	}
 }

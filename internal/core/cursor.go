@@ -1,0 +1,137 @@
+package core
+
+import (
+	"repro/internal/relation"
+	"repro/internal/tupleset"
+)
+
+// Cursor is the pull-based form of Stream: a suspended full-disjunction
+// enumeration that produces one result per Next call and can be
+// abandoned at any point with Close. The suspended state is explicit —
+// the current per-relation pass, its Enumerator, and (for the seeded
+// strategies) the store of previously printed results — so a cursor
+// holds no goroutine and abandoning one leaks nothing.
+//
+// A Cursor is not safe for concurrent use; wrap it (as internal/service
+// does) when several goroutines share one enumeration.
+type Cursor struct {
+	u    *tupleset.Universe
+	opts Options
+	// total accumulates the counters of finished passes; the counters
+	// of the in-flight pass live in e until foldPass.
+	total Stats
+	pass  int
+	n     int
+	e     *Enumerator
+	// printed is the cross-pass duplicate filter of the seeded
+	// strategies (nil for the restart strategy, which suppresses
+	// duplicates by minimal relation instead).
+	printed *CompleteStore
+	err     error
+	closed  bool
+}
+
+// NewCursor prepares a pull-based enumeration of FD(R) with the
+// initialisation strategy selected in opts. No work happens until the
+// first Next call.
+func NewCursor(db *relation.Database, opts Options) (*Cursor, error) {
+	u := tupleset.NewUniverse(db)
+	c := &Cursor{u: u, opts: opts, n: db.NumRelations()}
+	switch opts.Strategy {
+	case InitSeeded, InitProjected:
+		c.printed = NewCompleteStore(u, true)
+	}
+	return c, nil
+}
+
+// Next produces the next member of FD(R), or ok=false when the
+// enumeration is exhausted, closed, or failed (check Err).
+func (c *Cursor) Next() (*tupleset.Set, bool) {
+	if c.closed || c.err != nil {
+		return nil, false
+	}
+	for {
+		if c.e == nil {
+			if c.pass >= c.n {
+				return nil, false
+			}
+			e, err := c.passEnumerator()
+			if err != nil {
+				c.err = err
+				return nil, false
+			}
+			c.e = e
+		}
+		t, ok := c.e.Next()
+		if !ok {
+			c.foldPass()
+			c.pass++
+			continue
+		}
+		if c.printed != nil {
+			// Seeded strategies: suppress results subsumed by a
+			// previously printed set (§7).
+			anchor, _ := t.Member(c.pass)
+			if c.printed.ContainsSuperset(t, anchor, &c.total) {
+				continue
+			}
+			c.printed.Add(t)
+		} else if minRelation(t) != c.pass {
+			// Restart strategy: a result belongs to the pass of its
+			// minimal relation (duplicate-avoidance rule below
+			// Corollary 4.7).
+			continue
+		}
+		c.total.Emitted++
+		return t, true
+	}
+}
+
+// passEnumerator builds the enumerator of the current pass.
+func (c *Cursor) passEnumerator() (*Enumerator, error) {
+	if c.printed == nil {
+		return NewEnumerator(c.u, c.pass, c.opts)
+	}
+	init := seedInit(c.u, c.pass, c.opts, c.printed, &c.total)
+	return NewSeededEnumerator(c.u, c.pass, c.opts, init, c.pass)
+}
+
+// foldPass folds the in-flight enumerator's counters into the total.
+// Emitted is zeroed first: the cursor counts emissions itself (per-pass
+// enumerators also count suppressed duplicates).
+func (c *Cursor) foldPass() {
+	if c.e == nil {
+		return
+	}
+	s := c.e.Stats()
+	s.Emitted = 0
+	c.total.Add(s)
+	c.e = nil
+}
+
+// Stats returns a snapshot of the counters accumulated so far,
+// including the in-flight pass.
+func (c *Cursor) Stats() Stats {
+	s := c.total
+	if c.e != nil {
+		es := c.e.Stats()
+		es.Emitted = 0
+		s.Add(es)
+	}
+	return s
+}
+
+// Err returns the error that terminated the enumeration, if any.
+func (c *Cursor) Err() error { return c.err }
+
+// Close abandons the enumeration. It is idempotent; Next returns
+// ok=false afterwards. Closing releases no external resources — the
+// cursor holds only heap state — but folds the in-flight pass so Stats
+// stays accurate.
+func (c *Cursor) Close() {
+	if c.closed {
+		return
+	}
+	c.foldPass()
+	c.closed = true
+}

@@ -31,92 +31,29 @@ func FullDisjunction(db *relation.Database, opts Options) ([]*tupleset.Set, Stat
 // Stream computes FD(R) and hands each result to yield as soon as it is
 // produced — the incremental behaviour that places the problem in PINC
 // (Corollary 4.11). Enumeration stops early when yield returns false.
+//
+// Stream is the push-style rendering of a Cursor: the textbook restart
+// driver (INCREMENTALFD(R, i) for every i, suppressing results whose
+// minimal relation was handled by an earlier pass — the rule below
+// Corollary 4.7) or the §7 seeded/projected drivers (pass i scans only
+// Ri..Rn, seeds Incomplete from previously printed results, and
+// suppresses results contained in a printed set; see DESIGN.md for the
+// correctness argument).
 func Stream(db *relation.Database, opts Options, yield func(*tupleset.Set) bool) (Stats, error) {
-	u := tupleset.NewUniverse(db)
-	switch opts.Strategy {
-	case InitSingletons:
-		return streamRestart(u, opts, yield)
-	case InitSeeded, InitProjected:
-		return streamSeeded(u, opts, yield)
-	default:
-		return streamRestart(u, opts, yield)
+	c, err := NewCursor(db, opts)
+	if err != nil {
+		return Stats{}, err
 	}
-}
-
-// streamRestart runs the textbook driver: INCREMENTALFD(R, i) for every
-// i, suppressing a result when it contains a tuple of an earlier
-// relation (it was printed by that earlier pass) — exactly the
-// duplicate-avoidance rule described below Corollary 4.7.
-func streamRestart(u *tupleset.Universe, opts Options, yield func(*tupleset.Set) bool) (Stats, error) {
-	var total Stats
-	n := u.DB.NumRelations()
-	for i := 0; i < n; i++ {
-		e, err := NewEnumerator(u, i, opts)
-		if err != nil {
-			return total, err
+	defer c.Close()
+	for {
+		t, ok := c.Next()
+		if !ok {
+			return c.Stats(), c.Err()
 		}
-		for {
-			t, ok := e.Next()
-			if !ok {
-				break
-			}
-			if minRelation(t) != i {
-				continue // contains a tuple of R1..R(i-1): already printed
-			}
-			total.Emitted++
-			if !yield(t) {
-				s := e.Stats()
-				s.Emitted = 0
-				total.Add(s)
-				return total, nil
-			}
+		if !yield(t) {
+			return c.Stats(), nil
 		}
-		s := e.Stats()
-		s.Emitted = 0 // driver counts emissions itself
-		total.Add(s)
 	}
-	return total, nil
-}
-
-// streamSeeded runs the §7 "minimizing repeated work" drivers
-// (InitSeeded and InitProjected). Pass i scans only relations Ri..Rn,
-// seeds Incomplete from the previously printed results, and suppresses
-// any result contained in a previously printed set. See DESIGN.md for
-// the correctness argument (completeness for results whose minimal
-// relation is i; soundness via the global subsumption filter).
-func streamSeeded(u *tupleset.Universe, opts Options, yield func(*tupleset.Set) bool) (Stats, error) {
-	var total Stats
-	n := u.DB.NumRelations()
-	printed := NewCompleteStore(u, true)
-	for i := 0; i < n; i++ {
-		init := seedInit(u, i, opts, printed, &total)
-		e, err := NewSeededEnumerator(u, i, opts, init, i)
-		if err != nil {
-			return total, err
-		}
-		for {
-			t, ok := e.Next()
-			if !ok {
-				break
-			}
-			anchor, _ := t.Member(i)
-			if printed.ContainsSuperset(t, anchor, &total) {
-				continue
-			}
-			printed.Add(t)
-			total.Emitted++
-			if !yield(t) {
-				s := e.Stats()
-				s.Emitted = 0
-				total.Add(s)
-				return total, nil
-			}
-		}
-		s := e.Stats()
-		s.Emitted = 0
-		total.Add(s)
-	}
-	return total, nil
 }
 
 // seedInit builds the initial Incomplete contents for pass i of the

@@ -1,0 +1,99 @@
+package rank
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+func cursorDB(t *testing.T) *relation.Database {
+	t.Helper()
+	db, err := workload.Star(workload.Config{
+		Relations: 4, TuplesPerRelation: 8, Domain: 3, NullRate: 0.05, ImpMax: 20, Seed: 37})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestCursorMatchesStreamRanked checks that the pull-based ranked
+// cursor reproduces StreamRanked exactly: same sets, same ranks, same
+// order, same counters.
+func TestCursorMatchesStreamRanked(t *testing.T) {
+	db := cursorDB(t)
+	for _, f := range []Func{FMax{}, PairSum()} {
+		opts := core.Options{UseIndex: true}
+		var want []Result
+		wantStats, err := StreamRanked(db, f, opts, func(r Result) bool {
+			want = append(want, r)
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		c, err := NewCursor(db, f, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []Result
+		for {
+			r, ok := c.Next()
+			if !ok {
+				break
+			}
+			got = append(got, r)
+		}
+		if err := c.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: cursor emitted %d, StreamRanked %d", f.Name(), len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Rank != want[i].Rank || got[i].Set.Key() != want[i].Set.Key() {
+				t.Fatalf("%s: sequence diverges at %d", f.Name(), i)
+			}
+		}
+		if cs := c.Stats(); cs != wantStats {
+			t.Errorf("%s: cursor stats %+v, StreamRanked stats %+v", f.Name(), cs, wantStats)
+		}
+		c.Close()
+	}
+}
+
+// TestCursorRejectsNonDetermined mirrors the StreamRanked validation.
+func TestCursorRejectsNonDetermined(t *testing.T) {
+	if _, err := NewCursor(cursorDB(t), FSum{}, core.Options{}); err == nil {
+		t.Fatal("NewCursor accepted a non-c-determined function")
+	}
+}
+
+// TestRankedCursorNoGoroutineLeak asserts that abandoning ranked
+// enumerations mid-flight leaks no goroutine.
+func TestRankedCursorNoGoroutineLeak(t *testing.T) {
+	db := cursorDB(t)
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		c, err := NewCursor(db, FMax{}, core.Options{UseIndex: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Next()
+		c.Close()
+		if _, ok := c.Next(); ok {
+			t.Fatal("Next after Close emitted a result")
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines grew from %d to %d", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -15,20 +15,37 @@ type Result struct {
 	Rank float64
 }
 
-// StreamRanked implements PRIORITYINCREMENTALFD (Fig 3): it yields the
-// tuple sets of FD(R) in non-increasing rank order under the
-// monotonically c-determined ranking function f, stopping early when
-// yield returns false. Lemma 5.4 guarantees the order; Lemma 5.3
-// guarantees that the first k results cost time polynomial in the input
-// and k.
-func StreamRanked(db *relation.Database, f Func, opts core.Options, yield func(Result) bool) (core.Stats, error) {
-	var stats core.Stats
+// Cursor is the pull-based form of StreamRanked: a suspended
+// PRIORITYINCREMENTALFD enumeration producing one result per Next call,
+// in non-increasing rank order. The suspended state is explicit (the
+// per-relation priority queues and the Complete store), so a cursor
+// holds no goroutine and abandoning one with Close leaks nothing.
+//
+// A Cursor is not safe for concurrent use.
+type Cursor struct {
+	u        *tupleset.Universe
+	f        Func
+	opts     core.Options
+	queues   []*priorityQueue
+	complete *core.CompleteStore
+	stats    core.Stats
+	err      error
+	closed   bool
+}
+
+// NewCursor prepares a pull-based ranked enumeration. The Fig 3
+// initialisation (lines 1–8: enumerate the JCC connected tuple sets of
+// size ≤ c and merge each queue to a fixpoint) happens here, so the
+// constructor carries the polynomial preprocessing cost of Lemma 5.3
+// and every Next call is one queue extraction.
+func NewCursor(db *relation.Database, f Func, opts core.Options) (*Cursor, error) {
 	if err := Validate(f); err != nil {
-		return stats, err
+		return nil, err
 	}
 	u := tupleset.NewUniverse(db)
 	n := db.NumRelations()
 	c := f.C()
+	cur := &Cursor{u: u, f: f, opts: opts}
 
 	// Lines 1–4: enumerate every JCC connected tuple set of size ≤ c
 	// and distribute it to the queue of each relation it touches.
@@ -44,25 +61,32 @@ func StreamRanked(db *relation.Database, f Func, opts core.Options, yield func(R
 
 	// Lines 5–8: merge mergeable pairs within each queue to a fixpoint,
 	// establishing initialisation condition (iii) of Lemma 5.2.
-	queues := make([]*priorityQueue, n)
+	cur.queues = make([]*priorityQueue, n)
 	for i := 0; i < n; i++ {
-		merged := mergeFixpoint(u, perSeed[i], &stats)
-		queues[i] = newPriorityQueue(u, i, f)
+		merged := mergeFixpoint(u, perSeed[i], &cur.stats)
+		cur.queues[i] = newPriorityQueue(u, i, f)
 		for _, s := range merged {
-			queues[i].Push(s)
+			cur.queues[i].Push(s)
 		}
 	}
+	cur.complete = core.NewCompleteStore(u, true)
+	return cur, nil
+}
 
-	complete := core.NewCompleteStore(u, true)
-
-	// Lines 9–18: repeatedly extract from the queue whose top ranks
-	// highest, extend it to a result, and print it unless it was
-	// already printed via another queue.
+// Next produces the next result in rank order, or ok=false when the
+// enumeration is exhausted, closed, or failed (check Err). It performs
+// one iteration of Fig 3 lines 9–18: extract from the queue whose top
+// ranks highest, extend it to a result, and emit it unless it was
+// already printed via another queue.
+func (c *Cursor) Next() (Result, bool) {
+	if c.closed || c.err != nil {
+		return Result{}, false
+	}
 	for {
 		best := -1
 		var bestRank float64
 		var bestKey string
-		for i, q := range queues {
+		for i, q := range c.queues {
 			top, r, ok := q.Top()
 			if !ok {
 				continue
@@ -72,22 +96,53 @@ func StreamRanked(db *relation.Database, f Func, opts core.Options, yield func(R
 			}
 		}
 		if best < 0 {
-			return stats, nil // all queues empty: FD exhausted
+			return Result{}, false // all queues empty: FD exhausted
 		}
-		T, _ := queues[best].PopSet()
-		result := core.GetNextResult(u, best, opts, 0, T, queues[best], complete, &stats)
-		stats.Iterations++
+		T, _ := c.queues[best].PopSet()
+		result := core.GetNextResult(c.u, best, c.opts, 0, T, c.queues[best], c.complete, &c.stats)
+		c.stats.Iterations++
 		anchor, ok := result.Member(best)
 		if !ok {
-			return stats, fmt.Errorf("rank: internal error: result lacks seed tuple")
+			c.err = fmt.Errorf("rank: internal error: result lacks seed tuple")
+			return Result{}, false
 		}
-		if complete.ContainsSuperset(result, anchor, &stats) {
+		if c.complete.ContainsSuperset(result, anchor, &c.stats) {
 			continue // line 17: already printed via another queue
 		}
-		complete.Add(result)
-		stats.Emitted++
-		if !yield(Result{Set: result, Rank: f.Rank(u, result)}) {
-			return stats, nil
+		c.complete.Add(result)
+		c.stats.Emitted++
+		return Result{Set: result, Rank: c.f.Rank(c.u, result)}, true
+	}
+}
+
+// Stats returns the counters accumulated so far.
+func (c *Cursor) Stats() core.Stats { return c.stats }
+
+// Err returns the error that terminated the enumeration, if any.
+func (c *Cursor) Err() error { return c.err }
+
+// Close abandons the enumeration; idempotent, leaks nothing.
+func (c *Cursor) Close() { c.closed = true }
+
+// StreamRanked implements PRIORITYINCREMENTALFD (Fig 3): it yields the
+// tuple sets of FD(R) in non-increasing rank order under the
+// monotonically c-determined ranking function f, stopping early when
+// yield returns false. Lemma 5.4 guarantees the order; Lemma 5.3
+// guarantees that the first k results cost time polynomial in the input
+// and k. It is the push-style rendering of a Cursor.
+func StreamRanked(db *relation.Database, f Func, opts core.Options, yield func(Result) bool) (core.Stats, error) {
+	c, err := NewCursor(db, f, opts)
+	if err != nil {
+		return core.Stats{}, err
+	}
+	defer c.Close()
+	for {
+		r, ok := c.Next()
+		if !ok {
+			return c.Stats(), c.Err()
+		}
+		if !yield(r) {
+			return c.Stats(), nil
 		}
 	}
 }

@@ -1,0 +1,67 @@
+package relation
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+)
+
+// Fingerprint returns a 64-bit content hash of the frozen database:
+// relation names, schemas, tuple labels, the dictionary, the columnar
+// code mirror, and the importance/probability columns all contribute.
+// Two databases carry the same fingerprint iff they hold the same
+// relations with the same tuples in the same order (FNV-1a collisions
+// aside), regardless of how the tuples were loaded — the dictionary
+// assigns codes in deterministic encoding order, so equal content
+// yields equal code columns.
+//
+// Computing the fingerprint freezes the database (it hashes the
+// mirror); the value is cached until a Refresh discards the mirror.
+// internal/service keys its result cache on this value, so repeated
+// queries against identically-loaded databases share cached results.
+func (db *Database) Fingerprint() uint64 {
+	db.ensureEncoded()
+	db.fpOnce.Do(func() {
+		h := fnv.New64a()
+		var buf [8]byte
+		w64 := func(v uint64) {
+			binary.LittleEndian.PutUint64(buf[:], v)
+			h.Write(buf[:])
+		}
+		wstr := func(s string) {
+			w64(uint64(len(s)))
+			h.Write([]byte(s))
+		}
+		w64(uint64(len(db.rels)))
+		dict := db.dict
+		w64(uint64(dict.Len()))
+		for c := int32(1); c <= int32(dict.Len()); c++ {
+			wstr(dict.Datum(c))
+		}
+		for r, rel := range db.rels {
+			wstr(rel.Name())
+			attrs := rel.Schema().Attributes()
+			w64(uint64(len(attrs)))
+			for _, a := range attrs {
+				wstr(string(a))
+			}
+			w64(uint64(rel.Len()))
+			for i := 0; i < rel.Len(); i++ {
+				wstr(rel.Tuple(i).Label)
+			}
+			for _, col := range db.cols[r] {
+				for _, c := range col {
+					w64(uint64(uint32(c)))
+				}
+			}
+			for _, v := range db.imps[r] {
+				w64(math.Float64bits(v))
+			}
+			for _, v := range db.probs[r] {
+				w64(math.Float64bits(v))
+			}
+		}
+		db.fp = h.Sum64()
+	})
+	return db.fp
+}

@@ -1,0 +1,128 @@
+package relation
+
+import "testing"
+
+// refreshDB builds a tiny two-relation database for the Refresh and
+// Fingerprint tests.
+func refreshDB(t *testing.T) *Database {
+	t.Helper()
+	r1 := MustRelation("R1", MustSchema("A", "B"))
+	r1.MustAppend("t1", map[Attribute]Value{"A": V("a"), "B": V("b")})
+	r2 := MustRelation("R2", MustSchema("B", "C"))
+	r2.MustAppend("t2", map[Attribute]Value{"B": V("b"), "C": V("c")})
+	db, err := NewDatabase(r1, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestRefreshRoundTrip covers the mutate→query→Refresh→mutate→query
+// cycle: a query freezes the database, Refresh lifts the freeze, and
+// the next query sees the post-Refresh mutation.
+func TestRefreshRoundTrip(t *testing.T) {
+	db := refreshDB(t)
+
+	// First query freezes: t1 and t2 join on B=b.
+	if !db.JoinConsistent(Ref{Rel: 0, Idx: 0}, Ref{Rel: 1, Idx: 0}) {
+		t.Fatal("expected t1 and t2 join consistent before mutation")
+	}
+	if !db.Frozen() {
+		t.Fatal("first query should freeze the database")
+	}
+
+	// Frozen: mutation must panic.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MutateTuple after freeze did not panic")
+			}
+		}()
+		db.Relation(0).MutateTuple(0, func(tp *Tuple) { tp.Values[1] = V("x") })
+	}()
+
+	// Refresh unfreezes; the mutation lands and the mirror rebuilds.
+	db.Refresh()
+	if db.Frozen() {
+		t.Fatal("Refresh should unfreeze the database")
+	}
+	db.Relation(0).MutateTuple(0, func(tp *Tuple) { tp.Values[1] = V("x") })
+	if db.JoinConsistent(Ref{Rel: 0, Idx: 0}, Ref{Rel: 1, Idx: 0}) {
+		t.Error("post-Refresh mutation invisible to the rebuilt mirror")
+	}
+	if _, ok := db.Dict().Code("x"); !ok {
+		t.Error("rebuilt dictionary lacks the mutated datum")
+	}
+}
+
+// TestRefreshAllowsAppends checks that appends rejected on a frozen
+// database succeed after Refresh and that Size/NumTuples are
+// recomputed.
+func TestRefreshAllowsAppends(t *testing.T) {
+	db := refreshDB(t)
+	db.Freeze()
+	if err := db.Relation(1).Append("t3", map[Attribute]Value{"B": V("b")}); err == nil {
+		t.Fatal("append on a frozen database should fail")
+	}
+
+	db.Refresh()
+	if err := db.Relation(1).Append("t3", map[Attribute]Value{"B": V("b")}); err != nil {
+		t.Fatalf("append after Refresh: %v", err)
+	}
+	db.Refresh() // recompute totals over the appended tuple
+	if got := db.NumTuples(); got != 3 {
+		t.Errorf("NumTuples after append+Refresh = %d, want 3", got)
+	}
+	// The appended tuple participates in queries.
+	if !db.JoinConsistent(Ref{Rel: 0, Idx: 0}, Ref{Rel: 1, Idx: 1}) {
+		t.Error("appended tuple not join consistent with t1")
+	}
+}
+
+// TestFingerprintDeterministic checks that identically-loaded databases
+// fingerprint equally and that any content difference — values, labels,
+// imps — changes the fingerprint.
+func TestFingerprintDeterministic(t *testing.T) {
+	a, b := refreshDB(t), refreshDB(t)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identically-loaded databases should share a fingerprint")
+	}
+
+	value := refreshDB(t)
+	value.Relation(0).MutateTuple(0, func(tp *Tuple) { tp.Values[0] = V("z") })
+	if value.Fingerprint() == a.Fingerprint() {
+		t.Error("value change did not alter the fingerprint")
+	}
+
+	label := refreshDB(t)
+	label.Relation(0).MutateTuple(0, func(tp *Tuple) { tp.Label = "other" })
+	if label.Fingerprint() == a.Fingerprint() {
+		t.Error("label change did not alter the fingerprint")
+	}
+
+	imp := refreshDB(t)
+	imp.Relation(0).MutateTuple(0, func(tp *Tuple) { tp.Imp = 7 })
+	if imp.Fingerprint() == a.Fingerprint() {
+		t.Error("importance change did not alter the fingerprint")
+	}
+}
+
+// TestFingerprintRefresh checks that Refresh invalidates the cached
+// fingerprint: after a mutation the fingerprint differs, and after
+// mutating back it matches again.
+func TestFingerprintRefresh(t *testing.T) {
+	db := refreshDB(t)
+	before := db.Fingerprint()
+
+	db.Refresh()
+	db.Relation(0).MutateTuple(0, func(tp *Tuple) { tp.Values[1] = V("x") })
+	if got := db.Fingerprint(); got == before {
+		t.Error("fingerprint unchanged after Refresh+mutation")
+	}
+
+	db.Refresh()
+	db.Relation(0).MutateTuple(0, func(tp *Tuple) { tp.Values[1] = V("b") })
+	if got := db.Fingerprint(); got != before {
+		t.Error("fingerprint not restored after mutating back")
+	}
+}

@@ -101,6 +101,14 @@ func (r *Relation) freeze() {
 	r.mu.Unlock()
 }
 
+// unfreeze lifts the freeze again; called by Database.Refresh when the
+// columnar mirror is discarded for a rebuild.
+func (r *Relation) unfreeze() {
+	r.mu.Lock()
+	r.frozen = false
+	r.mu.Unlock()
+}
+
 // MutateTuple adjusts the i-th tuple through fn. It is the supported
 // mutation path: it panics once the owning Database has frozen (built
 // its columnar mirror at the first query or an explicit Freeze), where

@@ -1,0 +1,64 @@
+package service
+
+import "container/list"
+
+// resultCache is an LRU cache of fully-materialised result lists, keyed
+// by database fingerprint + canonical query spec. Only queries drained
+// to exhaustion enter the cache (a partial page sequence never
+// represents the full disjunction), so a hit can serve any page of a
+// repeated query without touching the enumerators.
+//
+// The cache is not safe for concurrent use on its own; Service guards
+// it with its mutex.
+type resultCache struct {
+	capacity int
+	ll       *list.List // front = most recently used
+	entries  map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key     string
+	results []Result
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		capacity: capacity,
+		ll:       list.New(),
+		entries:  make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached result list for key, marking it most recently
+// used.
+func (c *resultCache) get(key string) ([]Result, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).results, true
+}
+
+// put inserts (or refreshes) the result list for key, evicting the
+// least recently used entry when over capacity.
+func (c *resultCache) put(key string, results []Result) {
+	if c.capacity <= 0 {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).results = results
+		return
+	}
+	el := c.ll.PushFront(&cacheEntry{key: key, results: results})
+	c.entries[key] = el
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the number of cached result lists.
+func (c *resultCache) len() int { return c.ll.Len() }

@@ -1,0 +1,134 @@
+package service
+
+import (
+	"fmt"
+
+	"repro/internal/approx"
+	"repro/internal/core"
+	"repro/internal/rank"
+	"repro/internal/relation"
+	"repro/internal/tupleset"
+)
+
+// Result is one full-disjunction answer produced by a query: the tuple
+// set plus its rank when the query mode ranks results.
+type Result struct {
+	Set  *tupleset.Set
+	Rank float64
+	// Ranked reports whether Rank is meaningful (ranked mode only).
+	Ranked bool
+}
+
+// engineCursor unifies the three pull-based enumerator cursors (exact,
+// ranked, approximate) behind one face the query session pages through.
+type engineCursor interface {
+	next() (Result, bool)
+	stats() core.Stats
+	err() error
+	close()
+}
+
+// exactCursor adapts core.Cursor.
+type exactCursor struct{ c *core.Cursor }
+
+func (a exactCursor) next() (Result, bool) {
+	t, ok := a.c.Next()
+	if !ok {
+		return Result{}, false
+	}
+	return Result{Set: t}, true
+}
+func (a exactCursor) stats() core.Stats { return a.c.Stats() }
+func (a exactCursor) err() error        { return a.c.Err() }
+func (a exactCursor) close()            { a.c.Close() }
+
+// rankedCursor adapts rank.Cursor.
+type rankedCursor struct{ c *rank.Cursor }
+
+func (a rankedCursor) next() (Result, bool) {
+	r, ok := a.c.Next()
+	if !ok {
+		return Result{}, false
+	}
+	return Result{Set: r.Set, Rank: r.Rank, Ranked: true}, true
+}
+func (a rankedCursor) stats() core.Stats { return a.c.Stats() }
+func (a rankedCursor) err() error        { return a.c.Err() }
+func (a rankedCursor) close()            { a.c.Close() }
+
+// approxCursor adapts approx.Cursor.
+type approxCursor struct{ c *approx.Cursor }
+
+func (a approxCursor) next() (Result, bool) {
+	t, ok := a.c.Next()
+	if !ok {
+		return Result{}, false
+	}
+	return Result{Set: t}, true
+}
+func (a approxCursor) stats() core.Stats { return a.c.Stats() }
+func (a approxCursor) err() error        { return a.c.Err() }
+func (a approxCursor) close()            { a.c.Close() }
+
+// newEngineCursor builds the enumerator cursor a validated spec asks
+// for. Construction may be expensive (the ranked mode runs the Fig 3
+// preprocessing), so Service acquires a worker slot around it.
+func newEngineCursor(db *relation.Database, spec QuerySpec) (engineCursor, error) {
+	switch spec.Mode {
+	case ModeExact:
+		c, err := core.NewCursor(db, spec.engineOptions())
+		if err != nil {
+			return nil, err
+		}
+		return exactCursor{c}, nil
+	case ModeRanked:
+		f, err := rankFunc(spec.Rank)
+		if err != nil {
+			return nil, err
+		}
+		c, err := rank.NewCursor(db, f, spec.engineOptions())
+		if err != nil {
+			return nil, err
+		}
+		return rankedCursor{c}, nil
+	case ModeApprox:
+		sim, err := simFunc(spec.Sim)
+		if err != nil {
+			return nil, err
+		}
+		c, err := approx.NewCursor(db, &approx.Amin{S: sim}, spec.Tau)
+		if err != nil {
+			return nil, err
+		}
+		return approxCursor{c}, nil
+	default:
+		return nil, fmt.Errorf("service: unknown query mode %q", spec.Mode)
+	}
+}
+
+// rankFunc resolves a ranking-function name.
+func rankFunc(name string) (rank.Func, error) {
+	switch name {
+	case "fmax":
+		return rank.FMax{}, nil
+	case "pairsum":
+		return rank.PairSum(), nil
+	case "triple":
+		return rank.PaperTriple(), nil
+	default:
+		return nil, fmt.Errorf("service: unknown ranking function %q (fmax, pairsum, triple)", name)
+	}
+}
+
+// simFunc resolves a similarity name; empty selects Levenshtein, the
+// misspelling model motivating Section 6.
+func simFunc(name string) (approx.Sim, error) {
+	switch name {
+	case "", "levenshtein":
+		return approx.LevenshteinSim{}, nil
+	case "exact":
+		return approx.ExactSim{}, nil
+	default:
+		return nil, fmt.Errorf("service: unknown similarity %q (levenshtein, exact)", name)
+	}
+}

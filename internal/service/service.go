@@ -1,0 +1,615 @@
+// Package service turns the enumerator cursors into a multi-tenant
+// query service: a registry of named, frozen databases; per-client
+// query sessions paged through pull-based cursors with idle-timeout
+// eviction; a result cache keyed by database fingerprint and canonical
+// query spec; and admission control through a bounded worker pool
+// shared across sessions. cmd/fdserve exposes it over HTTP.
+//
+// The paper's headline property — results arrive one at a time with
+// polynomial delay (PINC) — is exactly the shape of a paginated "next k
+// results" service: a page of k answers costs time polynomial in the
+// database and k, independent of how many answers remain.
+package service
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/tupleset"
+)
+
+// Mode selects the evaluation family of a query.
+type Mode string
+
+// Query modes, mapping onto the three public entry-point families.
+const (
+	ModeExact  Mode = "exact"  // FullDisjunction / Stream
+	ModeRanked Mode = "ranked" // StreamRanked (requires Rank)
+	ModeApprox Mode = "approx" // ApproxStream with Amin (requires Tau)
+)
+
+// QuerySpec describes one query against a registered database. The
+// zero spec is not valid; Mode must be set.
+type QuerySpec struct {
+	// Database names the registered database to query.
+	Database string
+	// Mode selects exact, ranked or approximate evaluation.
+	Mode Mode
+	// UseIndex enables the §7 hash index.
+	UseIndex bool
+	// UseJoinIndex enables candidate-only scans over the equi-join
+	// posting index.
+	UseJoinIndex bool
+	// BlockSize is the simulated page size (0/1 = tuple-at-a-time).
+	BlockSize int
+	// Strategy selects the Incomplete initialisation of the exact
+	// driver (ignored by ranked and approx modes).
+	Strategy core.InitStrategy
+	// Rank names the ranking function of ranked mode: fmax, pairsum or
+	// triple.
+	Rank string
+	// Tau is the approximate-join threshold of approx mode, in (0,1].
+	Tau float64
+	// Sim names the similarity of approx mode: levenshtein (default)
+	// or exact.
+	Sim string
+}
+
+// engineOptions renders the spec's engine knobs as core.Options.
+func (s QuerySpec) engineOptions() core.Options {
+	return core.Options{
+		UseIndex:     s.UseIndex,
+		UseJoinIndex: s.UseJoinIndex,
+		BlockSize:    s.BlockSize,
+		Strategy:     s.Strategy,
+	}
+}
+
+// validate rejects malformed specs early, before a session exists.
+func (s QuerySpec) validate() error {
+	switch s.Mode {
+	case ModeExact:
+	case ModeRanked:
+		if _, err := rankFunc(s.Rank); err != nil {
+			return err
+		}
+	case ModeApprox:
+		if s.Tau <= 0 || s.Tau > 1 {
+			return fmt.Errorf("service: approx threshold %v outside (0,1]", s.Tau)
+		}
+		if _, err := simFunc(s.Sim); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("service: unknown query mode %q", s.Mode)
+	}
+	switch s.Strategy {
+	case core.InitSingletons, core.InitSeeded, core.InitProjected:
+	default:
+		return fmt.Errorf("service: unknown init strategy %d", s.Strategy)
+	}
+	if s.BlockSize < 0 {
+		return fmt.Errorf("service: negative block size %d", s.BlockSize)
+	}
+	return nil
+}
+
+// canonicalKey renders every result-affecting field of the spec in a
+// fixed order. Together with the database fingerprint it keys the
+// result cache: engine knobs are included because they may change the
+// emission order (the cached list replays a specific order), and the
+// mode parameters because they change the result set itself.
+func (s QuerySpec) canonicalKey() string {
+	return fmt.Sprintf("m=%s|rank=%s|tau=%g|sim=%s|idx=%t|jidx=%t|blk=%d|strat=%s",
+		s.Mode, s.Rank, s.Tau, s.Sim, s.UseIndex, s.UseJoinIndex, s.BlockSize, s.Strategy)
+}
+
+// Config tunes a Service. The zero value selects sensible defaults.
+type Config struct {
+	// Workers bounds the number of concurrently computing pages (and
+	// cursor constructions) across all sessions; ≤0 selects GOMAXPROCS.
+	Workers int
+	// CacheCapacity bounds the result cache in entries (cached result
+	// lists); 0 selects 64, negative disables result caching.
+	CacheCapacity int
+	// CacheMaxResults bounds the length of one cacheable result list;
+	// sessions that drain more results than this are not cached (the
+	// accumulation buffer is dropped at the cap, keeping a huge paged
+	// enumeration from pinning its whole output in server memory).
+	// 0 selects 65536, negative removes the bound.
+	CacheMaxResults int
+	// IdleTimeout is the idle eviction horizon for query sessions; ≤0
+	// selects 5 minutes.
+	IdleTimeout time.Duration
+	// MaxPageSize caps the k of one Next call; ≤0 selects 1024.
+	MaxPageSize int
+	// Now supplies the clock, for tests; nil selects time.Now.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheCapacity == 0 {
+		c.CacheCapacity = 64
+	}
+	if c.CacheMaxResults == 0 {
+		c.CacheMaxResults = 65536
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 5 * time.Minute
+	}
+	if c.MaxPageSize <= 0 {
+		c.MaxPageSize = 1024
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Stats is a snapshot of the service's counters, surfaced by fdserve's
+// GET /stats.
+type Stats struct {
+	Databases      int   `json:"databases"`
+	ActiveQueries  int   `json:"active_queries"`
+	QueriesStarted int64 `json:"queries_started"`
+	QueriesDone    int64 `json:"queries_finished"`
+	QueriesEvicted int64 `json:"queries_evicted"`
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheEntries   int   `json:"cache_entries"`
+	ResultsServed  int64 `json:"results_served"`
+	// Engine aggregates the core.Stats of every finished or closed
+	// query session (in-flight sessions contribute at close).
+	Engine core.Stats `json:"engine"`
+}
+
+// dbEntry is one registered database with a shared rendering universe
+// (safe across goroutines: the database is frozen and emitted sets
+// carry valid signatures, so padding only reads).
+type dbEntry struct {
+	name string
+	db   *relation.Database
+	u    *tupleset.Universe
+}
+
+// Service is the concurrent query-session subsystem. All methods are
+// safe for concurrent use.
+type Service struct {
+	cfg Config
+	// sem is the admission semaphore: one slot per concurrently
+	// computing page or cursor construction (the
+	// ParallelFullDisjunction pattern, shared across sessions).
+	sem chan struct{}
+
+	mu      sync.Mutex
+	dbs     map[string]*dbEntry
+	queries map[string]*Query
+	cache   *resultCache
+	seq     uint64
+	closed  bool
+
+	queriesStarted int64
+	queriesDone    int64
+	queriesEvicted int64
+	cacheHits      int64
+	cacheMisses    int64
+	resultsServed  int64
+	engine         core.Stats
+}
+
+// New builds a Service.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	return &Service{
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.Workers),
+		dbs:     make(map[string]*dbEntry),
+		queries: make(map[string]*Query),
+		cache:   newResultCache(cfg.CacheCapacity),
+	}
+}
+
+func (s *Service) acquire() { s.sem <- struct{}{} }
+func (s *Service) release() { <-s.sem }
+
+// DatabaseInfo describes a registered database.
+type DatabaseInfo struct {
+	Name        string `json:"name"`
+	Relations   int    `json:"relations"`
+	Tuples      int    `json:"tuples"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// AddDatabase registers db under name, freezing it (queries and cached
+// results assume immutable content; for a mutable workload, DropDatabase
+// it, Refresh and mutate the database, then register it again). Names
+// are unique.
+func (s *Service) AddDatabase(name string, db *relation.Database) (DatabaseInfo, error) {
+	if name == "" {
+		return DatabaseInfo{}, fmt.Errorf("service: empty database name")
+	}
+	if db == nil {
+		return DatabaseInfo{}, fmt.Errorf("service: nil database")
+	}
+	// Validate before fingerprinting: computing the fingerprint freezes
+	// db, which must not happen on a rejected registration.
+	check := func() error {
+		if s.closed {
+			return fmt.Errorf("service: closed")
+		}
+		if _, ok := s.dbs[name]; ok {
+			return fmt.Errorf("service: database %q already registered", name)
+		}
+		return nil
+	}
+	s.mu.Lock()
+	if err := check(); err != nil {
+		s.mu.Unlock()
+		return DatabaseInfo{}, err
+	}
+	s.mu.Unlock()
+	fp := db.Fingerprint() // freezes; outside the lock
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := check(); err != nil { // re-check: the lock was dropped
+		return DatabaseInfo{}, err
+	}
+	s.dbs[name] = &dbEntry{name: name, db: db, u: tupleset.NewUniverse(db)}
+	return DatabaseInfo{
+		Name:        name,
+		Relations:   db.NumRelations(),
+		Tuples:      db.NumTuples(),
+		Fingerprint: fmt.Sprintf("%016x", fp),
+	}, nil
+}
+
+// DropDatabase removes the registered database of that name. Open
+// sessions against it keep running (they hold the entry), and cached
+// result lists stay — they are keyed by content fingerprint, so they
+// remain correct for any re-registration with the same content.
+func (s *Service) DropDatabase(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.dbs[name]; !ok {
+		return fmt.Errorf("service: unknown database %q", name)
+	}
+	delete(s.dbs, name)
+	return nil
+}
+
+// Database returns the registered database of that name.
+func (s *Service) Database(name string) (*relation.Database, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.dbs[name]
+	if !ok {
+		return nil, false
+	}
+	return e.db, true
+}
+
+// StartQuery opens a query session. When an identical query on an
+// identically-fingerprinted database has been drained before, the
+// session serves pages from the result cache without touching the
+// enumerators; otherwise it builds the engine cursor (inside a worker
+// slot — construction can carry the ranked mode's preprocessing).
+func (s *Service) StartQuery(spec QuerySpec) (*Query, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("service: closed")
+	}
+	entry, ok := s.dbs[spec.Database]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("service: unknown database %q", spec.Database)
+	}
+	s.mu.Unlock()
+	// Read the fingerprint live (cached by the database, invalidated by
+	// Refresh) so a Refresh+mutate between queries can never replay a
+	// stale cached result list.
+	fp := entry.db.Fingerprint()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("service: closed")
+	}
+	key := fmt.Sprintf("%016x|%s", fp, spec.canonicalKey())
+	s.seq++
+	id := fmt.Sprintf("q%d", s.seq)
+	q := &Query{id: id, svc: s, spec: spec, key: key, db: entry,
+		uncacheable: s.cfg.CacheCapacity < 0}
+	q.touch(s.cfg.Now())
+
+	if cached, ok := s.cache.get(key); ok {
+		s.cacheHits++
+		s.queriesStarted++
+		q.cached, q.fromCache = cached, true
+		s.queries[id] = q
+		s.mu.Unlock()
+		return q, nil
+	}
+	s.mu.Unlock()
+
+	s.acquire()
+	cur, err := newEngineCursor(entry.db, spec)
+	s.release()
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		cur.close()
+		return nil, fmt.Errorf("service: closed")
+	}
+	s.cacheMisses++
+	s.queriesStarted++
+	q.cur = cur
+	s.queries[id] = q
+	return q, nil
+}
+
+// Query returns the open session with the given id.
+func (s *Service) Query(id string) (*Query, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.queries[id]
+	return q, ok
+}
+
+// EvictIdle closes every session idle for longer than the configured
+// timeout and returns how many were evicted. fdserve runs it on a
+// timer; it is also safe to call inline.
+func (s *Service) EvictIdle() int {
+	deadline := s.cfg.Now().Add(-s.cfg.IdleTimeout).UnixNano()
+	s.mu.Lock()
+	var expired []*Query
+	for id, q := range s.queries {
+		if q.busy.Load() > 0 {
+			continue // a page is computing or queued: in use, not idle
+		}
+		if q.lastUsed.Load() < deadline {
+			expired = append(expired, q)
+			delete(s.queries, id)
+		}
+	}
+	s.queriesEvicted += int64(len(expired))
+	s.mu.Unlock()
+	for _, q := range expired {
+		q.shut()
+	}
+	return len(expired)
+}
+
+// Stats snapshots the counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Databases:      len(s.dbs),
+		ActiveQueries:  len(s.queries),
+		QueriesStarted: s.queriesStarted,
+		QueriesDone:    s.queriesDone,
+		QueriesEvicted: s.queriesEvicted,
+		CacheHits:      s.cacheHits,
+		CacheMisses:    s.cacheMisses,
+		CacheEntries:   s.cache.len(),
+		ResultsServed:  s.resultsServed,
+		Engine:         s.engine,
+	}
+}
+
+// Close shuts the service: every open session is closed and further
+// calls fail. Safe to call more than once.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	open := make([]*Query, 0, len(s.queries))
+	for id, q := range s.queries {
+		open = append(open, q)
+		delete(s.queries, id)
+	}
+	s.mu.Unlock()
+	for _, q := range open {
+		q.shut()
+	}
+}
+
+// Query is one open query session: a suspended enumeration paged with
+// Next(k). Sessions are safe for concurrent use; pages are serialised
+// per session.
+type Query struct {
+	id   string
+	svc  *Service
+	spec QuerySpec
+	key  string
+	db   *dbEntry
+
+	// lastUsed is the unix-nano time of the last page, read without
+	// the session lock by the eviction sweep.
+	lastUsed atomic.Int64
+	// busy counts in-flight Next calls; the eviction sweep skips busy
+	// sessions (a page queued on the worker semaphore longer than the
+	// idle timeout is in use, not idle).
+	busy atomic.Int32
+
+	mu        sync.Mutex
+	cur       engineCursor // nil when serving from cache
+	cached    []Result     // cache-hit source (shared, read-only)
+	fromCache bool
+	gathered  []Result // miss: accumulated for the cache insert
+	// uncacheable marks sessions whose output must not (caching
+	// disabled) or can no longer (over CacheMaxResults) be cached.
+	uncacheable bool
+	served      int
+	done        bool
+	closed      bool
+}
+
+// ID returns the session id.
+func (q *Query) ID() string { return q.id }
+
+// Spec returns the query's spec.
+func (q *Query) Spec() QuerySpec { return q.spec }
+
+// DB returns the database the query runs against.
+func (q *Query) DB() *relation.Database { return q.db.db }
+
+// Universe returns the database's shared rendering universe, so
+// front ends pad results without rebuilding attribute layouts per page.
+func (q *Query) Universe() *tupleset.Universe { return q.db.u }
+
+// FromCache reports whether the session serves from the result cache.
+func (q *Query) FromCache() bool { return q.fromCache }
+
+// Served returns how many results the session has handed out.
+func (q *Query) Served() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.served
+}
+
+func (q *Query) touch(now time.Time) { q.lastUsed.Store(now.UnixNano()) }
+
+// Next returns the next page of up to k results (k is clamped to
+// [1, MaxPageSize]) and reports whether the enumeration is complete.
+// A page against a live cursor occupies one worker slot for its
+// duration — the admission control bounding concurrent engine work.
+func (q *Query) Next(k int) ([]Result, bool, error) {
+	if k < 1 {
+		k = 1
+	}
+	if limit := q.svc.cfg.MaxPageSize; k > limit {
+		k = limit
+	}
+	q.busy.Add(1)
+	defer q.busy.Add(-1)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil, true, fmt.Errorf("service: query %s closed", q.id)
+	}
+	q.touch(q.svc.cfg.Now())
+	defer func() { q.touch(q.svc.cfg.Now()) }()
+
+	if q.fromCache {
+		end := q.served + k
+		if end > len(q.cached) {
+			end = len(q.cached)
+		}
+		out := q.cached[q.served:end]
+		q.served = end
+		done := q.served == len(q.cached)
+		if done && !q.done {
+			q.done = true
+			q.svc.mu.Lock()
+			q.svc.queriesDone++
+			q.svc.mu.Unlock()
+		}
+		q.svc.mu.Lock()
+		q.svc.resultsServed += int64(len(out))
+		q.svc.mu.Unlock()
+		return out, done, nil
+	}
+	if q.done {
+		return nil, true, nil
+	}
+
+	q.svc.acquire()
+	out := make([]Result, 0, k)
+	for len(out) < k {
+		r, ok := q.cur.next()
+		if !ok {
+			break
+		}
+		out = append(out, r)
+		if !q.uncacheable {
+			q.gathered = append(q.gathered, r)
+			if limit := q.svc.cfg.CacheMaxResults; limit > 0 && len(q.gathered) > limit {
+				// Too large to cache: drop the accumulation so a huge
+				// enumeration doesn't pin its whole output in memory.
+				q.uncacheable = true
+				q.gathered = nil
+			}
+		}
+	}
+	q.svc.release()
+	q.served += len(out)
+
+	if len(out) == k {
+		q.svc.mu.Lock()
+		q.svc.resultsServed += int64(len(out))
+		q.svc.mu.Unlock()
+		return out, false, nil
+	}
+
+	// Exhausted (or failed): fold engine stats, and on clean exhaustion
+	// publish the drained list to the result cache.
+	err := q.cur.err()
+	q.done = true
+	stats := q.cur.stats()
+	q.cur.close()
+	q.svc.mu.Lock()
+	q.svc.resultsServed += int64(len(out))
+	q.svc.engine.Add(stats)
+	q.svc.queriesDone++
+	if err == nil && !q.uncacheable && !q.svc.closed {
+		q.svc.cache.put(q.key, q.gathered)
+	}
+	q.svc.mu.Unlock()
+	q.cur = nil
+	q.gathered = nil
+	return out, true, err
+}
+
+// Close ends the session early, releasing it from the registry. Closing
+// an exhausted or already-closed session is a no-op.
+func (q *Query) Close() {
+	q.svc.mu.Lock()
+	delete(q.svc.queries, q.id)
+	q.svc.mu.Unlock()
+	q.shut()
+}
+
+// shut closes the session state without touching the registry (the
+// caller has already removed it).
+func (q *Query) shut() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	if q.cur != nil {
+		stats := q.cur.stats()
+		q.cur.close()
+		q.cur = nil
+		q.svc.mu.Lock()
+		q.svc.engine.Add(stats)
+		if !q.done {
+			q.svc.queriesDone++
+		}
+		q.svc.mu.Unlock()
+	} else if !q.done && q.cached != nil {
+		q.svc.mu.Lock()
+		q.svc.queriesDone++
+		q.svc.mu.Unlock()
+	}
+}

@@ -35,6 +35,18 @@ func StreamRanked(db *Database, f RankFunc, opts Options, yield func(Ranked) boo
 	return rank.StreamRanked(db, f, opts, yield)
 }
 
+// RankedCursor is the pull-based form of StreamRanked: results arrive
+// one per Next call, in non-increasing rank order. Like Cursor it holds
+// explicit state and no goroutine.
+type RankedCursor = rank.Cursor
+
+// NewRankedCursor prepares a pull-based ranked enumeration. The Fig 3
+// preprocessing (small-set enumeration and queue merging) happens here;
+// each Next call is then one priority-queue extraction.
+func NewRankedCursor(db *Database, f RankFunc, opts Options) (*RankedCursor, error) {
+	return rank.NewCursor(db, f, opts)
+}
+
 // TopK solves the top-(k,f) full-disjunction problem: the k highest
 // ranking members of FD(R), in rank order, in time polynomial in the
 // input and k (Theorem 5.5).

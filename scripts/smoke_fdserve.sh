@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Smoke-tests the fdserve HTTP service against fdcli: generate a chain
+# workload with fdgen, count its full disjunction with fdcli, then load
+# the same workload (same generator spec and seed, hence the same
+# database) into a running fdserve, page one query to exhaustion, and
+# compare the counts. Finally repeat the query and check that /stats
+# reports a cache hit. Uses only curl + grep/sed so it runs in minimal
+# containers. Usage: smoke_fdserve.sh [bindir]
+set -euo pipefail
+
+bindir="${1:-./bin}"
+addr="127.0.0.1:8931"
+base="http://$addr"
+wl="$(mktemp -d)"
+server_pid=""
+trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$wl"' EXIT
+
+# Reference count via fdgen + fdcli (header line excluded).
+"$bindir/fdgen" -shape chain -n 4 -m 12 -domain 4 -nulls 0.1 -seed 7 -out "$wl" >/dev/null
+cli_lines="$("$bindir/fdcli" "$wl"/R00.csv "$wl"/R01.csv "$wl"/R02.csv "$wl"/R03.csv | wc -l)"
+cli_count="$((cli_lines - 1))"
+echo "fdcli count: $cli_count"
+
+"$bindir/fdserve" -addr "$addr" &
+server_pid=$!
+for _ in $(seq 1 50); do
+  curl -fsS "$base/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -fsS "$base/healthz" >/dev/null
+
+curl -fsS -X POST "$base/databases" -d \
+  '{"name":"w","workload":{"kind":"chain","relations":4,"tuples":12,"domain":4,"null_rate":0.1,"seed":7}}' \
+  >/dev/null
+
+new_query() {
+  curl -fsS -X POST "$base/queries" -d '{"database":"w","mode":"exact"}' |
+    sed -n 's/.*"id":"\([^"]*\)".*/\1/p'
+}
+
+page_to_exhaustion() {
+  local qid="$1" total=0 page
+  while :; do
+    page="$(curl -fsS "$base/queries/$qid/next?k=7")"
+    total="$((total + $(grep -o '"set":' <<<"$page" | wc -l)))"
+    grep -q '"done":true' <<<"$page" && break
+  done
+  echo "$total"
+}
+
+qid="$(new_query)"
+serve_count="$(page_to_exhaustion "$qid")"
+echo "fdserve paged count: $serve_count"
+if [ "$serve_count" != "$cli_count" ]; then
+  echo "FAIL: fdserve paged $serve_count results, fdcli printed $cli_count" >&2
+  exit 1
+fi
+
+# The repeated identical query must come from the result cache.
+qid2="$(new_query)"
+serve_count2="$(page_to_exhaustion "$qid2")"
+if [ "$serve_count2" != "$cli_count" ]; then
+  echo "FAIL: cached replay served $serve_count2 results, want $cli_count" >&2
+  exit 1
+fi
+stats="$(curl -fsS "$base/stats")"
+hits="$(sed -n 's/.*"cache_hits":\([0-9]*\).*/\1/p' <<<"$stats")"
+if [ -z "$hits" ] || [ "$hits" -lt 1 ]; then
+  echo "FAIL: no cache hit recorded in stats: $stats" >&2
+  exit 1
+fi
+echo "cache hits: $hits"
+echo "PASS"
