@@ -11,6 +11,12 @@
 //	fdcli -k 10 -rank fmax a.csv b.csv  # top-10 under fmax
 //	fdcli -rank fmax -tau 3 a.csv b.csv # all answers ranking ≥ 3
 //	fdcli -approx 0.8 a.csv b.csv       # approximate FD, Amin+Levenshtein, τ=0.8
+//	fdcli -save db.fdb a.csv b.csv      # also save a binary snapshot
+//	fdcli -snapshot db.fdb              # query a snapshot (no CSV parsing)
+//
+// A snapshot (the format of fd.WriteSnapshot, also emitted by
+// fdgen -snapshot and fdserve -data) loads without re-parsing or
+// re-encoding: the columnar mirror comes straight off disk.
 //
 // Output is one row per result tuple set: the tuple-set notation
 // followed by the padded tuple.
@@ -48,31 +54,50 @@ func run(args []string, stdout, stderr io.Writer) error {
 		index    = fs.Bool("index", true, "use the §7 hash index")
 		block    = fs.Int("block", 1, "block size for block-based execution")
 		stats    = fs.Bool("stats", false, "print execution counters to stderr")
+		snapshot = fs.String("snapshot", "", "load the database from a binary snapshot instead of CSV files")
+		save     = fs.String("save", "", "write the loaded database to a binary snapshot file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if fs.NArg() < 1 {
-		return fmt.Errorf("need at least one CSV relation (see -h)")
+
+	var db *fd.Database
+	var err error
+	switch {
+	case *snapshot != "":
+		if fs.NArg() > 0 {
+			return fmt.Errorf("give either -snapshot or CSV relations, not both")
+		}
+		if db, err = fd.LoadSnapshot(*snapshot); err != nil {
+			return err
+		}
+	case fs.NArg() >= 1:
+		rels := make([]*fd.Relation, 0, fs.NArg())
+		for _, path := range fs.Args() {
+			f, err := os.Open(path)
+			if err != nil {
+				return err
+			}
+			name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+			rel, err := fd.ReadCSV(name, f)
+			f.Close()
+			if err != nil {
+				return err
+			}
+			rels = append(rels, rel)
+		}
+		if db, err = fd.NewDatabase(rels...); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("need at least one CSV relation or -snapshot (see -h)")
 	}
 
-	rels := make([]*fd.Relation, 0, fs.NArg())
-	for _, path := range fs.Args() {
-		f, err := os.Open(path)
-		if err != nil {
+	if *save != "" {
+		if err := fd.SaveSnapshot(db, *save); err != nil {
 			return err
 		}
-		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
-		rel, err := fd.ReadCSV(name, f)
-		f.Close()
-		if err != nil {
-			return err
-		}
-		rels = append(rels, rel)
-	}
-	db, err := fd.NewDatabase(rels...)
-	if err != nil {
-		return err
+		fmt.Fprintf(stderr, "saved snapshot %s (fingerprint %016x)\n", *save, db.Fingerprint())
 	}
 	opts := fd.Options{UseIndex: *index, BlockSize: *block}
 

@@ -91,6 +91,53 @@ func TestRunApprox(t *testing.T) {
 	}
 }
 
+func TestRunSnapshotSaveAndLoad(t *testing.T) {
+	paths := writeTouristCSVs(t)
+	snap := filepath.Join(t.TempDir(), "tourist.fdb")
+
+	// CSV run with -save: same results, plus a snapshot on disk.
+	var csvOut, errBuf bytes.Buffer
+	if err := run(append([]string{"-save", snap}, paths...), &csvOut, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errBuf.String(), "saved snapshot") {
+		t.Errorf("no save diagnostic: %s", errBuf.String())
+	}
+
+	// Snapshot run: identical output without touching any CSV.
+	var snapOut bytes.Buffer
+	if err := run([]string{"-snapshot", snap}, &snapOut, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if csvOut.String() != snapOut.String() {
+		t.Errorf("snapshot run output differs from CSV run:\n%s\nvs\n%s", csvOut.String(), snapOut.String())
+	}
+
+	// Ranked and approximate modes work off the snapshot too.
+	var topOut bytes.Buffer
+	if err := run([]string{"-snapshot", snap, "-rank", "fmax", "-k", "2"}, &topOut, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(topOut.String(), "{c1, a1}") {
+		t.Errorf("ranked snapshot run missing top answer:\n%s", topOut.String())
+	}
+}
+
+func TestRunSnapshotErrors(t *testing.T) {
+	var out bytes.Buffer
+	paths := writeTouristCSVs(t)
+	if err := run(append([]string{"-snapshot", "/nonexistent.fdb"}, paths...), &out, &out); err == nil {
+		t.Error("-snapshot combined with CSV args accepted")
+	}
+	if err := run([]string{"-snapshot", "/nonexistent.fdb"}, &out, &out); err == nil {
+		t.Error("missing snapshot file accepted")
+	}
+	// A CSV is not a snapshot: the magic check must reject it.
+	if err := run([]string{"-snapshot", paths[0]}, &out, &out); err == nil {
+		t.Error("CSV file accepted as snapshot")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out bytes.Buffer
 	if err := run(nil, &out, &out); err == nil {

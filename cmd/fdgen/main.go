@@ -1,13 +1,18 @@
 // Command fdgen emits synthetic workloads as CSV files, one per
-// relation, in the format accepted by fdcli and fd.ReadCSV.
+// relation, in the format accepted by fdcli and fd.ReadCSV — or, with
+// -snapshot, as one binary columnar snapshot (the format of
+// fd.WriteSnapshot) that fdcli and fdserve load without re-parsing or
+// re-encoding anything.
 //
 // Usage:
 //
 //	fdgen -shape chain -n 4 -m 16 -domain 4 -out /tmp/wl
 //	fdgen -shape dirty -n 3 -m 10 -error 0.3 -out /tmp/dirty
+//	fdgen -shape chain -n 4 -m 1000 -snapshot /tmp/big.fdb
 //
 // Shapes: chain, star, cycle, clique, random, dirty (misspelled chain
-// for approximate joins).
+// for approximate joins). With -snapshot, CSVs are written only when
+// -out is also given explicitly.
 package main
 
 import (
@@ -44,10 +49,17 @@ func run(args []string, stdout io.Writer) error {
 		edgeProb = fs.Float64("edges", 0.3, "random shape: extra edge probability")
 		seed     = fs.Int64("seed", 1, "generator seed")
 		out      = fs.String("out", ".", "output directory")
+		snapshot = fs.String("snapshot", "", "write the workload as one binary snapshot file instead of CSVs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	outSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "out" {
+			outSet = true
+		}
+	})
 
 	cfg := workload.Config{
 		Relations:         *n,
@@ -80,6 +92,17 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if err != nil {
 		return err
+	}
+
+	if *snapshot != "" {
+		if err := fd.SaveSnapshot(db, *snapshot); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s (snapshot, %d relations, %d tuples, fingerprint %016x)\n",
+			*snapshot, db.NumRelations(), db.NumTuples(), db.Fingerprint())
+		if !outSet {
+			return nil
+		}
 	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {

@@ -5,17 +5,24 @@
 //
 // Endpoints:
 //
-//	POST   /databases            load a database (workload spec or rows)
-//	DELETE /databases/{name}     drop a database (for reload/Refresh flows)
-//	POST   /queries              open a query session
-//	GET    /queries/{id}/next?k= pull the next page of results
-//	DELETE /queries/{id}         close a session early
-//	GET    /stats                service counters (cache hits, engine stats)
-//	GET    /healthz              liveness
+//	POST   /databases              load a database (workload spec or rows)
+//	GET    /databases              list registered databases (fingerprints)
+//	DELETE /databases/{name}       drop a database (for reload/Refresh flows)
+//	POST   /databases/{name}/rows  append rows (durable via the row log)
+//	POST   /queries                open a query session
+//	GET    /queries/{id}/next?k=   pull the next page of results
+//	DELETE /queries/{id}           close a session early
+//	GET    /stats                  service counters (cache hits, engine stats)
+//	GET    /healthz                liveness
 //
-// A walkthrough lives in the README ("Serving full disjunctions").
-// Sessions idle past -idle are evicted; the server shuts down
-// gracefully on SIGINT/SIGTERM.
+// With -data <dir> the registry is durable: every registered database
+// is persisted as a binary columnar snapshot (docs/SNAPSHOT_FORMAT.md),
+// appended rows go to a per-database row log, and a restarted server
+// recovers everything before accepting traffic.
+//
+// A walkthrough lives in the README ("Serving full disjunctions" and
+// "Persistence"). Sessions idle past -idle are evicted; the server
+// shuts down gracefully on SIGINT/SIGTERM.
 package main
 
 import (
@@ -35,16 +42,19 @@ import (
 	"repro/internal/core"
 	"repro/internal/relation"
 	"repro/internal/service"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
-		workers = flag.Int("workers", 0, "concurrent page computations (0 = GOMAXPROCS)")
-		cache   = flag.Int("cache", 64, "result-cache capacity in cached result lists (negative disables caching)")
-		idle    = flag.Duration("idle", 5*time.Minute, "query-session idle eviction timeout")
-		pageMax = flag.Int("page-max", 1024, "maximum results per page")
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
+		workers    = flag.Int("workers", 0, "concurrent page computations (0 = GOMAXPROCS)")
+		cache      = flag.Int("cache", 64, "result-cache capacity in cached result lists (negative disables caching)")
+		cacheBytes = flag.Int64("cache-bytes", 64<<20, "result-cache budget in approximate bytes (negative removes the bound)")
+		idle       = flag.Duration("idle", 5*time.Minute, "query-session idle eviction timeout")
+		pageMax    = flag.Int("page-max", 1024, "maximum results per page")
+		dataDir    = flag.String("data", "", "data directory for durable registration (empty = in-memory only)")
 	)
 	flag.Parse()
 	if *idle <= 0 {
@@ -53,12 +63,34 @@ func main() {
 		*idle = 5 * time.Minute
 	}
 
+	var st *store.Store
+	if *dataDir != "" {
+		var err error
+		if st, err = store.Open(*dataDir); err != nil {
+			log.Fatalf("open data directory: %v", err)
+		}
+	}
+
 	svc := service.New(service.Config{
 		Workers:       *workers,
 		CacheCapacity: *cache,
+		CacheMaxBytes: *cacheBytes,
 		IdleTimeout:   *idle,
 		MaxPageSize:   *pageMax,
+		Store:         st,
 	})
+	if st != nil {
+		infos, err := svc.Recover()
+		if err != nil {
+			// Healthy databases recovered anyway; the broken ones need
+			// re-registration, which the log points the operator at.
+			log.Printf("recover: %v", err)
+		}
+		for _, info := range infos {
+			log.Printf("recovered database %q (%d relations, %d tuples, fingerprint %s)",
+				info.Name, info.Relations, info.Tuples, info.Fingerprint)
+		}
+	}
 	srv := &http.Server{Addr: *addr, Handler: newMux(svc)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -106,7 +138,9 @@ func newMux(svc *service.Service) *http.ServeMux {
 	s := &server{svc: svc}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /databases", s.handleCreateDatabase)
+	mux.HandleFunc("GET /databases", s.handleListDatabases)
 	mux.HandleFunc("DELETE /databases/{name}", s.handleDropDatabase)
+	mux.HandleFunc("POST /databases/{name}/rows", s.handleAppendRows)
 	mux.HandleFunc("POST /queries", s.handleCreateQuery)
 	mux.HandleFunc("GET /queries/{id}/next", s.handleNext)
 	mux.HandleFunc("DELETE /queries/{id}", s.handleDeleteQuery)
@@ -311,9 +345,94 @@ func buildUploaded(specs []relationSpec) (*relation.Database, error) {
 	return relation.NewDatabase(rels...)
 }
 
+func (s *server) handleListDatabases(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.ListDatabases())
+}
+
+// appendRowsRequest appends tuples to one relation of a registered
+// database. Attributes, when given, name the order of each tuple's
+// values (any subset order of the relation's schema); when omitted the
+// values must follow the schema's sorted attribute order.
+type appendRowsRequest struct {
+	Relation   string      `json:"relation"`
+	Attributes []string    `json:"attributes,omitempty"`
+	Tuples     []tupleSpec `json:"tuples"`
+}
+
+func (s *server) handleAppendRows(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req appendRowsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	db, ok := s.svc.Database(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown database %q", name))
+		return
+	}
+	relIdx, ok := db.RelationIndex(req.Relation)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("database %q has no relation %q", name, req.Relation))
+		return
+	}
+	schema := db.Relation(relIdx).Schema()
+	attrs := make([]relation.Attribute, 0, schema.Len())
+	if req.Attributes == nil {
+		attrs = append(attrs, schema.Attributes()...)
+	} else {
+		for _, a := range req.Attributes {
+			attr := relation.Attribute(a)
+			if !schema.Has(attr) {
+				writeError(w, http.StatusBadRequest,
+					fmt.Errorf("relation %q has no attribute %q", req.Relation, a))
+				return
+			}
+			attrs = append(attrs, attr)
+		}
+	}
+	tuples := make([]relation.Tuple, 0, len(req.Tuples))
+	for i, ts := range req.Tuples {
+		if len(ts.Values) != len(attrs) {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("tuple %d: %d values for %d attributes",
+				i, len(ts.Values), len(attrs)))
+			return
+		}
+		t := relation.Tuple{Label: ts.Label, Imp: ts.Imp, Prob: 1,
+			Values: make([]relation.Value, schema.Len())}
+		if t.Imp == 0 {
+			t.Imp = 1
+		}
+		if ts.Prob != nil {
+			t.Prob = *ts.Prob
+		}
+		for j, v := range ts.Values {
+			if v == nil {
+				continue // stays ⊥
+			}
+			pos, _ := schema.Position(attrs[j])
+			t.Values[pos] = relation.V(*v)
+		}
+		tuples = append(tuples, t)
+	}
+	info, err := s.svc.AppendRows(name, req.Relation, tuples)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
 func (s *server) handleDropDatabase(w http.ResponseWriter, r *http.Request) {
 	if err := s.svc.DropDatabase(r.PathValue("name")); err != nil {
-		writeError(w, http.StatusNotFound, err)
+		// An unknown name is the caller's mistake; anything else is an
+		// operational failure (e.g. the persisted files could not be
+		// deleted — the registration is then still intact).
+		if errors.Is(err, service.ErrUnknownDatabase) {
+			writeError(w, http.StatusNotFound, err)
+		} else {
+			writeError(w, http.StatusInternalServerError, err)
+		}
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)

@@ -33,6 +33,7 @@ package fd
 
 import (
 	"io"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/relation"
@@ -105,6 +106,51 @@ func ReadCSV(name string, r io.Reader) (*Relation, error) { return relation.Read
 
 // WriteCSV writes a relation in the format accepted by ReadCSV.
 func WriteCSV(rel *Relation, w io.Writer) error { return relation.WriteCSV(rel, w) }
+
+// WriteSnapshot serialises the database in the versioned binary
+// snapshot format (docs/SNAPSHOT_FORMAT.md): the string dictionary,
+// per-relation schemas and labels, and the columnar code/imp/prob
+// mirror, each section CRC32-checksummed, with the content fingerprint
+// embedded in the header. Writing freezes the database.
+func WriteSnapshot(db *Database, w io.Writer) error { return db.WriteSnapshot(w) }
+
+// ReadSnapshot loads a database written by WriteSnapshot, adopting the
+// dictionary, code columns and join index directly from the file — no
+// re-encoding — and verifying every checksum plus the embedded content
+// fingerprint before returning. The database arrives frozen and
+// query-ready.
+func ReadSnapshot(r io.Reader) (*Database, error) { return relation.ReadSnapshot(r) }
+
+// SaveSnapshot writes db's snapshot to a file at path, fsyncing before
+// close so the artifact survives a crash right after the call returns.
+// It is the file-level convenience the CLIs share; WriteSnapshot is
+// the stream-level primitive.
+func SaveSnapshot(db *Database, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := db.WriteSnapshot(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadSnapshot reads a snapshot file written by SaveSnapshot (or any
+// WriteSnapshot stream saved to disk).
+func LoadSnapshot(path string) (*Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return relation.ReadSnapshot(f)
+}
 
 // InitStrategy selects how the per-relation passes of a full
 // disjunction are initialised (Section 7 of the paper).

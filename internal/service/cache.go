@@ -8,10 +8,17 @@ import "container/list"
 // represents the full disjunction), so a hit can serve any page of a
 // repeated query without touching the enumerators.
 //
+// Eviction is bounded two ways: by entry count (capacity) and by the
+// approximate heap bytes of the cached result lists (maxBytes), so one
+// huge result list cannot pin unbounded memory behind a small entry
+// count. An entry larger than the whole byte budget is never retained.
+//
 // The cache is not safe for concurrent use on its own; Service guards
 // it with its mutex.
 type resultCache struct {
 	capacity int
+	maxBytes int64
+	total    int64      // approximate bytes across all entries
 	ll       *list.List // front = most recently used
 	entries  map[string]*list.Element
 }
@@ -19,11 +26,13 @@ type resultCache struct {
 type cacheEntry struct {
 	key     string
 	results []Result
+	bytes   int64
 }
 
-func newResultCache(capacity int) *resultCache {
+func newResultCache(capacity int, maxBytes int64) *resultCache {
 	return &resultCache{
 		capacity: capacity,
+		maxBytes: maxBytes,
 		ll:       list.New(),
 		entries:  make(map[string]*list.Element),
 	}
@@ -40,25 +49,50 @@ func (c *resultCache) get(key string) ([]Result, bool) {
 	return el.Value.(*cacheEntry).results, true
 }
 
-// put inserts (or refreshes) the result list for key, evicting the
-// least recently used entry when over capacity.
+// put inserts (or refreshes) the result list for key, then evicts least
+// recently used entries until both the entry-count and byte bounds
+// hold.
 func (c *resultCache) put(key string, results []Result) {
 	if c.capacity <= 0 {
 		return
 	}
+	bytes := approxResultsBytes(results)
 	if el, ok := c.entries[key]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).results = results
-		return
+		e := el.Value.(*cacheEntry)
+		c.total += bytes - e.bytes
+		e.results, e.bytes = results, bytes
+	} else {
+		el := c.ll.PushFront(&cacheEntry{key: key, results: results, bytes: bytes})
+		c.entries[key] = el
+		c.total += bytes
 	}
-	el := c.ll.PushFront(&cacheEntry{key: key, results: results})
-	c.entries[key] = el
-	for c.ll.Len() > c.capacity {
+	for c.ll.Len() > 0 &&
+		(c.ll.Len() > c.capacity || (c.maxBytes > 0 && c.total > c.maxBytes)) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		e := oldest.Value.(*cacheEntry)
+		delete(c.entries, e.key)
+		c.total -= e.bytes
 	}
 }
 
 // len returns the number of cached result lists.
 func (c *resultCache) len() int { return c.ll.Len() }
+
+// bytes returns the approximate heap bytes of all cached result lists.
+func (c *resultCache) bytes() int64 { return c.total }
+
+// approxResultsBytes estimates the heap footprint of one cached result
+// list: the slice backing plus, per result, the Result struct and its
+// tuple set.
+func approxResultsBytes(rs []Result) int64 {
+	n := int64(64)
+	for i := range rs {
+		n += 32
+		if rs[i].Set != nil {
+			n += int64(rs[i].Set.ApproxBytes())
+		}
+	}
+	return n
+}

@@ -12,14 +12,17 @@
 package service
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/relation"
+	"repro/internal/store"
 	"repro/internal/tupleset"
 )
 
@@ -123,6 +126,16 @@ type Config struct {
 	// enumeration from pinning its whole output in server memory).
 	// 0 selects 65536, negative removes the bound.
 	CacheMaxResults int
+	// CacheMaxBytes bounds the result cache by the approximate heap
+	// bytes of the cached result lists, so a few huge lists cannot pin
+	// unbounded memory within the entry-count bound. 0 selects 64 MiB,
+	// negative removes the byte bound.
+	CacheMaxBytes int64
+	// Store, when non-nil, makes the database registry durable:
+	// AddDatabase persists a snapshot, DropDatabase deletes it, and
+	// Recover reloads every stored database (replaying and compacting
+	// row logs) after a restart.
+	Store *store.Store
 	// IdleTimeout is the idle eviction horizon for query sessions; ≤0
 	// selects 5 minutes.
 	IdleTimeout time.Duration
@@ -141,6 +154,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheMaxResults == 0 {
 		c.CacheMaxResults = 65536
+	}
+	if c.CacheMaxBytes == 0 {
+		c.CacheMaxBytes = 64 << 20
 	}
 	if c.IdleTimeout <= 0 {
 		c.IdleTimeout = 5 * time.Minute
@@ -165,11 +181,17 @@ type Stats struct {
 	CacheHits      int64 `json:"cache_hits"`
 	CacheMisses    int64 `json:"cache_misses"`
 	CacheEntries   int   `json:"cache_entries"`
+	CacheBytes     int64 `json:"cache_bytes"`
 	ResultsServed  int64 `json:"results_served"`
 	// Engine aggregates the core.Stats of every finished or closed
 	// query session (in-flight sessions contribute at close).
 	Engine core.Stats `json:"engine"`
 }
+
+// ErrUnknownDatabase marks lookups of names that are not registered;
+// front ends use it to tell "no such database" (404) apart from an
+// operational failure.
+var ErrUnknownDatabase = errors.New("unknown database")
 
 // dbEntry is one registered database with a shared rendering universe
 // (safe across goroutines: the database is frozen and emitted sets
@@ -178,6 +200,13 @@ type dbEntry struct {
 	name string
 	db   *relation.Database
 	u    *tupleset.Universe
+	// snapFP is the fingerprint of the on-disk snapshot backing this
+	// registration (zero without a Store). AppendRows carries it across
+	// registry swaps — the snapshot does not change on append, only the
+	// row log grows — and Store.Append verifies it, so an append racing
+	// a drop + re-register can never durably log rows against the
+	// replacement snapshot.
+	snapFP uint64
 }
 
 // Service is the concurrent query-session subsystem. All methods are
@@ -188,6 +217,11 @@ type Service struct {
 	// computing page or cursor construction (the
 	// ParallelFullDisjunction pattern, shared across sessions).
 	sem chan struct{}
+
+	// appendMu serialises AppendRows end to end (rebuild, log write,
+	// registry swap), so concurrent appends to one database cannot
+	// leave the in-memory registry and the durable row log disagreeing.
+	appendMu sync.Mutex
 
 	mu      sync.Mutex
 	dbs     map[string]*dbEntry
@@ -213,7 +247,7 @@ func New(cfg Config) *Service {
 		sem:     make(chan struct{}, cfg.Workers),
 		dbs:     make(map[string]*dbEntry),
 		queries: make(map[string]*Query),
-		cache:   newResultCache(cfg.CacheCapacity),
+		cache:   newResultCache(cfg.CacheCapacity, cfg.CacheMaxBytes),
 	}
 }
 
@@ -231,8 +265,14 @@ type DatabaseInfo struct {
 // AddDatabase registers db under name, freezing it (queries and cached
 // results assume immutable content; for a mutable workload, DropDatabase
 // it, Refresh and mutate the database, then register it again). Names
-// are unique.
+// are unique. With a configured Store the registration is durable: a
+// snapshot is persisted before AddDatabase returns, and a persistence
+// failure unregisters the database again.
 func (s *Service) AddDatabase(name string, db *relation.Database) (DatabaseInfo, error) {
+	return s.addDatabase(name, db, true)
+}
+
+func (s *Service) addDatabase(name string, db *relation.Database, persist bool) (DatabaseInfo, error) {
 	if name == "" {
 		return DatabaseInfo{}, fmt.Errorf("service: empty database name")
 	}
@@ -258,11 +298,23 @@ func (s *Service) AddDatabase(name string, db *relation.Database) (DatabaseInfo,
 	s.mu.Unlock()
 	fp := db.Fingerprint() // freezes; outside the lock
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if err := check(); err != nil { // re-check: the lock was dropped
+		s.mu.Unlock()
 		return DatabaseInfo{}, err
 	}
-	s.dbs[name] = &dbEntry{name: name, db: db, u: tupleset.NewUniverse(db)}
+	s.dbs[name] = &dbEntry{name: name, db: db, u: tupleset.NewUniverse(db), snapFP: fp}
+	s.mu.Unlock()
+
+	if persist && s.cfg.Store != nil {
+		// Snapshot IO happens outside the registry lock; a failure rolls
+		// the registration back so memory and disk agree.
+		if err := s.cfg.Store.Save(name, db); err != nil {
+			s.mu.Lock()
+			delete(s.dbs, name)
+			s.mu.Unlock()
+			return DatabaseInfo{}, fmt.Errorf("service: persisting database %q: %w", name, err)
+		}
+	}
 	return DatabaseInfo{
 		Name:        name,
 		Relations:   db.NumRelations(),
@@ -271,18 +323,181 @@ func (s *Service) AddDatabase(name string, db *relation.Database) (DatabaseInfo,
 	}, nil
 }
 
-// DropDatabase removes the registered database of that name. Open
-// sessions against it keep running (they hold the entry), and cached
-// result lists stay — they are keyed by content fingerprint, so they
-// remain correct for any re-registration with the same content.
+// DropDatabase removes the registered database of that name, deleting
+// its persisted snapshot and row log when a Store is configured. The
+// files go first: if their deletion fails the registration stays, so
+// the in-memory registry never disagrees with what the next restart
+// would recover. Open sessions against the database keep running (they
+// hold the entry), and cached result lists stay — they are keyed by
+// content fingerprint, so they remain correct for any re-registration
+// with the same content.
 func (s *Service) DropDatabase(name string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, ok := s.dbs[name]; !ok {
-		return fmt.Errorf("service: unknown database %q", name)
+		s.mu.Unlock()
+		return fmt.Errorf("service: %w %q", ErrUnknownDatabase, name)
 	}
+	s.mu.Unlock()
+	if s.cfg.Store != nil {
+		if err := s.cfg.Store.Delete(name); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
 	delete(s.dbs, name)
+	s.mu.Unlock()
 	return nil
+}
+
+// Recover loads every database in the configured Store and registers
+// it, so a restarted server resumes serving exactly what it served
+// before. Row logs are replayed and immediately compacted back into
+// their snapshots. Databases that fail to load (corrupt snapshot, torn
+// log) are skipped and reported in the joined error; the rest recover.
+// Recover returns nil infos and nil error when no Store is configured.
+func (s *Service) Recover() ([]DatabaseInfo, error) {
+	if s.cfg.Store == nil {
+		return nil, nil
+	}
+	names, err := s.cfg.Store.List()
+	if err != nil {
+		return nil, fmt.Errorf("service: recover: %w", err)
+	}
+	var infos []DatabaseInfo
+	var errs []error
+	for _, name := range names {
+		db, replayed, err := s.cfg.Store.Load(name)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		if replayed {
+			// Fold the row log back into the snapshot now, so the next
+			// restart loads one flat file with no replay.
+			if err := s.cfg.Store.Save(name, db); err != nil {
+				errs = append(errs, fmt.Errorf("service: compacting %q: %w", name, err))
+				continue
+			}
+		}
+		info, err := s.addDatabase(name, db, false)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		infos = append(infos, info)
+	}
+	return infos, errors.Join(errs...)
+}
+
+// ListDatabases describes every registered database, sorted by name.
+func (s *Service) ListDatabases() []DatabaseInfo {
+	s.mu.Lock()
+	entries := make([]*dbEntry, 0, len(s.dbs))
+	for _, e := range s.dbs {
+		entries = append(entries, e)
+	}
+	s.mu.Unlock()
+	infos := make([]DatabaseInfo, len(entries))
+	for i, e := range entries {
+		// Fingerprint is cached on the frozen database; no recompute.
+		infos[i] = DatabaseInfo{
+			Name:        e.name,
+			Relations:   e.db.NumRelations(),
+			Tuples:      e.db.NumTuples(),
+			Fingerprint: fmt.Sprintf("%016x", e.db.Fingerprint()),
+		}
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}
+
+// AppendRows appends tuples to relation relName of the registered
+// database dbName. The registered database is immutable (open sessions
+// page over it), so the append builds a replacement database — the
+// existing tuples are carried over without copying their values — and
+// swaps it into the registry; sessions opened before the swap keep
+// enumerating the old version. With a configured Store the rows are
+// appended to the database's durable row log first (no snapshot
+// rewrite), so a restart replays them; a log failure leaves both disk
+// and registry unchanged.
+func (s *Service) AppendRows(dbName, relName string, tuples []relation.Tuple) (DatabaseInfo, error) {
+	if len(tuples) == 0 {
+		return DatabaseInfo{}, fmt.Errorf("service: no rows to append")
+	}
+	s.appendMu.Lock()
+	defer s.appendMu.Unlock()
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return DatabaseInfo{}, fmt.Errorf("service: closed")
+	}
+	entry, ok := s.dbs[dbName]
+	s.mu.Unlock()
+	if !ok {
+		return DatabaseInfo{}, fmt.Errorf("service: %w %q", ErrUnknownDatabase, dbName)
+	}
+	old := entry.db
+	relIdx, ok := old.RelationIndex(relName)
+	if !ok {
+		return DatabaseInfo{}, fmt.Errorf("service: database %q has no relation %q", dbName, relName)
+	}
+
+	rels := make([]*relation.Relation, old.NumRelations())
+	for i := range rels {
+		src := old.Relation(i)
+		rel, err := relation.NewRelation(src.Name(), src.Schema())
+		if err != nil {
+			return DatabaseInfo{}, err
+		}
+		for j := 0; j < src.Len(); j++ {
+			if err := rel.AppendTuple(*src.Tuple(j)); err != nil {
+				return DatabaseInfo{}, err
+			}
+		}
+		rels[i] = rel
+	}
+	for i, t := range tuples {
+		if err := rels[relIdx].AppendTuple(t); err != nil {
+			return DatabaseInfo{}, fmt.Errorf("service: append row %d: %w", i, err)
+		}
+	}
+	db, err := relation.NewDatabase(rels...)
+	if err != nil {
+		return DatabaseInfo{}, err
+	}
+	fp := db.Fingerprint() // freeze before publishing
+
+	// Durability first: if the log write fails, nothing was swapped.
+	// The append is bound to the snapshot fingerprint of the entry we
+	// rebuilt from, so a drop + re-register racing this call fails the
+	// log write (the replacement snapshot carries a different
+	// fingerprint) instead of durably logging rows the caller will be
+	// told failed.
+	if s.cfg.Store != nil {
+		if err := s.cfg.Store.Append(dbName, relName, tuples, entry.snapFP); err != nil {
+			return DatabaseInfo{}, err
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return DatabaseInfo{}, fmt.Errorf("service: closed")
+	}
+	if cur, ok := s.dbs[dbName]; !ok || cur != entry {
+		// Dropped while we rebuilt. The drop deleted the snapshot and
+		// log; a drop + re-register instead fails the fingerprint-bound
+		// log write above. Disk is consistent either way.
+		return DatabaseInfo{}, fmt.Errorf("service: database %q dropped during append", dbName)
+	}
+	s.dbs[dbName] = &dbEntry{name: dbName, db: db, u: tupleset.NewUniverse(db), snapFP: entry.snapFP}
+	return DatabaseInfo{
+		Name:        dbName,
+		Relations:   db.NumRelations(),
+		Tuples:      db.NumTuples(),
+		Fingerprint: fmt.Sprintf("%016x", fp),
+	}, nil
 }
 
 // Database returns the registered database of that name.
@@ -407,6 +622,7 @@ func (s *Service) Stats() Stats {
 		CacheHits:      s.cacheHits,
 		CacheMisses:    s.cacheMisses,
 		CacheEntries:   s.cache.len(),
+		CacheBytes:     s.cache.bytes(),
 		ResultsServed:  s.resultsServed,
 		Engine:         s.engine,
 	}

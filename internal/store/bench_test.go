@@ -1,0 +1,107 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+// The benchmarks compare the two ways of bringing the E9 chain workload
+// (the repo's standing benchmark database) back into memory: parsing
+// the CSV text and re-encoding the columnar mirror, versus loading the
+// binary snapshot, which adopts the dictionary and code columns
+// directly. Both paths end at a computed Fingerprint, i.e. a fully
+// encoded, query-ready database.
+
+func e9Database(b *testing.B) *relation.Database {
+	b.Helper()
+	db, err := workload.Chain(workload.Config{
+		Relations: 4, TuplesPerRelation: 28, Domain: 4, NullRate: 0.1, Seed: 23})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+func BenchmarkLoadE9Snapshot(b *testing.B) {
+	db := e9Database(b)
+	var snap bytes.Buffer
+	if err := db.WriteSnapshot(&snap); err != nil {
+		b.Fatal(err)
+	}
+	raw := snap.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loaded, err := relation.ReadSnapshot(bytes.NewReader(raw))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = loaded.Fingerprint()
+	}
+}
+
+func BenchmarkLoadE9CSV(b *testing.B) {
+	db := e9Database(b)
+	texts := make([][]byte, db.NumRelations())
+	names := make([]string, db.NumRelations())
+	var total int64
+	for i := 0; i < db.NumRelations(); i++ {
+		var buf bytes.Buffer
+		if err := relation.WriteCSV(db.Relation(i), &buf); err != nil {
+			b.Fatal(err)
+		}
+		texts[i] = buf.Bytes()
+		names[i] = db.Relation(i).Name()
+		total += int64(buf.Len())
+	}
+	b.SetBytes(total)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rels := make([]*relation.Relation, len(texts))
+		for j := range texts {
+			rel, err := relation.ReadCSV(names[j], bytes.NewReader(texts[j]))
+			if err != nil {
+				b.Fatal(err)
+			}
+			rels[j] = rel
+		}
+		loaded, err := relation.NewDatabase(rels...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = loaded.Fingerprint()
+	}
+}
+
+// BenchmarkLoadSnapshotScaling shows the gap widening with database
+// size: snapshot load is O(cells) with no interning, CSV ingest pays
+// parsing plus dictionary hashing per cell.
+func BenchmarkLoadSnapshotScaling(b *testing.B) {
+	for _, m := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			db, err := workload.Chain(workload.Config{
+				Relations: 4, TuplesPerRelation: m, Domain: 8, NullRate: 0.1, Seed: 23})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var snap bytes.Buffer
+			if err := db.WriteSnapshot(&snap); err != nil {
+				b.Fatal(err)
+			}
+			raw := snap.Bytes()
+			b.SetBytes(int64(len(raw)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				loaded, err := relation.ReadSnapshot(bytes.NewReader(raw))
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = loaded.Fingerprint()
+			}
+		})
+	}
+}

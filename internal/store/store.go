@@ -1,0 +1,344 @@
+// Package store is the on-disk columnar snapshot store: it persists
+// registered databases as versioned binary snapshot files (the format
+// of relation.WriteSnapshot, see docs/SNAPSHOT_FORMAT.md) plus an
+// append-only row log per database, so appends made after a Refresh are
+// durable without rewriting the whole snapshot. Compaction folds the
+// log back into the snapshot.
+//
+// Crash safety: snapshots are written to a temporary file, fsynced and
+// renamed into place, so a crash mid-save leaves the previous snapshot
+// intact; every snapshot section and every log record is CRC32-
+// checksummed and the snapshot embeds the database fingerprint, so a
+// torn or corrupt file fails loudly at load instead of serving wrong
+// answers. The row log additionally records the fingerprint of the
+// snapshot it extends, so a log can never be replayed onto the wrong
+// (e.g. freshly re-registered) snapshot.
+package store
+
+import (
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/relation"
+)
+
+const (
+	snapshotExt = ".fdb"
+	logExt      = ".fdlog"
+	markerExt   = ".compact"
+	tmpPrefix   = ".snapshot-"
+)
+
+// Store manages the snapshot and log files of a data directory. All
+// methods are safe for concurrent use; mutating operations on the same
+// store are serialised.
+type Store struct {
+	dir string
+	mu  sync.Mutex
+}
+
+// Open opens (creating if necessary) a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty data directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Database names are path-escaped into file names, so any registrable
+// name round-trips through the filesystem.
+func (s *Store) snapshotPath(name string) string {
+	return filepath.Join(s.dir, url.PathEscape(name)+snapshotExt)
+}
+
+func (s *Store) logPath(name string) string {
+	return filepath.Join(s.dir, url.PathEscape(name)+logExt)
+}
+
+// markerPath names the compaction marker: it exists only inside a
+// Save that is folding a row log away, and records the fingerprint of
+// the snapshot that replaces the log. A crash between the snapshot
+// rename and the log removal leaves the marker behind, letting the
+// next load tell "interrupted compaction, the log is already folded
+// in" apart from a genuinely mismatched log.
+func (s *Store) markerPath(name string) string {
+	return filepath.Join(s.dir, url.PathEscape(name)+markerExt)
+}
+
+// List returns the names of all stored databases, sorted.
+func (s *Store) List() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), snapshotExt) || strings.HasPrefix(e.Name(), tmpPrefix) {
+			continue
+		}
+		name, err := url.PathUnescape(strings.TrimSuffix(e.Name(), snapshotExt))
+		if err != nil {
+			return nil, fmt.Errorf("store: undecodable snapshot file %q: %w", e.Name(), err)
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Save writes a full snapshot of db under name, atomically replacing
+// any previous snapshot, and truncates the row log (the snapshot now
+// holds everything the log held).
+func (s *Store) Save(name string, db *relation.Database) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.save(name, db)
+}
+
+func (s *Store) save(name string, db *relation.Database) error {
+	tmp, err := os.CreateTemp(s.dir, tmpPrefix+"*")
+	if err != nil {
+		return fmt.Errorf("store: save %q: %w", name, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after the rename succeeds
+	if err := db.WriteSnapshot(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: save %q: %w", name, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: save %q: %w", name, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: save %q: %w", name, err)
+	}
+	// When this save folds an existing row log away, drop a compaction
+	// marker carrying the new snapshot's fingerprint first. If the
+	// process dies between the snapshot rename and the log removal, the
+	// next load finds marker fp == snapshot fp and knows the log is
+	// already folded in (it deletes it) instead of refusing the
+	// fingerprint mismatch forever.
+	hasLog := false
+	if _, err := os.Stat(s.logPath(name)); err == nil {
+		hasLog = true
+		if err := s.writeMarker(name, db.Fingerprint()); err != nil {
+			return fmt.Errorf("store: save %q: %w", name, err)
+		}
+	}
+	if err := os.Rename(tmp.Name(), s.snapshotPath(name)); err != nil {
+		return fmt.Errorf("store: save %q: %w", name, err)
+	}
+	if err := os.Remove(s.logPath(name)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: save %q: truncating log: %w", name, err)
+	}
+	if hasLog {
+		if err := os.Remove(s.markerPath(name)); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("store: save %q: removing marker: %w", name, err)
+		}
+	}
+	s.syncDir()
+	return nil
+}
+
+// writeMarker atomically writes the compaction marker for name: the
+// hex fingerprint of the snapshot that replaces the current row log.
+func (s *Store) writeMarker(name string, fp uint64) error {
+	tmp, err := os.CreateTemp(s.dir, tmpPrefix+"*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := fmt.Fprintf(tmp, "%016x\n", fp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), s.markerPath(name))
+}
+
+// readMarker reads the compaction marker if present, returning the
+// recorded fingerprint. A malformed marker is a loud error.
+func (s *Store) readMarker(name string) (fp uint64, exists bool, err error) {
+	raw, err := os.ReadFile(s.markerPath(name))
+	if os.IsNotExist(err) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, fmt.Errorf("store: reading compaction marker: %w", err)
+	}
+	if _, err := fmt.Sscanf(string(raw), "%x", &fp); err != nil {
+		return 0, false, fmt.Errorf("store: malformed compaction marker %q", raw)
+	}
+	return fp, true, nil
+}
+
+// syncDir fsyncs the store directory so renames and removals are
+// durable; best effort (some filesystems refuse directory fsync).
+func (s *Store) syncDir() {
+	if d, err := os.Open(s.dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}
+
+// Load reads the stored database of that name: the snapshot is loaded
+// (adopting its columnar mirror directly, no re-encoding) and any row
+// log is replayed through a Refresh. It reports whether log records
+// were replayed — a true return means the caller should Compact (or
+// Save) to fold the log back into the snapshot. Corrupt or truncated
+// snapshots and logs fail loudly.
+func (s *Store) Load(name string) (*relation.Database, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.load(name)
+}
+
+func (s *Store) load(name string) (*relation.Database, bool, error) {
+	f, err := os.Open(s.snapshotPath(name))
+	if err != nil {
+		return nil, false, fmt.Errorf("store: load %q: %w", name, err)
+	}
+	db, err := relation.ReadSnapshot(f)
+	f.Close()
+	if err != nil {
+		return nil, false, fmt.Errorf("store: load %q: %w", name, err)
+	}
+
+	// A leftover compaction marker means a Save crashed mid-cleanup.
+	// Marker fp == snapshot fp: the rename landed, the log's content is
+	// already inside this snapshot — finish the cleanup. Otherwise the
+	// crash hit before the rename: old snapshot and log are both
+	// intact, so drop the marker and replay normally.
+	if mfp, exists, err := s.readMarker(name); err != nil {
+		return nil, false, fmt.Errorf("store: load %q: %w", name, err)
+	} else if exists {
+		if mfp == db.Fingerprint() {
+			if err := os.Remove(s.logPath(name)); err != nil && !os.IsNotExist(err) {
+				return nil, false, fmt.Errorf("store: load %q: clearing folded log: %w", name, err)
+			}
+		}
+		if err := os.Remove(s.markerPath(name)); err != nil && !os.IsNotExist(err) {
+			return nil, false, fmt.Errorf("store: load %q: clearing marker: %w", name, err)
+		}
+		s.syncDir()
+	}
+
+	recs, fp, err := readLog(s.logPath(name))
+	if err != nil {
+		return nil, false, fmt.Errorf("store: load %q: %w", name, err)
+	}
+	if len(recs) == 0 {
+		return db, false, nil
+	}
+	if snapFP := db.Fingerprint(); fp != snapFP {
+		return nil, false, fmt.Errorf("store: load %q: row log extends snapshot %016x, found snapshot %016x",
+			name, fp, snapFP)
+	}
+	db.Refresh()
+	for i, rec := range recs {
+		idx, ok := db.RelationIndex(rec.rel)
+		if !ok {
+			return nil, false, fmt.Errorf("store: load %q: log record %d names unknown relation %q", name, i, rec.rel)
+		}
+		if err := db.Relation(idx).AppendTuple(rec.tuple); err != nil {
+			return nil, false, fmt.Errorf("store: load %q: log record %d: %w", name, i, err)
+		}
+	}
+	// Refresh again so Size/NumTuples count the replayed rows (the
+	// mirror is already discarded; the recount is the only effect).
+	db.Refresh()
+	return db, true, nil
+}
+
+// Append durably appends tuples to relation relName of the stored
+// database, writing row-log records instead of rewriting the snapshot.
+// The log is created bound to the current snapshot's fingerprint,
+// which must equal expectFP — the fingerprint of the snapshot the
+// caller believes it is extending. The check turns "the database was
+// dropped and re-registered under this name while the append was in
+// flight" into an error instead of rows durably logged against the
+// wrong snapshot.
+func (s *Store) Append(name, relName string, tuples []relation.Tuple, expectFP uint64) error {
+	if len(tuples) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	sf, err := os.Open(s.snapshotPath(name))
+	if err != nil {
+		return fmt.Errorf("store: append %q: %w", name, err)
+	}
+	fp, err := relation.ReadSnapshotFingerprint(sf)
+	sf.Close()
+	if err != nil {
+		return fmt.Errorf("store: append %q: %w", name, err)
+	}
+	if fp != expectFP {
+		return fmt.Errorf("store: append %q: snapshot fingerprint %016x is not the expected %016x (database replaced?)",
+			name, fp, expectFP)
+	}
+	return appendLog(s.logPath(name), fp, relName, tuples)
+}
+
+// Compact folds the row log back into the snapshot: when a log exists,
+// the database is loaded (snapshot + replay) and saved as one fresh
+// snapshot, and the log is truncated. It reports whether anything was
+// compacted.
+func (s *Store) Compact(name string) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := os.Stat(s.logPath(name)); os.IsNotExist(err) {
+		return false, nil
+	}
+	db, replayed, err := s.load(name)
+	if err != nil {
+		return false, fmt.Errorf("store: compact %q: %w", name, err)
+	}
+	if !replayed {
+		// An empty (header-only) log: just drop it.
+		if err := os.Remove(s.logPath(name)); err != nil && !os.IsNotExist(err) {
+			return false, fmt.Errorf("store: compact %q: %w", name, err)
+		}
+		return false, nil
+	}
+	if err := s.save(name, db); err != nil {
+		return false, fmt.Errorf("store: compact %q: %w", name, err)
+	}
+	return true, nil
+}
+
+// Delete removes the stored snapshot, log and compaction marker of
+// that name. Deleting a name that was never stored is not an error.
+func (s *Store) Delete(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.Remove(s.snapshotPath(name)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: delete %q: %w", name, err)
+	}
+	if err := os.Remove(s.logPath(name)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: delete %q: %w", name, err)
+	}
+	if err := os.Remove(s.markerPath(name)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: delete %q: %w", name, err)
+	}
+	s.syncDir()
+	return nil
+}

@@ -223,6 +223,15 @@ func (u *Universe) FromRefs(refs ...relation.Ref) *Set {
 // Len returns the number of tuples in the set.
 func (s *Set) Len() int { return s.count }
 
+// ApproxBytes estimates the heap footprint of the set in bytes: the
+// struct itself plus its members vector, relation bitmask and binding
+// vector. internal/service charges cached result lists against its
+// byte budget with it; the estimate ignores allocator rounding but
+// scales with the real cost.
+func (s *Set) ApproxBytes() int {
+	return 96 + 4*len(s.members) + 8*len(s.relBits) + 4*len(s.binding)
+}
+
 // Empty reports whether the set has no members.
 func (s *Set) Empty() bool { return s.count == 0 }
 

@@ -3,8 +3,12 @@
 # workload with fdgen, count its full disjunction with fdcli, then load
 # the same workload (same generator spec and seed, hence the same
 # database) into a running fdserve, page one query to exhaustion, and
-# compare the counts. Finally repeat the query and check that /stats
-# reports a cache hit. Uses only curl + grep/sed so it runs in minimal
+# compare the counts. Then repeat the query and check that /stats
+# reports a cache hit. Finally exercise persistence: register a
+# database against -data, SIGTERM the server, restart it over the same
+# directory, and assert the recovered database lists the same
+# fingerprint and pages the same result count with zero
+# re-registration. Uses only curl + grep/sed so it runs in minimal
 # containers. Usage: smoke_fdserve.sh [bindir]
 set -euo pipefail
 
@@ -70,4 +74,59 @@ if [ -z "$hits" ] || [ "$hits" -lt 1 ]; then
   exit 1
 fi
 echo "cache hits: $hits"
+
+# --- persistence: register with -data, SIGTERM, restart, recover -----
+kill "$server_pid" && wait "$server_pid" 2>/dev/null || true
+data="$wl/data"
+
+"$bindir/fdserve" -addr "$addr" -data "$data" &
+server_pid=$!
+for _ in $(seq 1 50); do
+  curl -fsS "$base/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -fsS "$base/healthz" >/dev/null
+
+reg="$(curl -fsS -X POST "$base/databases" -d \
+  '{"name":"p","workload":{"kind":"chain","relations":4,"tuples":12,"domain":4,"null_rate":0.1,"seed":7}}')"
+fp1="$(sed -n 's/.*"fingerprint":"\([0-9a-f]*\)".*/\1/p' <<<"$reg")"
+if [ -z "$fp1" ]; then
+  echo "FAIL: registration returned no fingerprint: $reg" >&2
+  exit 1
+fi
+qid="$(curl -fsS -X POST "$base/queries" -d '{"database":"p","mode":"exact"}' |
+  sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+count1="$(page_to_exhaustion "$qid")"
+echo "pre-restart: fingerprint $fp1, $count1 results"
+if [ "$count1" != "$cli_count" ]; then
+  echo "FAIL: durable server paged $count1 results, fdcli printed $cli_count" >&2
+  exit 1
+fi
+
+kill -TERM "$server_pid" && wait "$server_pid" 2>/dev/null || true
+
+"$bindir/fdserve" -addr "$addr" -data "$data" &
+server_pid=$!
+for _ in $(seq 1 50); do
+  curl -fsS "$base/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -fsS "$base/healthz" >/dev/null
+
+# Zero re-registration: the database must already be listed, with the
+# pre-restart fingerprint.
+listing="$(curl -fsS "$base/databases")"
+fp2="$(sed -n 's/.*"name":"p"[^}]*"fingerprint":"\([0-9a-f]*\)".*/\1/p' <<<"$listing")"
+if [ "$fp2" != "$fp1" ]; then
+  echo "FAIL: recovered fingerprint '$fp2' != pre-restart '$fp1' (listing: $listing)" >&2
+  exit 1
+fi
+qid="$(curl -fsS -X POST "$base/queries" -d '{"database":"p","mode":"exact"}' |
+  sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+count2="$(page_to_exhaustion "$qid")"
+if [ "$count2" != "$count1" ]; then
+  echo "FAIL: recovered database paged $count2 results, want $count1" >&2
+  exit 1
+fi
+echo "post-restart: fingerprint $fp2, $count2 results (recovered, no re-registration)"
 echo "PASS"
