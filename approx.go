@@ -1,10 +1,19 @@
 package fd
 
 import (
+	"context"
+
 	"repro/internal/approx"
+	"repro/internal/core"
 	"repro/internal/rank"
 	"repro/internal/tupleset"
 )
+
+// legacyApproxOptions reproduces the engine configuration the approx
+// wrappers always ran with before Options were plumbed through the
+// approximate family: hash-indexed Complete stores, no join index,
+// tuple-at-a-time scans.
+func legacyApproxOptions() core.Options { return core.Options{UseIndex: true} }
 
 // Sim supplies pairwise tuple similarities in [0,1] for approximate
 // joins (Section 6).
@@ -44,14 +53,22 @@ func Aprod(s Sim) ApproxJoin { return &approx.Aprod{S: s} }
 // ApproxFullDisjunction computes AFD(R, A, τ): the maximal tuple sets T
 // with A(T) ≥ τ (Definition 6.2), in incremental polynomial time for
 // acceptable, efficiently computable A (Theorem 6.6).
+//
+// Deprecated: use Open with Query{Mode: ModeApprox, Tau: tau,
+// Sim: "<name>"} and drain the Results cursor. ApproxFullDisjunction
+// remains for join functions a Query cannot name (Aprod, TableSim).
 func ApproxFullDisjunction(db *Database, a ApproxJoin, tau float64) ([]*TupleSet, Stats, error) {
-	return approx.FullDisjunction(db, a, tau)
+	return approx.FullDisjunction(db, a, tau, legacyApproxOptions())
 }
 
 // ApproxStream computes AFD(R, A, τ) incrementally; return false from
 // yield to stop early.
+//
+// Deprecated: use Open with Query{Mode: ModeApprox, Tau: tau,
+// Sim: "<name>"} and pull from the Results cursor. ApproxStream
+// remains for join functions a Query cannot name (Aprod, TableSim).
 func ApproxStream(db *Database, a ApproxJoin, tau float64, yield func(*TupleSet) bool) (Stats, error) {
-	return approx.Stream(db, a, tau, yield)
+	return approx.Stream(db, a, tau, legacyApproxOptions(), yield)
 }
 
 // ApproxCursor is the pull-based form of ApproxStream: a suspended
@@ -61,8 +78,12 @@ type ApproxCursor = approx.Cursor
 
 // NewApproxCursor prepares a pull-based enumeration of AFD(R, A, τ); no
 // work happens until the first Next call.
+//
+// Deprecated: use Open with Query{Mode: ModeApprox, Tau: tau,
+// Sim: "<name>"}; the Results cursor it returns adds context
+// cancellation and engine Options.
 func NewApproxCursor(db *Database, a ApproxJoin, tau float64) (*ApproxCursor, error) {
-	return approx.NewCursor(db, a, tau)
+	return approx.NewCursor(context.Background(), db, a, tau, legacyApproxOptions())
 }
 
 // ApproxScore evaluates A(T) for a tuple set of db.
@@ -74,19 +95,28 @@ func ApproxScore(db *Database, a ApproxJoin, t *TupleSet) float64 {
 // paper sketches at the end of Section 6): the members of AFD(R, A, τ)
 // stream in non-increasing rank order under a monotonically
 // c-determined ranking function.
+//
+// Deprecated: use Open with Query{Mode: ModeApproxRanked, Tau: tau,
+// Rank: "<name>", Sim: "<name>"} and pull from the Results cursor.
 func ApproxStreamRanked(db *Database, a ApproxJoin, tau float64, f RankFunc,
 	yield func(Ranked) bool) (Stats, error) {
-	return rank.ApproxStreamRanked(db, a, tau, f, yield)
+	return rank.ApproxStreamRanked(db, a, tau, f, legacyApproxOptions(), yield)
 }
 
 // ApproxTopK returns the k highest-ranking members of the
 // (A,τ)-approximate full disjunction, in rank order.
+//
+// Deprecated: use Open with Query{Mode: ModeApproxRanked, Tau: tau,
+// Rank: "<name>", K: k} and drain the Results cursor.
 func ApproxTopK(db *Database, a ApproxJoin, tau float64, f RankFunc, k int) ([]Ranked, Stats, error) {
-	return rank.ApproxTopK(db, a, tau, f, k)
+	return rank.ApproxTopK(db, a, tau, f, k, legacyApproxOptions())
 }
 
 // ApproxThreshold returns every member of AFD(R, A, τ) ranking at least
 // rankTau, in rank order.
+//
+// Deprecated: use Open with Query{Mode: ModeApproxRanked, Tau: tau,
+// Rank: "<name>", RankTau: rankTau} and drain the Results cursor.
 func ApproxThreshold(db *Database, a ApproxJoin, tau, rankTau float64, f RankFunc) ([]Ranked, Stats, error) {
-	return rank.ApproxThreshold(db, a, tau, rankTau, f)
+	return rank.ApproxThreshold(db, a, tau, rankTau, f, legacyApproxOptions())
 }

@@ -1,4 +1,6 @@
-// Command fdcli computes full disjunctions of CSV relations.
+// Command fdcli computes full disjunctions of CSV relations through
+// the declarative fd.Query API — the same spec fdserve serves over
+// HTTP and the library executes via fd.Open.
 //
 // Each positional argument is a CSV file holding one relation (header
 // row of attribute names; optional #label, #imp and #prob metadata
@@ -7,26 +9,32 @@
 //
 // Modes:
 //
-//	fdcli a.csv b.csv c.csv             # full disjunction
-//	fdcli -k 10 -rank fmax a.csv b.csv  # top-10 under fmax
-//	fdcli -rank fmax -tau 3 a.csv b.csv # all answers ranking ≥ 3
-//	fdcli -approx 0.8 a.csv b.csv       # approximate FD, Amin+Levenshtein, τ=0.8
-//	fdcli -save db.fdb a.csv b.csv      # also save a binary snapshot
-//	fdcli -snapshot db.fdb              # query a snapshot (no CSV parsing)
+//	fdcli a.csv b.csv c.csv               # full disjunction
+//	fdcli -k 10 -rank fmax a.csv b.csv    # top-10 under fmax
+//	fdcli -rank fmax -tau 3 a.csv b.csv   # all answers ranking ≥ 3
+//	fdcli -approx 0.8 a.csv b.csv         # approximate FD, Amin+Levenshtein, τ=0.8
+//	fdcli -approx 0.8 -rank fmax -k 5 ... # approx-ranked: top-5 of the approximate FD
+//	fdcli -save db.fdb a.csv b.csv        # also save a binary snapshot
+//	fdcli -snapshot db.fdb                # query a snapshot (no CSV parsing)
 //
 // A snapshot (the format of fd.WriteSnapshot, also emitted by
 // fdgen -snapshot and fdserve -data) loads without re-parsing or
 // re-encoding: the columnar mirror comes straight off disk.
+//
+// The enumeration honours Ctrl-C: an interrupt cancels the query
+// context and the run exits with the context error within one step.
 //
 // Output is one row per result tuple set: the tuple-set notation
 // followed by the padded tuple.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 
@@ -34,7 +42,9 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "fdcli: %v\n", err)
 		os.Exit(1)
 	}
@@ -43,16 +53,19 @@ func main() {
 // run executes the tool against args, writing results to stdout and
 // diagnostics to stderr. It is main minus process concerns, so tests
 // can drive it directly.
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("fdcli", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
 		k        = fs.Int("k", 0, "return only the first k results (0 = all)")
 		rankName = fs.String("rank", "", "rank results: fmax, pairsum or triple (requires -k or -tau)")
 		tau      = fs.Float64("tau", 0, "with -rank: threshold variant, return results ranking ≥ tau")
-		approxT  = fs.Float64("approx", 0, "approximate FD with Amin + Levenshtein similarity at this threshold")
+		approxT  = fs.Float64("approx", 0, "approximate FD with Amin at this threshold")
+		simName  = fs.String("sim", "", "with -approx: similarity, levenshtein (default) or exact")
 		index    = fs.Bool("index", true, "use the §7 hash index")
+		joinIdx  = fs.Bool("joinindex", false, "use the equi-join candidate index")
 		block    = fs.Int("block", 1, "block size for block-based execution")
+		strategy = fs.String("strategy", "", "init strategy: singletons (default), seeded or projected")
 		stats    = fs.Bool("stats", false, "print execution counters to stderr")
 		snapshot = fs.String("snapshot", "", "load the database from a binary snapshot instead of CSV files")
 		save     = fs.String("save", "", "write the loaded database to a binary snapshot file")
@@ -99,57 +112,62 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintf(stderr, "saved snapshot %s (fingerprint %016x)\n", *save, db.Fingerprint())
 	}
-	opts := fd.Options{UseIndex: *index, BlockSize: *block}
+
+	// Flags → the declarative query spec.
+	q := fd.Query{
+		K: *k,
+		Options: fd.QueryOptions{
+			UseIndex:     *index,
+			UseJoinIndex: *joinIdx,
+			BlockSize:    *block,
+			Strategy:     *strategy,
+		},
+	}
+	switch {
+	case *approxT > 0 && *rankName != "":
+		q.Mode = fd.ModeApproxRanked
+		q.Tau, q.Sim = *approxT, *simName
+		q.Rank, q.RankTau = *rankName, *tau
+	case *approxT > 0:
+		q.Mode = fd.ModeApprox
+		q.Tau, q.Sim = *approxT, *simName
+	case *rankName != "":
+		if *k <= 0 && *tau <= 0 {
+			return fmt.Errorf("-rank requires -k or -tau")
+		}
+		q.Mode = fd.ModeRanked
+		q.Rank, q.RankTau = *rankName, *tau
+	default:
+		q.Mode = fd.ModeExact
+	}
+
+	rs, err := fd.Open(ctx, db, q)
+	if err != nil {
+		return err
+	}
+	defer rs.Close()
 
 	var results []*fd.TupleSet
 	var ranks []float64
-	var execStats fd.Stats
-
-	switch {
-	case *approxT > 0:
-		execStats, err = fd.ApproxStream(db, fd.Amin(fd.LevenshteinSim()), *approxT,
-			func(t *fd.TupleSet) bool {
-				results = append(results, t)
-				return *k == 0 || len(results) < *k
-			})
-	case *rankName != "":
-		var f fd.RankFunc
-		switch *rankName {
-		case "fmax":
-			f = fd.FMax()
-		case "pairsum":
-			f = fd.PairSum()
-		case "triple":
-			f = fd.PaperTriple()
-		default:
-			return fmt.Errorf("unknown ranking function %q (fmax, pairsum, triple)", *rankName)
+	ranked := false
+	for {
+		r, ok := rs.Next()
+		if !ok {
+			break
 		}
-		var ranked []fd.Ranked
-		switch {
-		case *tau > 0:
-			ranked, execStats, err = fd.Threshold(db, f, *tau, opts)
-		case *k > 0:
-			ranked, execStats, err = fd.TopK(db, f, *k, opts)
-		default:
-			return fmt.Errorf("-rank requires -k or -tau")
-		}
-		for _, r := range ranked {
-			results = append(results, r.Set)
+		results = append(results, r.Set)
+		if r.Ranked {
+			ranked = true
 			ranks = append(ranks, r.Rank)
 		}
-	default:
-		execStats, err = fd.Stream(db, opts, func(t *fd.TupleSet) bool {
-			results = append(results, t)
-			return *k == 0 || len(results) < *k
-		})
 	}
-	if err != nil {
+	if err := rs.Err(); err != nil {
 		return err
 	}
 
 	attrs, rows := fd.PadAll(db, results)
 	header := fmt.Sprintf("%-24s", "tuple set")
-	if ranks != nil {
+	if ranked {
 		header += fmt.Sprintf(" %-8s", "rank")
 	}
 	for _, a := range attrs {
@@ -158,7 +176,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintln(stdout, header)
 	for i, t := range results {
 		line := fmt.Sprintf("%-24s", fd.Format(db, t))
-		if ranks != nil {
+		if ranked {
 			line += fmt.Sprintf(" %-8.3g", ranks[i])
 		}
 		for _, v := range rows[i].Values {
@@ -167,7 +185,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout, line)
 	}
 	if *stats {
-		fmt.Fprintf(stderr, "%s\n", execStats)
+		fmt.Fprintf(stderr, "%s\n", rs.Stats())
 	}
 	return nil
 }

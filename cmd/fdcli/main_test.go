@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -39,7 +40,7 @@ func writeTouristCSVs(t *testing.T) []string {
 func TestRunFullDisjunction(t *testing.T) {
 	paths := writeTouristCSVs(t)
 	var out, errBuf bytes.Buffer
-	if err := run(append([]string{"-stats"}, paths...), &out, &errBuf); err != nil {
+	if err := run(context.Background(), append([]string{"-stats"}, paths...), &out, &errBuf); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
@@ -56,7 +57,7 @@ func TestRunFullDisjunction(t *testing.T) {
 func TestRunTopK(t *testing.T) {
 	paths := writeTouristCSVs(t)
 	var out bytes.Buffer
-	if err := run(append([]string{"-rank", "fmax", "-k", "2"}, paths...), &out, &out); err != nil {
+	if err := run(context.Background(), append([]string{"-rank", "fmax", "-k", "2"}, paths...), &out, &out); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
@@ -71,7 +72,7 @@ func TestRunTopK(t *testing.T) {
 func TestRunThreshold(t *testing.T) {
 	paths := writeTouristCSVs(t)
 	var out bytes.Buffer
-	if err := run(append([]string{"-rank", "fmax", "-tau", "3"}, paths...), &out, &out); err != nil {
+	if err := run(context.Background(), append([]string{"-rank", "fmax", "-tau", "3"}, paths...), &out, &out); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
@@ -83,7 +84,7 @@ func TestRunThreshold(t *testing.T) {
 func TestRunApprox(t *testing.T) {
 	paths := writeTouristCSVs(t)
 	var out bytes.Buffer
-	if err := run(append([]string{"-approx", "0.9"}, paths...), &out, &out); err != nil {
+	if err := run(context.Background(), append([]string{"-approx", "0.9"}, paths...), &out, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "{c1, a1}") {
@@ -97,7 +98,7 @@ func TestRunSnapshotSaveAndLoad(t *testing.T) {
 
 	// CSV run with -save: same results, plus a snapshot on disk.
 	var csvOut, errBuf bytes.Buffer
-	if err := run(append([]string{"-save", snap}, paths...), &csvOut, &errBuf); err != nil {
+	if err := run(context.Background(), append([]string{"-save", snap}, paths...), &csvOut, &errBuf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(errBuf.String(), "saved snapshot") {
@@ -106,7 +107,7 @@ func TestRunSnapshotSaveAndLoad(t *testing.T) {
 
 	// Snapshot run: identical output without touching any CSV.
 	var snapOut bytes.Buffer
-	if err := run([]string{"-snapshot", snap}, &snapOut, &errBuf); err != nil {
+	if err := run(context.Background(), []string{"-snapshot", snap}, &snapOut, &errBuf); err != nil {
 		t.Fatal(err)
 	}
 	if csvOut.String() != snapOut.String() {
@@ -115,7 +116,7 @@ func TestRunSnapshotSaveAndLoad(t *testing.T) {
 
 	// Ranked and approximate modes work off the snapshot too.
 	var topOut bytes.Buffer
-	if err := run([]string{"-snapshot", snap, "-rank", "fmax", "-k", "2"}, &topOut, &errBuf); err != nil {
+	if err := run(context.Background(), []string{"-snapshot", snap, "-rank", "fmax", "-k", "2"}, &topOut, &errBuf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(topOut.String(), "{c1, a1}") {
@@ -126,31 +127,31 @@ func TestRunSnapshotSaveAndLoad(t *testing.T) {
 func TestRunSnapshotErrors(t *testing.T) {
 	var out bytes.Buffer
 	paths := writeTouristCSVs(t)
-	if err := run(append([]string{"-snapshot", "/nonexistent.fdb"}, paths...), &out, &out); err == nil {
+	if err := run(context.Background(), append([]string{"-snapshot", "/nonexistent.fdb"}, paths...), &out, &out); err == nil {
 		t.Error("-snapshot combined with CSV args accepted")
 	}
-	if err := run([]string{"-snapshot", "/nonexistent.fdb"}, &out, &out); err == nil {
+	if err := run(context.Background(), []string{"-snapshot", "/nonexistent.fdb"}, &out, &out); err == nil {
 		t.Error("missing snapshot file accepted")
 	}
 	// A CSV is not a snapshot: the magic check must reject it.
-	if err := run([]string{"-snapshot", paths[0]}, &out, &out); err == nil {
+	if err := run(context.Background(), []string{"-snapshot", paths[0]}, &out, &out); err == nil {
 		t.Error("CSV file accepted as snapshot")
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(nil, &out, &out); err == nil {
+	if err := run(context.Background(), nil, &out, &out); err == nil {
 		t.Error("no arguments accepted")
 	}
-	if err := run([]string{"/nonexistent/file.csv"}, &out, &out); err == nil {
+	if err := run(context.Background(), []string{"/nonexistent/file.csv"}, &out, &out); err == nil {
 		t.Error("missing file accepted")
 	}
 	paths := writeTouristCSVs(t)
-	if err := run(append([]string{"-rank", "bogus", "-k", "1"}, paths...), &out, &out); err == nil {
+	if err := run(context.Background(), append([]string{"-rank", "bogus", "-k", "1"}, paths...), &out, &out); err == nil {
 		t.Error("unknown ranking function accepted")
 	}
-	if err := run(append([]string{"-rank", "fmax"}, paths...), &out, &out); err == nil {
+	if err := run(context.Background(), append([]string{"-rank", "fmax"}, paths...), &out, &out); err == nil {
 		t.Error("-rank without -k or -tau accepted")
 	}
 }

@@ -9,7 +9,7 @@
 //	GET    /databases              list registered databases (fingerprints)
 //	DELETE /databases/{name}       drop a database (for reload/Refresh flows)
 //	POST   /databases/{name}/rows  append rows (durable via the row log)
-//	POST   /queries                open a query session
+//	POST   /queries                open a query session (fd.Query JSON)
 //	GET    /queries/{id}/next?k=   pull the next page of results
 //	DELETE /queries/{id}           close a session early
 //	GET    /stats                  service counters (cache hits, engine stats)
@@ -19,6 +19,13 @@
 // is persisted as a binary columnar snapshot (docs/SNAPSHOT_FORMAT.md),
 // appended rows go to a per-database row log, and a restarted server
 // recovers everything before accepting traffic.
+//
+// The body of POST /queries is {"database": <name>} plus the JSON
+// encoding of an fd.Query (docs/QUERY_API.md): mode exact, ranked,
+// approx or approx-ranked, the rank/sim names, k, tau, rank_tau and
+// the engine options. Every front end shares that one spec — the
+// library, this server, fdcli and fdbench parse, validate, cache and
+// execute it identically.
 //
 // A walkthrough lives in the README ("Serving full disjunctions" and
 // "Persistence"). Sessions idle past -idle are evicted; the server
@@ -39,7 +46,7 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/core"
+	fd "repro"
 	"repro/internal/relation"
 	"repro/internal/service"
 	"repro/internal/store"
@@ -91,7 +98,13 @@ func main() {
 				info.Name, info.Relations, info.Tuples, info.Fingerprint)
 		}
 	}
-	srv := &http.Server{Addr: *addr, Handler: newMux(svc)}
+	// Sessions carry this context: it outlives any single request and is
+	// cancelled only after graceful shutdown has let in-flight pages
+	// finish, so an abandoned enumeration can always be aborted from the
+	// outside without cutting short a well-behaved drain.
+	sessionCtx, cancelSessions := context.WithCancel(context.Background())
+	defer cancelSessions()
+	srv := &http.Server{Addr: *addr, Handler: newMux(sessionCtx, svc)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -124,6 +137,7 @@ func main() {
 		if err := srv.Shutdown(shutCtx); err != nil {
 			log.Printf("shutdown: %v", err)
 		}
+		cancelSessions()
 		svc.Close()
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {
@@ -132,10 +146,12 @@ func main() {
 	}
 }
 
-// newMux wires the HTTP surface onto a service. Split from main so
+// newMux wires the HTTP surface onto a service. Query sessions are
+// opened under ctx (a server-lifetime context, not a per-request one —
+// sessions outlive the request that created them). Split from main so
 // tests drive the handlers through httptest.
-func newMux(svc *service.Service) *http.ServeMux {
-	s := &server{svc: svc}
+func newMux(ctx context.Context, svc *service.Service) *http.ServeMux {
+	s := &server{ctx: ctx, svc: svc}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /databases", s.handleCreateDatabase)
 	mux.HandleFunc("GET /databases", s.handleListDatabases)
@@ -150,6 +166,8 @@ func newMux(svc *service.Service) *http.ServeMux {
 }
 
 type server struct {
+	// ctx is the base context of every query session this server opens.
+	ctx context.Context
 	svc *service.Service
 }
 
@@ -193,21 +211,46 @@ type createDatabaseRequest struct {
 	Relations []relationSpec `json:"relations,omitempty"`
 }
 
-type optionsSpec struct {
-	// UseIndex and UseJoinIndex default to true when omitted.
-	UseIndex     *bool  `json:"use_index,omitempty"`
-	UseJoinIndex *bool  `json:"use_join_index,omitempty"`
-	BlockSize    int    `json:"block_size,omitempty"`
-	Strategy     string `json:"strategy,omitempty"` // singletons, seeded, projected
+// createQueryRequest is the database name plus the fd.Query JSON
+// encoding, embedded verbatim — the wire format IS the library spec,
+// so anything expressible through fd.Open (including approx-ranked
+// and the k / rank_tau bounds) is expressible over HTTP. The one
+// server-side amendment: Options shadows the Query's options with
+// pointer index fields, because the server (unlike the library zero
+// value) defaults both indexes ON when a client omits them — served
+// queries should not run unindexed by accident.
+type createQueryRequest struct {
+	Database string `json:"database"`
+	fd.Query
+	Options queryOptionsRequest `json:"options"`
 }
 
-type createQueryRequest struct {
-	Database string      `json:"database"`
-	Mode     string      `json:"mode"` // exact (default), ranked, approx
-	Rank     string      `json:"rank,omitempty"`
-	Tau      float64     `json:"tau,omitempty"`
-	Sim      string      `json:"sim,omitempty"`
-	Options  optionsSpec `json:"options"`
+// queryOptionsRequest mirrors fd.QueryOptions with pointers on the
+// index switches so an omitted field is distinguishable from an
+// explicit false.
+type queryOptionsRequest struct {
+	UseIndex     *bool  `json:"use_index"`
+	UseJoinIndex *bool  `json:"use_join_index"`
+	BlockSize    int    `json:"block_size"`
+	Strategy     string `json:"strategy"`
+}
+
+// resolve renders the request options as library options, applying the
+// server defaults for omitted index switches.
+func (o queryOptionsRequest) resolve() fd.QueryOptions {
+	opts := fd.QueryOptions{
+		UseIndex:     true,
+		UseJoinIndex: true,
+		BlockSize:    o.BlockSize,
+		Strategy:     o.Strategy,
+	}
+	if o.UseIndex != nil {
+		opts.UseIndex = *o.UseIndex
+	}
+	if o.UseJoinIndex != nil {
+		opts.UseJoinIndex = *o.UseJoinIndex
+	}
+	return opts
 }
 
 type createQueryResponse struct {
@@ -444,51 +487,18 @@ func (s *server) handleCreateQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 		return
 	}
-	spec, err := toSpec(req)
+	spec := req.Query
+	spec.Options = req.Options.resolve()
+	q, err := s.svc.StartQuery(s.ctx, req.Database, spec)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	q, err := s.svc.StartQuery(spec)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		if errors.Is(err, service.ErrUnknownDatabase) {
+			writeError(w, http.StatusNotFound, err)
+		} else {
+			writeError(w, http.StatusBadRequest, err)
+		}
 		return
 	}
 	writeJSON(w, http.StatusCreated, createQueryResponse{ID: q.ID(), Cached: q.FromCache()})
-}
-
-func toSpec(req createQueryRequest) (service.QuerySpec, error) {
-	mode := service.Mode(req.Mode)
-	if req.Mode == "" {
-		mode = service.ModeExact
-	}
-	spec := service.QuerySpec{
-		Database:     req.Database,
-		Mode:         mode,
-		Rank:         req.Rank,
-		Tau:          req.Tau,
-		Sim:          req.Sim,
-		UseIndex:     true,
-		UseJoinIndex: true,
-		BlockSize:    req.Options.BlockSize,
-	}
-	if req.Options.UseIndex != nil {
-		spec.UseIndex = *req.Options.UseIndex
-	}
-	if req.Options.UseJoinIndex != nil {
-		spec.UseJoinIndex = *req.Options.UseJoinIndex
-	}
-	switch req.Options.Strategy {
-	case "", "singletons":
-		spec.Strategy = core.InitSingletons
-	case "seeded":
-		spec.Strategy = core.InitSeeded
-	case "projected":
-		spec.Strategy = core.InitProjected
-	default:
-		return spec, fmt.Errorf("unknown init strategy %q (singletons, seeded, projected)", req.Options.Strategy)
-	}
-	return spec, nil
 }
 
 func (s *server) handleNext(w http.ResponseWriter, r *http.Request) {

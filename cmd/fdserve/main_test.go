@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -18,7 +19,7 @@ import (
 func startServer(t *testing.T) (*httptest.Server, *service.Service) {
 	t.Helper()
 	svc := service.New(service.Config{})
-	ts := httptest.NewServer(newMux(svc))
+	ts := httptest.NewServer(newMux(context.Background(), svc))
 	t.Cleanup(func() {
 		ts.Close()
 		svc.Close()
@@ -186,6 +187,35 @@ func TestServeRankedAndApprox(t *testing.T) {
 	if !page.Done || len(page.Results) == 0 {
 		t.Fatalf("approx query: done=%v results=%d", page.Done, len(page.Results))
 	}
+
+	// Approx-ranked over the wire: the fd.Query JSON encoding carries
+	// mode, tau, rank and the k bound in one request.
+	var qar createQueryResponse
+	call(t, "POST", ts.URL+"/queries",
+		map[string]any{"database": "dirty", "mode": "approx-ranked", "tau": 0.6, "rank": "fmax", "k": 4},
+		http.StatusCreated, &qar)
+	last = -1.0
+	total := 0
+	for {
+		var arPage pageResponse
+		call(t, "GET", fmt.Sprintf("%s/queries/%s/next?k=2", ts.URL, qar.ID), nil, http.StatusOK, &arPage)
+		for _, r := range arPage.Results {
+			if r.Rank == nil {
+				t.Fatal("approx-ranked result missing rank")
+			}
+			if last >= 0 && *r.Rank > last {
+				t.Fatalf("approx-ranked ranks not non-increasing: %v after %v", *r.Rank, last)
+			}
+			last = *r.Rank
+			total++
+		}
+		if arPage.Done {
+			break
+		}
+	}
+	if total == 0 || total > 4 {
+		t.Fatalf("approx-ranked k=4 served %d results", total)
+	}
 }
 
 // TestServeUploadedRows loads the paper's two-relation example as
@@ -248,7 +278,7 @@ func TestServeErrors(t *testing.T) {
 		http.StatusConflict, nil)
 
 	call(t, "POST", ts.URL+"/queries",
-		map[string]any{"database": "missing"}, http.StatusBadRequest, nil)
+		map[string]any{"database": "missing"}, http.StatusNotFound, nil)
 	call(t, "POST", ts.URL+"/queries",
 		map[string]any{"database": "w", "mode": "ranked", "rank": "nope"}, http.StatusBadRequest, nil)
 	call(t, "POST", ts.URL+"/queries",
@@ -284,7 +314,7 @@ func startDurableServer(t *testing.T, dir string) (*httptest.Server, *service.Se
 	if _, err := svc.Recover(); err != nil {
 		t.Fatalf("recover: %v", err)
 	}
-	ts := httptest.NewServer(newMux(svc))
+	ts := httptest.NewServer(newMux(context.Background(), svc))
 	t.Cleanup(func() {
 		ts.Close()
 		svc.Close()
@@ -392,4 +422,46 @@ func TestServeAppendRows(t *testing.T) {
 		"tuples": []map[string]any{{"values": []*string{&v}}}}, http.StatusBadRequest, nil)
 	call(t, "POST", ts.URL+"/databases/w/rows", map[string]any{
 		"relation": "R00", "tuples": []map[string]any{}}, http.StatusBadRequest, nil)
+}
+
+// TestServeIndexDefaults pins the wire-format amendment: omitting the
+// options (or just the index switches) defaults both indexes ON
+// server-side, while an explicit false is honoured.
+func TestServeIndexDefaults(t *testing.T) {
+	ts, _ := startServer(t)
+	call(t, "POST", ts.URL+"/databases",
+		map[string]any{"name": "w", "workload": chainSpec}, http.StatusCreated, nil)
+
+	drain := func(body map[string]any) {
+		t.Helper()
+		var q createQueryResponse
+		call(t, "POST", ts.URL+"/queries", body, http.StatusCreated, &q)
+		for {
+			var page pageResponse
+			call(t, "GET", fmt.Sprintf("%s/queries/%s/next?k=64", ts.URL, q.ID), nil, http.StatusOK, &page)
+			if page.Done {
+				return
+			}
+		}
+	}
+	engine := func() core.Stats {
+		t.Helper()
+		var stats service.Stats
+		call(t, "GET", ts.URL+"/stats", nil, http.StatusOK, &stats)
+		return stats.Engine
+	}
+
+	// Explicit false is honoured: no join-index probes recorded.
+	drain(map[string]any{"database": "w", "mode": "exact",
+		"options": map[string]any{"use_index": false, "use_join_index": false}})
+	if probes := engine().IndexProbes; probes != 0 {
+		t.Fatalf("explicit use_join_index=false still probed the join index %d times", probes)
+	}
+
+	// Omitted options default the indexes on — the pre-Query-API server
+	// behaviour a bare {"database","mode"} client relies on.
+	drain(map[string]any{"database": "w", "mode": "exact"})
+	if probes := engine().IndexProbes; probes == 0 {
+		t.Fatal("omitted options ran unindexed: no join-index probes recorded")
+	}
 }

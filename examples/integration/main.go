@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -44,24 +45,55 @@ func main() {
 		log.Fatal(err)
 	}
 
+	ctx := context.Background()
+
 	// Exact full disjunction: the misspelled tuples stay unmatched.
-	exact, _, err := fd.FullDisjunction(db, fd.Options{})
+	exact, err := drain(ctx, db, fd.Query{Mode: fd.ModeExact})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("Exact full disjunction (misspellings break the joins):")
 	printSets(db, exact)
 
-	// Approximate full disjunction under Amin + Levenshtein.
-	amin := fd.Amin(fd.LevenshteinSim())
+	// Approximate full disjunction under Amin + Levenshtein — the same
+	// query fdserve accepts as {"mode":"approx","tau":0.9}.
 	for _, tau := range []float64{0.9, 0.75, 0.5} {
-		results, _, err := fd.ApproxFullDisjunction(db, amin, tau)
+		results, err := drain(ctx, db, fd.Query{Mode: fd.ModeApprox, Tau: tau})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("\nApproximate full disjunction, τ = %.2f (%d results):\n", tau, len(results))
 		printSets(db, results)
 	}
+
+	// Approx-ranked: the most probable integrations first, Sections 5
+	// and 6 combined in one declarative spec.
+	fmt.Println("\nTop-3 approximate integrations by fmax, τ = 0.75:")
+	rs, err := fd.Open(ctx, db, fd.Query{Mode: fd.ModeApproxRanked, Tau: 0.75, Rank: "fmax", K: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rs.Close()
+	for r, ok := rs.Next(); ok; r, ok = rs.Next() {
+		fmt.Printf("  %-14s rank %.2f\n", fd.Format(db, r.Set), r.Rank)
+	}
+	if err := rs.Err(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// drain opens q against db and collects the tuple sets.
+func drain(ctx context.Context, db *fd.Database, q fd.Query) ([]*fd.TupleSet, error) {
+	rs, err := fd.Open(ctx, db, q)
+	if err != nil {
+		return nil, err
+	}
+	defer rs.Close()
+	var out []*fd.TupleSet
+	for r, ok := rs.Next(); ok; r, ok = rs.Next() {
+		out = append(out, r.Set)
+	}
+	return out, rs.Err()
 }
 
 func printSets(db *fd.Database, sets []*fd.TupleSet) {

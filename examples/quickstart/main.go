@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,10 +35,21 @@ func main() {
 		log.Fatal(err)
 	}
 
-	results, stats, err := fd.FullDisjunction(db, fd.Options{})
+	// One declarative spec, one entry point: the same fd.Query also
+	// travels over fdserve's HTTP wire and through fdcli's flags.
+	rs, err := fd.Open(context.Background(), db, fd.Query{Mode: fd.ModeExact})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer rs.Close()
+	var results []*fd.TupleSet
+	for r, ok := rs.Next(); ok; r, ok = rs.Next() {
+		results = append(results, r.Set)
+	}
+	if err := rs.Err(); err != nil {
+		log.Fatal(err)
+	}
+	stats := rs.Stats()
 
 	fmt.Println("FD(Climates, Accommodations, Sites) — Table 2 of the paper:")
 	fmt.Println()

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -19,24 +20,23 @@ func main() {
 		log.Fatal(err)
 	}
 
+	ctx := context.Background()
+	opts := fd.QueryOptions{UseIndex: true}
+
 	// First pass: materialise everything, for reference.
 	start := time.Now()
-	all, stats, err := fd.FullDisjunction(db, fd.Options{UseIndex: true})
+	all, stats, err := drain(ctx, db, fd.Query{Options: opts})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fullTime := time.Since(start)
 	fmt.Printf("full disjunction: %d tuple sets in %v (%s)\n\n", len(all), fullTime, stats)
 
-	// Second pass: stream and stop after k answers.
+	// Second pass: a K-bounded query stops after k answers — the
+	// PINC guarantee makes the prefix cheap.
 	for _, k := range []int{1, 10, 100} {
 		start = time.Now()
-		count := 0
-		_, err := fd.Stream(db, fd.Options{UseIndex: true}, func(t *fd.TupleSet) bool {
-			count++
-			return count < k
-		})
-		if err != nil {
+		if _, _, err := drain(ctx, db, fd.Query{K: k, Options: opts}); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("first %4d answers: %10v  (%.1f%% of full-run time)\n",
@@ -45,14 +45,27 @@ func main() {
 
 	fmt.Println()
 	fmt.Println("first five answers:")
-	count := 0
-	if _, err := fd.Stream(db, fd.Options{UseIndex: true}, func(t *fd.TupleSet) bool {
-		fmt.Printf("  %s\n", fd.Format(db, t))
-		count++
-		return count < 5
-	}); err != nil {
+	first, _, err := drain(ctx, db, fd.Query{K: 5, Options: opts})
+	if err != nil {
 		log.Fatal(err)
 	}
+	for _, r := range first {
+		fmt.Printf("  %s\n", fd.Format(db, r.Set))
+	}
+}
+
+// drain opens q against db and pulls the cursor dry.
+func drain(ctx context.Context, db *fd.Database, q fd.Query) ([]fd.Result, fd.Stats, error) {
+	rs, err := fd.Open(ctx, db, q)
+	if err != nil {
+		return nil, fd.Stats{}, err
+	}
+	defer rs.Close()
+	var out []fd.Result
+	for r, ok := rs.Next(); ok; r, ok = rs.Next() {
+		out = append(out, r)
+	}
+	return out, rs.Stats(), rs.Err()
 }
 
 // buildDatabase constructs a chain of n relations R0(J0,P0), R1(J0,J1,P1),

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -45,8 +46,10 @@ func main() {
 		log.Fatal(err)
 	}
 
+	ctx := context.Background()
+
 	fmt.Println("Top-3 destinations under fmax (hotel stars dominate):")
-	top, _, err := fd.TopK(db, fd.FMax(), 3, fd.Options{})
+	top, err := drainRanked(ctx, db, fd.Query{Mode: fd.ModeRanked, Rank: "fmax", K: 3})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,7 +59,7 @@ func main() {
 
 	fmt.Println()
 	fmt.Println("All destinations ranking at least 2 (threshold variant):")
-	atLeast, _, err := fd.Threshold(db, fd.FMax(), 2, fd.Options{})
+	atLeast, err := drainRanked(ctx, db, fd.Query{Mode: fd.ModeRanked, Rank: "fmax", RankTau: 2})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,13 +69,27 @@ func main() {
 
 	fmt.Println()
 	fmt.Println("Top-3 under the 2-determined pair-sum function (climate+hotel):")
-	top2, _, err := fd.TopK(db, fd.PairSum(), 3, fd.Options{})
+	top2, err := drainRanked(ctx, db, fd.Query{Mode: fd.ModeRanked, Rank: "pairsum", K: 3})
 	if err != nil {
 		log.Fatal(err)
 	}
 	for i, r := range top2 {
 		fmt.Printf("  %d. %-14s rank %.0f\n", i+1, fd.Format(db, r.Set), r.Rank)
 	}
+}
+
+// drainRanked opens a ranked query and pulls it dry.
+func drainRanked(ctx context.Context, db *fd.Database, q fd.Query) ([]fd.Result, error) {
+	rs, err := fd.Open(ctx, db, q)
+	if err != nil {
+		return nil, err
+	}
+	defer rs.Close()
+	var out []fd.Result
+	for r, ok := rs.Next(); ok; r, ok = rs.Next() {
+		out = append(out, r)
+	}
+	return out, rs.Err()
 }
 
 func addWithImp(rel *fd.Relation, label string, imp float64, vals map[fd.Attribute]fd.Value) {

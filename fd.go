@@ -5,18 +5,24 @@
 //	Sara Cohen, Yehoshua Sagiv. "An incremental algorithm for computing
 //	ranked full disjunctions." PODS 2005; JCSS 73(4):648–668, 2007.
 //
-// The package offers three evaluation modes:
+// Every evaluation is described by one declarative, JSON-serialisable
+// spec — Query — and executed through one entry point:
 //
-//   - Stream / FullDisjunction: INCREMENTALFD — results are produced one
-//     at a time in incremental polynomial time (the problem is in PINC),
-//     so the first k answers cost polynomial time in the input and k.
-//   - StreamRanked / TopK / Threshold: PRIORITYINCREMENTALFD — results
-//     arrive in ranking order for any monotonically c-determined ranking
-//     function, solving the top-(k,f) full-disjunction problem.
-//   - ApproxStream / ApproxFullDisjunction: APPROXINCREMENTALFD —
-//     results of the (A,τ)-approximate full disjunction for acceptable
-//     approximate join functions such as Amin, matching tuples by
-//     similarity instead of equality.
+//	Open(ctx, db, Query) (Results, error)
+//
+// The four modes map onto the paper's four problems:
+//
+//   - ModeExact: INCREMENTALFD — FD(R), one result at a time in
+//     incremental polynomial time (the problem is in PINC), so the
+//     first k answers cost polynomial time in the input and k.
+//   - ModeRanked: PRIORITYINCREMENTALFD — results arrive in ranking
+//     order under a named monotonically c-determined ranking function;
+//     K selects top-(k,f), RankTau the (τ,f)-threshold variant.
+//   - ModeApprox: APPROXINCREMENTALFD — the (A,τ)-approximate full
+//     disjunction under Amin with a named similarity, matching tuples
+//     by similarity instead of equality.
+//   - ModeApproxRanked: the ranked approximate adaptation the paper
+//     sketches at the end of Section 6.
 //
 // Quick start:
 //
@@ -25,13 +31,21 @@
 //		"Country": fd.V("Canada"), "Climate": fd.V("diverse")})
 //	// ... more relations ...
 //	db := fd.MustDatabase(climates, accommodations, sites)
-//	results, _, err := fd.FullDisjunction(db, fd.Options{})
-//	for _, t := range results {
-//		fmt.Println(fd.Format(db, t))
+//	rs, err := fd.Open(ctx, db, fd.Query{Mode: fd.ModeExact})
+//	defer rs.Close()
+//	for r, ok := rs.Next(); ok; r, ok = rs.Next() {
+//		fmt.Println(fd.Format(db, r.Set))
 //	}
+//
+// Results is a pull cursor with explicit suspended state — no producer
+// goroutines — and honours ctx cancellation within one enumeration
+// step. The named per-mode functions (FullDisjunction, Stream, TopK,
+// ApproxStream, ...) remain as deprecated wrappers; docs/QUERY_API.md
+// tabulates the old → new mapping.
 package fd
 
 import (
+	"context"
 	"io"
 	"os"
 
@@ -181,6 +195,10 @@ func NewBufferPool(capacity int) *BufferPool { return storage.NewBufferPool(capa
 // FullDisjunction computes FD(R): the set of maximal join-consistent
 // and connected tuple sets over db's relations (Definition 2.1). Total
 // time is O(s·n³·f²) (Corollary 4.9).
+//
+// Deprecated: use Open with Query{Mode: ModeExact} and drain the
+// Results cursor; it adds context cancellation and a uniform result
+// type across all modes.
 func FullDisjunction(db *Database, opts Options) ([]*TupleSet, Stats, error) {
 	return core.FullDisjunction(db, opts)
 }
@@ -189,6 +207,9 @@ func FullDisjunction(db *Database, opts Options) ([]*TupleSet, Stats, error) {
 // soon as it is available; return false from yield to stop early. k
 // results cost O(s²·n⁴·k²) time (Theorem 4.10) — the problem is in
 // PINC (Corollary 4.11).
+//
+// Deprecated: use Open with Query{Mode: ModeExact} (set K to bound the
+// prefix) and pull from the Results cursor.
 func Stream(db *Database, opts Options, yield func(*TupleSet) bool) (Stats, error) {
 	return core.Stream(db, opts, yield)
 }
@@ -201,8 +222,11 @@ type Cursor = core.Cursor
 
 // NewCursor prepares a pull-based enumeration of FD(R); no work happens
 // until the first Next call. Call Close when done (or drain it).
+//
+// Deprecated: use Open with Query{Mode: ModeExact}; the Results cursor
+// it returns adds context cancellation.
 func NewCursor(db *Database, opts Options) (*Cursor, error) {
-	return core.NewCursor(db, opts)
+	return core.NewCursor(context.Background(), db, opts)
 }
 
 // FDi computes FDi(R): the members of the full disjunction containing a

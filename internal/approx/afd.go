@@ -1,12 +1,44 @@
 package approx
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/relation"
 	"repro/internal/tupleset"
 )
+
+// EquiCompatible reports whether the qualifying-set predicate of a
+// (A(T) ≥ τ for τ > 0) implies pairwise exact join consistency of every
+// connected member pair — the property that makes the equi-join
+// candidate index exhaustive for a's extension and discovery walks.
+// It holds for Amin and Aprod over ExactSim, where every connected-pair
+// similarity is 1 exactly when the pair joins; a graded similarity
+// (Levenshtein, a table) admits extensions that never equi-match, so
+// candidate-only scans would miss results.
+func EquiCompatible(a Join) bool {
+	switch j := a.(type) {
+	case *Amin:
+		_, ok := j.S.(ExactSim)
+		return ok
+	case *Aprod:
+		_, ok := j.S.(ExactSim)
+		return ok
+	}
+	return false
+}
+
+// ScanOptions adjusts opts for scanning under a: the equi-join
+// candidate index stays enabled only when a is equi-compatible, so an
+// approximate enumeration can never silently lose results to
+// candidate-only scans.
+func ScanOptions(a Join, opts core.Options) core.Options {
+	if !EquiCompatible(a) {
+		opts.UseJoinIndex = false
+	}
+	return opts
+}
 
 // Enumerator incrementally produces AFDi(R, A, τ) — the tuple sets of
 // the (A,τ)-approximate full disjunction that contain a tuple of the
@@ -18,14 +50,18 @@ type Enumerator struct {
 	a          Join
 	tau        float64
 	stats      core.Stats
+	scan       *core.Scanner
 	incomplete []*tupleset.Set
 	complete   *core.CompleteStore
 }
 
 // NewEnumerator prepares the enumeration. Incomplete is initialised
 // with {t} for every seed-relation tuple t with A({t}) ≥ τ (Fig 5,
-// line 3 — the starred initialisation change).
-func NewEnumerator(db *relation.Database, seed int, a Join, tau float64) (*Enumerator, error) {
+// line 3 — the starred initialisation change). Database scans honour
+// the engine knobs of opts: block size, buffer pool, hash index for
+// the Complete store, and — when a is equi-compatible — candidate-only
+// scans over the equi-join posting index.
+func NewEnumerator(db *relation.Database, seed int, a Join, tau float64, opts core.Options) (*Enumerator, error) {
 	if seed < 0 || seed >= db.NumRelations() {
 		return nil, fmt.Errorf("approx: seed relation %d out of range [0,%d)", seed, db.NumRelations())
 	}
@@ -36,7 +72,11 @@ func NewEnumerator(db *relation.Database, seed int, a Join, tau float64) (*Enume
 		return nil, fmt.Errorf("approx: threshold %v outside (0,1]", tau)
 	}
 	u := tupleset.NewUniverse(db)
-	e := &Enumerator{u: u, seed: seed, a: a, tau: tau, complete: core.NewCompleteStore(u, true)}
+	e := &Enumerator{u: u, seed: seed, a: a, tau: tau,
+		// Always hash-indexed (pre-Options behaviour): UseIndex governs
+		// the §7 lists of the exact engine, not the dup-check store.
+		complete: core.NewCompleteStore(u, true)}
+	e.scan = core.NewScanner(db, ScanOptions(a, opts), 0, &e.stats)
 	rel := db.Relation(seed)
 	for i := 0; i < rel.Len(); i++ {
 		s := u.Singleton(relation.Ref{Rel: int32(seed), Idx: int32(i)})
@@ -62,7 +102,7 @@ func (e *Enumerator) Next() (*tupleset.Set, bool) {
 	e.incomplete = e.incomplete[1:]
 	e.stats.Iterations++
 
-	result := GetNextResult(e.u, e.seed, e.a, e.tau, T, (*fifoPool)(e), e.complete, &e.stats)
+	result := getNextResult(e.u, e.seed, e.a, e.tau, e.scan, T, (*fifoPool)(e), e.complete, &e.stats)
 
 	e.complete.Add(result)
 	e.stats.Emitted++
@@ -121,15 +161,26 @@ func TryMerge(u *tupleset.Universe, a Join, tau float64, s, t *tupleset.Set, sta
 
 // GetNextResult is APPROXGETNEXTRESULT (Fig 6) minus the pop of line 1,
 // which the caller performs. T is extended into the result and
-// returned; newly discovered candidate subsets land in pool.
-func GetNextResult(u *tupleset.Universe, seed int, a Join, tau float64, T *tupleset.Set,
-	pool Pool, complete *core.CompleteStore, stats *core.Stats) *tupleset.Set {
+// returned; newly discovered candidate subsets land in pool. Database
+// scans honour opts (block size, buffer pool, join index gated on a's
+// equi-compatibility).
+func GetNextResult(u *tupleset.Universe, seed int, a Join, tau float64, opts core.Options,
+	T *tupleset.Set, pool Pool, complete *core.CompleteStore, stats *core.Stats) *tupleset.Set {
+	scan := core.NewScanner(u.DB, ScanOptions(a, opts), 0, stats)
+	return getNextResult(u, seed, a, tau, scan, T, pool, complete, stats)
+}
+
+func getNextResult(u *tupleset.Universe, seed int, a Join, tau float64, scan *core.Scanner,
+	T *tupleset.Set, pool Pool, complete *core.CompleteStore, stats *core.Stats) *tupleset.Set {
 
 	// Lines 2–6 (starred): extend T maximally under A(T ∪ {tg}) ≥ τ.
+	// With the join index (equi-compatible a only) each sweep visits the
+	// equi-match candidates of the current members; a tuple reachable
+	// only through a member added mid-sweep becomes a candidate in the
+	// next sweep, so the fixpoint is still maximal.
 	for changed := true; changed; {
 		changed = false
-		u.DB.ForEachRef(func(ref relation.Ref) bool {
-			stats.TuplesScanned++
+		scan.ForEachExtension(T, func(ref relation.Ref) bool {
 			if T.Has(ref) || T.HasRelation(int(ref.Rel)) {
 				return true
 			}
@@ -148,8 +199,7 @@ func GetNextResult(u *tupleset.Universe, seed int, a Join, tau float64, T *tuple
 
 	// Lines 7–18 (starred): candidate discovery over every maximal
 	// qualifying subset of T ∪ {tb} containing tb.
-	u.DB.ForEachRef(func(tb relation.Ref) bool {
-		stats.TuplesScanned++
+	scan.ForEachDiscovery(T, seed, func(tb relation.Ref) bool {
 		if T.Has(tb) {
 			return true
 		}
@@ -194,8 +244,8 @@ func (e *Enumerator) All() []*tupleset.Set {
 }
 
 // AFDi computes AFDi(R, A, τ) to completion.
-func AFDi(db *relation.Database, seed int, a Join, tau float64) ([]*tupleset.Set, core.Stats, error) {
-	e, err := NewEnumerator(db, seed, a, tau)
+func AFDi(db *relation.Database, seed int, a Join, tau float64, opts core.Options) ([]*tupleset.Set, core.Stats, error) {
+	e, err := NewEnumerator(db, seed, a, tau, opts)
 	if err != nil {
 		return nil, core.Stats{}, err
 	}
@@ -211,9 +261,11 @@ func AFDi(db *relation.Database, seed int, a Join, tau float64) ([]*tupleset.Set
 //
 // A Cursor is not safe for concurrent use.
 type Cursor struct {
+	ctx    context.Context
 	db     *relation.Database
 	a      Join
 	tau    float64
+	opts   core.Options
 	total  core.Stats
 	pass   int
 	e      *Enumerator
@@ -222,30 +274,40 @@ type Cursor struct {
 }
 
 // NewCursor prepares a pull-based enumeration of AFD(R, A, τ). No work
-// happens until the first Next call.
-func NewCursor(db *relation.Database, a Join, tau float64) (*Cursor, error) {
+// happens until the first Next call. Cancelling ctx makes the next
+// step fail promptly: Next returns ok=false within one
+// APPROXGETNEXTRESULT iteration and Err reports ctx.Err(). A nil ctx
+// means context.Background().
+func NewCursor(ctx context.Context, db *relation.Database, a Join, tau float64, opts core.Options) (*Cursor, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if a == nil {
 		return nil, fmt.Errorf("approx: nil approximate join function")
 	}
 	if tau <= 0 || tau > 1 {
 		return nil, fmt.Errorf("approx: threshold %v outside (0,1]", tau)
 	}
-	return &Cursor{db: db, a: a, tau: tau}, nil
+	return &Cursor{ctx: ctx, db: db, a: a, tau: tau, opts: opts}, nil
 }
 
 // Next produces the next member of AFD(R, A, τ), or ok=false when the
-// enumeration is exhausted, closed, or failed (check Err). A result is
-// emitted once, by the pass of its minimal relation.
+// enumeration is exhausted, closed, cancelled, or failed (check Err).
+// A result is emitted once, by the pass of its minimal relation.
 func (c *Cursor) Next() (*tupleset.Set, bool) {
 	if c.closed || c.err != nil {
 		return nil, false
 	}
 	for {
+		if err := c.ctx.Err(); err != nil {
+			c.err = err
+			return nil, false
+		}
 		if c.e == nil {
 			if c.pass >= c.db.NumRelations() {
 				return nil, false
 			}
-			e, err := NewEnumerator(c.db, c.pass, c.a, c.tau)
+			e, err := NewEnumerator(c.db, c.pass, c.a, c.tau, c.opts)
 			if err != nil {
 				c.err = err
 				return nil, false
@@ -306,8 +368,8 @@ func (c *Cursor) Close() {
 // result once (a result is emitted by the pass of its minimal
 // relation). Enumeration stops early when yield returns false. It is
 // the push-style rendering of a Cursor.
-func Stream(db *relation.Database, a Join, tau float64, yield func(*tupleset.Set) bool) (core.Stats, error) {
-	c, err := NewCursor(db, a, tau)
+func Stream(db *relation.Database, a Join, tau float64, opts core.Options, yield func(*tupleset.Set) bool) (core.Stats, error) {
+	c, err := NewCursor(context.Background(), db, a, tau, opts)
 	if err != nil {
 		return core.Stats{}, err
 	}
@@ -331,9 +393,9 @@ func minRel(t *tupleset.Set) int {
 }
 
 // FullDisjunction computes AFD(R, A, τ) to completion.
-func FullDisjunction(db *relation.Database, a Join, tau float64) ([]*tupleset.Set, core.Stats, error) {
+func FullDisjunction(db *relation.Database, a Join, tau float64, opts core.Options) ([]*tupleset.Set, core.Stats, error) {
 	var out []*tupleset.Set
-	stats, err := Stream(db, a, tau, func(t *tupleset.Set) bool {
+	stats, err := Stream(db, a, tau, opts, func(t *tupleset.Set) bool {
 		out = append(out, t)
 		return true
 	})

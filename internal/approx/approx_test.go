@@ -183,7 +183,7 @@ func TestAminMatchesOracle(t *testing.T) {
 		amin := &Amin{S: LevenshteinSim{}}
 		score := func(s *tupleset.Set) float64 { return amin.Score(u, s) }
 		for _, tau := range []float64{0.3, 0.5, 0.8, 0.95} {
-			got, _, err := FullDisjunction(db, amin, tau)
+			got, _, err := FullDisjunction(db, amin, tau, core.Options{UseIndex: true})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -226,7 +226,7 @@ func TestAprodMatchesOracle(t *testing.T) {
 		aprod := &Aprod{S: LevenshteinSim{}}
 		score := func(s *tupleset.Set) float64 { return aprod.Score(u, s) }
 		for _, tau := range []float64{0.5, 0.8} {
-			got, _, err := FullDisjunction(db, aprod, tau)
+			got, _, err := FullDisjunction(db, aprod, tau, core.Options{UseIndex: true})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -253,7 +253,7 @@ func TestExactSimDegeneratesToFD(t *testing.T) {
 	db := workload.Tourist()
 	amin := &Amin{S: ExactSim{}}
 	for _, tau := range []float64{0.2, 0.7, 1.0} {
-		got, _, err := FullDisjunction(db, amin, tau)
+		got, _, err := FullDisjunction(db, amin, tau, core.Options{UseIndex: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -290,7 +290,7 @@ func TestThresholdMonotonicity(t *testing.T) {
 	u := tupleset.NewUniverse(db)
 	prevCovered := -1
 	for _, tau := range []float64{0.95, 0.8, 0.6, 0.4, 0.2} {
-		out, _, err := FullDisjunction(db, amin, tau)
+		out, _, err := FullDisjunction(db, amin, tau, core.Options{UseIndex: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -321,19 +321,19 @@ func TestThresholdMonotonicity(t *testing.T) {
 func TestEnumeratorValidation(t *testing.T) {
 	db := workload.Tourist()
 	amin := &Amin{S: ExactSim{}}
-	if _, err := NewEnumerator(db, -1, amin, 0.5); err == nil {
+	if _, err := NewEnumerator(db, -1, amin, 0.5, core.Options{UseIndex: true}); err == nil {
 		t.Error("negative seed accepted")
 	}
-	if _, err := NewEnumerator(db, 9, amin, 0.5); err == nil {
+	if _, err := NewEnumerator(db, 9, amin, 0.5, core.Options{UseIndex: true}); err == nil {
 		t.Error("out-of-range seed accepted")
 	}
-	if _, err := NewEnumerator(db, 0, nil, 0.5); err == nil {
+	if _, err := NewEnumerator(db, 0, nil, 0.5, core.Options{UseIndex: true}); err == nil {
 		t.Error("nil join accepted")
 	}
-	if _, err := NewEnumerator(db, 0, amin, 0); err == nil {
+	if _, err := NewEnumerator(db, 0, amin, 0, core.Options{UseIndex: true}); err == nil {
 		t.Error("zero τ accepted")
 	}
-	if _, err := NewEnumerator(db, 0, amin, 1.5); err == nil {
+	if _, err := NewEnumerator(db, 0, amin, 1.5, core.Options{UseIndex: true}); err == nil {
 		t.Error("τ>1 accepted")
 	}
 	if !amin.EfficientlyComputable() {

@@ -1,10 +1,13 @@
 package approx
 
 import (
+	"context"
+
 	"runtime"
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/relation"
 	"repro/internal/tupleset"
 	"repro/internal/workload"
@@ -30,7 +33,7 @@ func TestCursorMatchesStream(t *testing.T) {
 	const tau = 0.7
 
 	var want []string
-	wantStats, err := Stream(db, a, tau, func(s *tupleset.Set) bool {
+	wantStats, err := Stream(db, a, tau, core.Options{UseIndex: true}, func(s *tupleset.Set) bool {
 		want = append(want, s.Key())
 		return true
 	})
@@ -38,7 +41,7 @@ func TestCursorMatchesStream(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	c, err := NewCursor(db, a, tau)
+	c, err := NewCursor(context.Background(), db, a, tau, core.Options{UseIndex: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,13 +73,13 @@ func TestCursorMatchesStream(t *testing.T) {
 // TestCursorValidation mirrors the Stream argument checks.
 func TestCursorValidation(t *testing.T) {
 	db := cursorDB(t)
-	if _, err := NewCursor(db, nil, 0.5); err == nil {
+	if _, err := NewCursor(context.Background(), db, nil, 0.5, core.Options{}); err == nil {
 		t.Error("NewCursor accepted a nil join function")
 	}
-	if _, err := NewCursor(db, &Amin{S: ExactSim{}}, 0); err == nil {
+	if _, err := NewCursor(context.Background(), db, &Amin{S: ExactSim{}}, 0, core.Options{}); err == nil {
 		t.Error("NewCursor accepted τ=0")
 	}
-	if _, err := NewCursor(db, &Amin{S: ExactSim{}}, 1.5); err == nil {
+	if _, err := NewCursor(context.Background(), db, &Amin{S: ExactSim{}}, 1.5, core.Options{}); err == nil {
 		t.Error("NewCursor accepted τ>1")
 	}
 }
@@ -87,7 +90,7 @@ func TestApproxCursorNoGoroutineLeak(t *testing.T) {
 	db := cursorDB(t)
 	before := runtime.NumGoroutine()
 	for i := 0; i < 20; i++ {
-		c, err := NewCursor(db, &Amin{S: LevenshteinSim{}}, 0.7)
+		c, err := NewCursor(context.Background(), db, &Amin{S: LevenshteinSim{}}, 0.7, core.Options{UseIndex: true})
 		if err != nil {
 			t.Fatal(err)
 		}

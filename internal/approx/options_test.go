@@ -1,0 +1,144 @@
+package approx
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/storage"
+	"repro/internal/tupleset"
+	"repro/internal/workload"
+)
+
+// cleanDB builds a chain workload with exact join values and
+// probabilities at 1, so Amin over ExactSim mirrors the exact engine.
+func cleanDB(t *testing.T, seed int64) *relation.Database {
+	t.Helper()
+	db, err := workload.Chain(workload.Config{
+		Relations: 4, TuplesPerRelation: 8, Domain: 3, NullRate: 0.1, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func multiset(sets []*tupleset.Set) map[string]int {
+	out := make(map[string]int, len(sets))
+	for _, s := range sets {
+		out[s.Key()]++
+	}
+	return out
+}
+
+// TestApproxJoinIndexEngages is the satellite acceptance check for
+// Options plumbing: with an equi-compatible join function, enabling
+// UseJoinIndex actually routes approximate scans through the posting
+// index — the probe and skip counters move and fewer tuples are
+// scanned — while the produced AFD stays set-identical.
+func TestApproxJoinIndexEngages(t *testing.T) {
+	for _, seed := range []int64{3, 17, 29} {
+		db := cleanDB(t, seed)
+		amin := &Amin{S: ExactSim{}}
+		if !EquiCompatible(amin) {
+			t.Fatal("Amin over ExactSim must be equi-compatible")
+		}
+		plain, plainStats, err := FullDisjunction(db, amin, 0.5, core.Options{UseIndex: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		indexed, idxStats, err := FullDisjunction(db, amin, 0.5,
+			core.Options{UseIndex: true, UseJoinIndex: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, want := multiset(indexed), multiset(plain)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: join index changed the AFD: %d vs %d results", seed, len(got), len(want))
+		}
+		for k, n := range want {
+			if got[k] != n {
+				t.Fatalf("seed %d: join index changed the AFD at %q", seed, k)
+			}
+		}
+		if idxStats.IndexProbes == 0 {
+			t.Errorf("seed %d: UseJoinIndex set but no index probes recorded", seed)
+		}
+		if idxStats.TuplesSkipped == 0 {
+			t.Errorf("seed %d: UseJoinIndex set but no tuples skipped", seed)
+		}
+		if idxStats.TuplesScanned >= plainStats.TuplesScanned {
+			t.Errorf("seed %d: candidate scans visited %d tuples, sweep %d — no reduction",
+				seed, idxStats.TuplesScanned, plainStats.TuplesScanned)
+		}
+	}
+}
+
+// TestApproxJoinIndexGatedForGradedSim checks the safety side of the
+// gate: under a graded similarity the candidate index would lose
+// matches that never equi-join, so UseJoinIndex must be ignored.
+func TestApproxJoinIndexGatedForGradedSim(t *testing.T) {
+	db, err := workload.DirtyChain(workload.DirtyConfig{
+		Config:    workload.Config{Relations: 3, TuplesPerRelation: 8, Domain: 3, Seed: 31},
+		ErrorRate: 0.3, MaxEdits: 2, MinProb: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	amin := &Amin{S: LevenshteinSim{}}
+	if EquiCompatible(amin) {
+		t.Fatal("Amin over LevenshteinSim must not be equi-compatible")
+	}
+	plain, _, err := FullDisjunction(db, amin, 0.6, core.Options{UseIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gated, gatedStats, err := FullDisjunction(db, amin, 0.6,
+		core.Options{UseIndex: true, UseJoinIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gatedStats.IndexProbes != 0 {
+		t.Errorf("graded similarity still probed the join index %d times", gatedStats.IndexProbes)
+	}
+	got, want := multiset(gated), multiset(plain)
+	if len(got) != len(want) {
+		t.Fatalf("gating changed the AFD: %d vs %d results", len(got), len(want))
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Fatalf("gating changed the AFD at %q", k)
+		}
+	}
+}
+
+// TestApproxBlockAndPoolAccounting checks that the block size and the
+// buffer pool now reach approximate scans: larger blocks read fewer
+// simulated pages, and a warm pool absorbs repeat fetches.
+func TestApproxBlockAndPoolAccounting(t *testing.T) {
+	db := cleanDB(t, 7)
+	amin := &Amin{S: ExactSim{}}
+	_, tupleAtATime, err := FullDisjunction(db, amin, 0.5, core.Options{UseIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tupleAtATime.PageReads == 0 {
+		t.Fatal("approx scans record no page reads at all")
+	}
+	_, blocked, err := FullDisjunction(db, amin, 0.5, core.Options{UseIndex: true, BlockSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocked.PageReads >= tupleAtATime.PageReads {
+		t.Errorf("block size 4 read %d pages, tuple-at-a-time %d — no reduction",
+			blocked.PageReads, tupleAtATime.PageReads)
+	}
+	pool := storage.NewBufferPool(1024)
+	_, pooled, err := FullDisjunction(db, amin, 0.5,
+		core.Options{UseIndex: true, BlockSize: 4, Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pooled.PageReads >= blocked.PageReads {
+		t.Errorf("warm buffer pool read %d pages, poolless run %d — no hits",
+			pooled.PageReads, blocked.PageReads)
+	}
+}

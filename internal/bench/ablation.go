@@ -3,10 +3,11 @@ package bench
 import (
 	"fmt"
 
+	fd "repro"
+
 	"repro/internal/approx"
 	"repro/internal/core"
 	"repro/internal/join"
-	"repro/internal/rank"
 	"repro/internal/storage"
 	"repro/internal/tupleset"
 	"repro/internal/workload"
@@ -30,24 +31,24 @@ func E8ApproxSweep() (*Table, error) {
 			"Aprod |AFD|", "Aprod ms"},
 	}
 	for _, tau := range []float64{0.95, 0.9, 0.8, 0.7, 0.6, 0.5} {
-		amin := &approx.Amin{S: approx.LevenshteinSim{}}
-		var aminSets []*tupleset.Set
+		var aminSets []fd.Result
 		aminTime := timeIt(func() {
-			aminSets, _, err = approx.FullDisjunction(db, amin, tau)
+			aminSets, _, err = runQuery(db, fd.Query{Mode: fd.ModeApprox, Tau: tau,
+				Options: fd.QueryOptions{UseIndex: true}})
 		})
 		if err != nil {
 			return nil, err
 		}
 		multi := 0
-		for _, s := range aminSets {
-			if s.Len() > 1 {
+		for _, r := range aminSets {
+			if r.Set.Len() > 1 {
 				multi++
 			}
 		}
 		aprod := &approx.Aprod{S: approx.LevenshteinSim{}}
 		var aprodSets []*tupleset.Set
 		aprodTime := timeIt(func() {
-			aprodSets, _, err = approx.FullDisjunction(db, aprod, tau)
+			aprodSets, _, err = approx.FullDisjunction(db, aprod, tau, core.Options{UseIndex: true})
 		})
 		if err != nil {
 			return nil, err
@@ -254,9 +255,10 @@ func E11Threshold() (*Table, error) {
 		Header: []string{"τ", "results", "fraction of |FD|", "ms"},
 	}
 	for _, tau := range []float64{95, 90, 75, 50, 25, 1} {
-		var got []rank.Result
+		var got []fd.Result
 		d := timeIt(func() {
-			got, _, err = rank.Threshold(db, rank.FMax{}, tau, core.Options{UseIndex: true})
+			got, _, err = runQuery(db, fd.Query{Mode: fd.ModeRanked, Rank: "fmax", RankTau: tau,
+				Options: fd.QueryOptions{UseIndex: true}})
 		})
 		if err != nil {
 			return nil, err

@@ -7,11 +7,36 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"time"
+
+	fd "repro"
+	"repro/internal/relation"
 )
+
+// runQuery drains a declarative query against db through fd.Open — the
+// same execution path the service and the CLIs use — so benchmarks of
+// query-shaped workloads measure the production API, not a private
+// re-encoding of it.
+func runQuery(db *relation.Database, q fd.Query) ([]fd.Result, fd.Stats, error) {
+	rs, err := fd.Open(context.Background(), db, q)
+	if err != nil {
+		return nil, fd.Stats{}, err
+	}
+	defer rs.Close()
+	var out []fd.Result
+	for {
+		r, ok := rs.Next()
+		if !ok {
+			break
+		}
+		out = append(out, r)
+	}
+	return out, rs.Stats(), rs.Err()
+}
 
 // Table is one experiment's result.
 type Table struct {

@@ -2,6 +2,8 @@ package bench
 
 import (
 	"fmt"
+
+	fd "repro"
 	"time"
 
 	"repro/internal/batch"
@@ -152,7 +154,8 @@ func E6TopK() (*Table, error) {
 	for _, k := range []int{1, 5, 10, 25, 50} {
 		var rankedTime time.Duration
 		rankedTime = timeIt(func() {
-			_, _, err = rank.TopK(db, f, k, core.Options{UseIndex: true})
+			_, _, err = runQuery(db, fd.Query{Mode: fd.ModeRanked, Rank: "fmax", K: k,
+				Options: fd.QueryOptions{UseIndex: true}})
 		})
 		if err != nil {
 			return nil, err
@@ -200,7 +203,8 @@ func E7Hardness() (*Table, error) {
 		var rankedTime time.Duration
 		var err2 error
 		rankedTime = timeIt(func() {
-			_, _, err2 = rank.TopK(db, rank.FMax{}, 1, core.Options{UseIndex: true})
+			_, _, err2 = runQuery(db, fd.Query{Mode: fd.ModeRanked, Rank: "fmax", K: 1,
+				Options: fd.QueryOptions{UseIndex: true}})
 		})
 		if err2 != nil {
 			return nil, err2

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/relation"
 	"repro/internal/tupleset"
 )
@@ -15,6 +17,7 @@ import (
 // A Cursor is not safe for concurrent use; wrap it (as internal/service
 // does) when several goroutines share one enumeration.
 type Cursor struct {
+	ctx  context.Context
 	u    *tupleset.Universe
 	opts Options
 	// total accumulates the counters of finished passes; the counters
@@ -33,10 +36,15 @@ type Cursor struct {
 
 // NewCursor prepares a pull-based enumeration of FD(R) with the
 // initialisation strategy selected in opts. No work happens until the
-// first Next call.
-func NewCursor(db *relation.Database, opts Options) (*Cursor, error) {
+// first Next call. Cancelling ctx makes the next step fail promptly:
+// Next returns ok=false within one GetNextResult iteration and Err
+// reports ctx.Err(). A nil ctx means context.Background().
+func NewCursor(ctx context.Context, db *relation.Database, opts Options) (*Cursor, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	u := tupleset.NewUniverse(db)
-	c := &Cursor{u: u, opts: opts, n: db.NumRelations()}
+	c := &Cursor{ctx: ctx, u: u, opts: opts, n: db.NumRelations()}
 	switch opts.Strategy {
 	case InitSeeded, InitProjected:
 		c.printed = NewCompleteStore(u, true)
@@ -51,6 +59,13 @@ func (c *Cursor) Next() (*tupleset.Set, bool) {
 		return nil, false
 	}
 	for {
+		// One check per GetNextResult iteration: a cancelled enumeration
+		// stops within one step (the paper's unit of incremental work)
+		// without paying a context poll on every scanned tuple.
+		if err := c.ctx.Err(); err != nil {
+			c.err = err
+			return nil, false
+		}
 		if c.e == nil {
 			if c.pass >= c.n {
 				return nil, false

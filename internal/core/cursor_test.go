@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"testing"
 	"time"
@@ -42,7 +43,7 @@ func TestCursorMatchesStream(t *testing.T) {
 			t.Fatal(err)
 		}
 
-		c, err := NewCursor(db, opts)
+		c, err := NewCursor(context.Background(), db, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -76,7 +77,7 @@ func TestCursorMatchesStream(t *testing.T) {
 // and folds the in-flight pass into its counters.
 func TestCursorCloseMidway(t *testing.T) {
 	db := cursorDB(t)
-	c, err := NewCursor(db, Options{UseIndex: true})
+	c, err := NewCursor(context.Background(), db, Options{UseIndex: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestCursorNoGoroutineLeak(t *testing.T) {
 	db := cursorDB(t)
 	before := runtime.NumGoroutine()
 	for i := 0; i < 50; i++ {
-		c, err := NewCursor(db, Options{UseIndex: true, UseJoinIndex: true})
+		c, err := NewCursor(context.Background(), db, Options{UseIndex: true, UseJoinIndex: true})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/relation"
 	"repro/internal/tupleset"
 )
@@ -40,7 +42,7 @@ func FullDisjunction(db *relation.Database, opts Options) ([]*tupleset.Set, Stat
 // suppresses results contained in a printed set; see DESIGN.md for the
 // correctness argument).
 func Stream(db *relation.Database, opts Options, yield func(*tupleset.Set) bool) (Stats, error) {
-	c, err := NewCursor(db, opts)
+	c, err := NewCursor(context.Background(), db, opts)
 	if err != nil {
 		return Stats{}, err
 	}
@@ -117,13 +119,13 @@ func projectSuffix(u *tupleset.Universe, s *tupleset.Set, i int) *tupleset.Set {
 // extendSuffix maximally extends s with tuples of relations i..n-1
 // (the loop of GETNEXTRESULT lines 2–6 restricted to the suffix).
 func extendSuffix(u *tupleset.Universe, s *tupleset.Set, i int, opts Options, stats *Stats) {
-	sc := scanner{db: u.DB, block: opts.blockSize(), minRel: i, stats: stats,
+	sc := Scanner{db: u.DB, block: opts.blockSize(), minRel: i, stats: stats,
 		pool: opts.Pool, useJoinIndex: opts.UseJoinIndex}
 	var sig tupleset.SigCounters
 	defer stats.AddSig(&sig)
 	for changed := true; changed; {
 		changed = false
-		sc.forEachExtension(s, func(ref relation.Ref) bool {
+		sc.ForEachExtension(s, func(ref relation.Ref) bool {
 			if s.Has(ref) {
 				return true
 			}

@@ -23,7 +23,7 @@ type Enumerator struct {
 	stats      Stats
 	incomplete *IncompleteQueue
 	complete   *CompleteStore
-	scan       scanner
+	scan       Scanner
 }
 
 // NewEnumerator prepares an enumeration of FDi(R) with the textbook
@@ -73,7 +73,7 @@ func newBareEnumerator(u *tupleset.Universe, seed int, opts Options, minRel int)
 		incomplete: NewIncompleteQueue(u, seed, opts.UseIndex),
 		complete:   NewCompleteStore(u, opts.UseIndex),
 	}
-	e.scan = scanner{db: u.DB, block: opts.blockSize(), minRel: minRel, stats: &e.stats,
+	e.scan = Scanner{db: u.DB, block: opts.blockSize(), minRel: minRel, stats: &e.stats,
 		pool: opts.Pool, useJoinIndex: opts.UseJoinIndex}
 	return e, nil
 }
@@ -155,12 +155,12 @@ type Pool interface {
 // everything); opts supplies the block size for simulated page reads.
 func GetNextResult(u *tupleset.Universe, seed int, opts Options, minRel int, T *tupleset.Set,
 	incomplete Pool, complete *CompleteStore, stats *Stats) *tupleset.Set {
-	scan := scanner{db: u.DB, block: opts.blockSize(), minRel: minRel, stats: stats,
+	scan := Scanner{db: u.DB, block: opts.blockSize(), minRel: minRel, stats: stats,
 		pool: opts.Pool, useJoinIndex: opts.UseJoinIndex}
 	return getNextResult(u, seed, &scan, T, incomplete, complete, stats)
 }
 
-func getNextResult(u *tupleset.Universe, seed int, scan *scanner, T *tupleset.Set,
+func getNextResult(u *tupleset.Universe, seed int, scan *Scanner, T *tupleset.Set,
 	incomplete Pool, complete *CompleteStore, stats *Stats) *tupleset.Set {
 
 	var sig tupleset.SigCounters
@@ -175,7 +175,7 @@ func getNextResult(u *tupleset.Universe, seed int, scan *scanner, T *tupleset.Se
 	// is still a maximal JCC set.
 	for changed := true; changed; {
 		changed = false
-		scan.forEachExtension(T, func(ref relation.Ref) bool {
+		scan.ForEachExtension(T, func(ref relation.Ref) bool {
 			if T.Has(ref) {
 				return true
 			}
@@ -193,7 +193,7 @@ func getNextResult(u *tupleset.Universe, seed int, scan *scanner, T *tupleset.Se
 	// probes do not retain it — and is replaced only when a candidate
 	// survives every filter and enters Incomplete.
 	tPrime := u.NewSet()
-	scan.forEachDiscovery(T, seed, func(tb relation.Ref) bool {
+	scan.ForEachDiscovery(T, seed, func(tb relation.Ref) bool {
 		if T.Has(tb) {
 			return true
 		}

@@ -93,15 +93,17 @@ func (o Options) blockSize() int {
 	return o.BlockSize
 }
 
-// scanner walks database tuples in deterministic order while counting
+// Scanner walks database tuples in deterministic order while counting
 // tuples and simulated page reads. minRel restricts the scan to
 // relations minRel..n-1 (used by the seeded/projected strategies).
 // With a buffer pool attached, only buffer misses count as page reads.
 //
 // With useJoinIndex set, the extension and discovery walks consult the
 // dictionary-code posting index and visit only equi-match candidates;
-// otherwise they fall back to the full sweep.
-type scanner struct {
+// otherwise they fall back to the full sweep. Scanner is exported so
+// sibling enumeration packages (internal/approx) share the same scan
+// accounting and candidate generation instead of re-encoding it.
+type Scanner struct {
 	db           *relation.Database
 	block        int
 	minRel       int
@@ -113,8 +115,20 @@ type scanner struct {
 	cand [][]int32
 }
 
-// forEach visits every tuple in scope; fn returning false stops early.
-func (sc *scanner) forEach(fn func(relation.Ref) bool) {
+// NewScanner builds a scanner over db driven by the scan knobs of opts
+// (block size, buffer pool, join index), restricted to relations
+// minRel..n-1, accounting into stats. Callers whose qualifying-set
+// predicate is weaker than exact join consistency (approximate joins
+// under a non-exact similarity) must clear opts.UseJoinIndex before
+// constructing: the candidate walks are only exhaustive for predicates
+// that force an equi-match.
+func NewScanner(db *relation.Database, opts Options, minRel int, stats *Stats) *Scanner {
+	return &Scanner{db: db, block: opts.blockSize(), minRel: minRel, stats: stats,
+		pool: opts.Pool, useJoinIndex: opts.UseJoinIndex}
+}
+
+// ForEach visits every tuple in scope; fn returning false stops early.
+func (sc *Scanner) ForEach(fn func(relation.Ref) bool) {
 	for r := sc.minRel; r < sc.db.NumRelations(); r++ {
 		n := sc.db.Relation(r).Len()
 		for i := 0; i < n; i++ {
@@ -131,13 +145,13 @@ func (sc *scanner) forEach(fn func(relation.Ref) bool) {
 // block/page model: the first access of each block of a (monotone
 // ascending) walk counts a read, or a pool fetch when a buffer pool is
 // attached.
-func (sc *scanner) page(rel, idx int) {
+func (sc *Scanner) page(rel, idx int) {
 	if idx%sc.block == 0 {
 		sc.pageBlock(rel, idx/sc.block)
 	}
 }
 
-func (sc *scanner) pageBlock(rel, blk int) {
+func (sc *Scanner) pageBlock(rel, blk int) {
 	if sc.pool != nil {
 		if !sc.pool.Fetch(storage.PageID{Rel: int32(rel), Block: int32(blk)}) {
 			sc.stats.PageReads++
@@ -148,7 +162,7 @@ func (sc *scanner) pageBlock(rel, blk int) {
 }
 
 // scopeTuples returns the number of tuples a full sweep would visit.
-func (sc *scanner) scopeTuples() int64 {
+func (sc *Scanner) scopeTuples() int64 {
 	var n int64
 	for r := sc.minRel; r < sc.db.NumRelations(); r++ {
 		n += int64(sc.db.Relation(r).Len())
@@ -156,21 +170,21 @@ func (sc *scanner) scopeTuples() int64 {
 	return n
 }
 
-// forEachExtension drives the maximal-extension walk of GETNEXTRESULT
+// ForEachExtension drives the maximal-extension walk of GETNEXTRESULT
 // lines 2–6: it visits every tuple tg that could satisfy JCC(T∪{tg}).
 // A valid extension must be connected to T and join consistent with
 // every member, so it must equi-match (non-null code equality) some
 // member of T on the first shared attribute position of an adjacent
 // relation pair — exactly what the posting index returns.
-func (sc *scanner) forEachExtension(T *tupleset.Set, fn func(relation.Ref) bool) {
+func (sc *Scanner) ForEachExtension(T *tupleset.Set, fn func(relation.Ref) bool) {
 	if !sc.useJoinIndex {
-		sc.forEach(fn)
+		sc.ForEach(fn)
 		return
 	}
 	sc.forEachCandidate(T, -1, false, fn)
 }
 
-// forEachDiscovery drives the candidate-subset walk of GETNEXTRESULT
+// ForEachDiscovery drives the candidate-subset walk of GETNEXTRESULT
 // lines 7–18: it visits every tuple tb whose maximal subset T' of
 // T∪{tb} (footnote 3) can contain a tuple of the seed relation. For
 // tb not of the seed relation, T' reaches the seed tuple only through
@@ -178,9 +192,9 @@ func (sc *scanner) forEachExtension(T *tupleset.Set, fn func(relation.Ref) bool)
 // join-consistency filter — forcing an equi-match with that member, so
 // the posting candidates plus the full seed relation cover every tb
 // the sweep would not skip at line 9.
-func (sc *scanner) forEachDiscovery(T *tupleset.Set, seed int, fn func(relation.Ref) bool) {
+func (sc *Scanner) ForEachDiscovery(T *tupleset.Set, seed int, fn func(relation.Ref) bool) {
 	if !sc.useJoinIndex {
-		sc.forEach(fn)
+		sc.ForEach(fn)
 		return
 	}
 	sc.forEachCandidate(T, seed, true, fn)
@@ -192,7 +206,7 @@ func (sc *scanner) forEachDiscovery(T *tupleset.Set, seed int, fn func(relation.
 // seedAll ≥ minRel names a relation to be visited in full; includeInT
 // selects whether relations already represented in T yield candidates
 // (discovery needs replacement tuples, extension cannot use them).
-func (sc *scanner) forEachCandidate(T *tupleset.Set, seedAll int, includeInT bool, fn func(relation.Ref) bool) {
+func (sc *Scanner) forEachCandidate(T *tupleset.Set, seedAll int, includeInT bool, fn func(relation.Ref) bool) {
 	db := sc.db
 	n := db.NumRelations()
 	ix := db.Index()

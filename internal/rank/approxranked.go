@@ -1,6 +1,7 @@
 package rank
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/approx"
@@ -10,33 +11,57 @@ import (
 	"repro/internal/tupleset"
 )
 
-// ApproxStreamRanked implements the adaptation the paper sketches at
-// the end of Section 6: APPROXINCREMENTALFD reorganised in the spirit
-// of PRIORITYINCREMENTALFD, emitting the members of AFD(R, A, τ) in
-// non-increasing order of a monotonically c-determined ranking
-// function f. Return false from yield to stop early.
+// ApproxCursor is the pull-based form of ApproxStreamRanked: a
+// suspended enumeration of AFD(R, A, τ) in non-increasing rank order
+// under a monotonically c-determined ranking function — the adaptation
+// the paper sketches at the end of Section 6, reorganised in the spirit
+// of PRIORITYINCREMENTALFD. Like the other cursor families it holds
+// explicit state (the per-relation priority queues and the Complete
+// store) and no goroutine, so internal/service can page it.
 //
+// An ApproxCursor is not safe for concurrent use.
+type ApproxCursor struct {
+	ctx      context.Context
+	u        *tupleset.Universe
+	a        approx.Join
+	tau      float64
+	f        Func
+	opts     core.Options
+	queues   []*priorityQueue
+	complete *core.CompleteStore
+	stats    core.Stats
+	err      error
+	closed   bool
+}
+
+// NewApproxCursor prepares a pull-based ranked approximate enumeration.
 // The initialisation enumerates the connected tuple sets of size ≤ c
 // with A(S) ≥ τ (the approximate analogue of Fig 3 lines 2–4 — valid
 // because A is acceptable, so qualifying sets are closed under
 // connected subsets), distributes them to per-relation priority queues,
-// and merges mergeable pairs under the A-threshold predicate.
-func ApproxStreamRanked(db *relation.Database, a approx.Join, tau float64, f Func,
-	yield func(Result) bool) (core.Stats, error) {
-
-	var stats core.Stats
+// and merges mergeable pairs under the A-threshold predicate. Database
+// scans honour opts (block size, buffer pool, join index gated on a's
+// equi-compatibility). Cancelling ctx aborts the preprocessing between
+// queue merges and makes a later Next fail within one queue extraction
+// with Err() == ctx.Err(). A nil ctx means context.Background().
+func NewApproxCursor(ctx context.Context, db *relation.Database, a approx.Join, tau float64,
+	f Func, opts core.Options) (*ApproxCursor, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := Validate(f); err != nil {
-		return stats, err
+		return nil, err
 	}
 	if a == nil {
-		return stats, fmt.Errorf("rank: nil approximate join function")
+		return nil, fmt.Errorf("rank: nil approximate join function")
 	}
 	if tau <= 0 || tau > 1 {
-		return stats, fmt.Errorf("rank: threshold %v outside (0,1]", tau)
+		return nil, fmt.Errorf("rank: threshold %v outside (0,1]", tau)
 	}
 	u := tupleset.NewUniverse(db)
 	n := db.NumRelations()
 	c := f.C()
+	cur := &ApproxCursor{ctx: ctx, u: u, a: a, tau: tau, f: f, opts: opts}
 
 	small := naive.EnumerateConnected(u, func(s *tupleset.Set) bool {
 		return s.Len() <= c && a.Score(u, s) >= tau
@@ -48,24 +73,43 @@ func ApproxStreamRanked(db *relation.Database, a approx.Join, tau float64, f Fun
 		}
 	}
 
-	queues := make([]*priorityQueue, n)
+	cur.queues = make([]*priorityQueue, n)
 	for i := 0; i < n; i++ {
-		merged := approxMergeFixpoint(u, a, tau, perSeed[i], &stats)
-		queues[i] = newPriorityQueue(u, i, f)
-		queues[i].merge = func(existing, incoming *tupleset.Set, st *core.Stats) (*tupleset.Set, bool) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		merged := approxMergeFixpoint(u, a, tau, perSeed[i], &cur.stats)
+		cur.queues[i] = newPriorityQueue(u, i, f)
+		cur.queues[i].merge = func(existing, incoming *tupleset.Set, st *core.Stats) (*tupleset.Set, bool) {
 			return approx.TryMerge(u, a, tau, existing, incoming, st)
 		}
 		for _, s := range merged {
-			queues[i].Push(s)
+			cur.queues[i].Push(s)
 		}
 	}
+	// The duplicate-check store is always hash-indexed (as it was before
+	// Options reached this family): UseIndex governs the §7 lists of the
+	// exact engine, not this internal structure, and an unindexed store
+	// degrades every emission to a linear ContainsSuperset scan.
+	cur.complete = core.NewCompleteStore(u, true)
+	return cur, nil
+}
 
-	complete := core.NewCompleteStore(u, true)
+// Next produces the next result in rank order, or ok=false when the
+// enumeration is exhausted, closed, cancelled, or failed (check Err).
+func (c *ApproxCursor) Next() (Result, bool) {
+	if c.closed || c.err != nil {
+		return Result{}, false
+	}
 	for {
+		if err := c.ctx.Err(); err != nil {
+			c.err = err
+			return Result{}, false
+		}
 		best := -1
 		var bestRank float64
 		var bestKey string
-		for i, q := range queues {
+		for i, q := range c.queues {
 			top, r, ok := q.Top()
 			if !ok {
 				continue
@@ -75,22 +119,52 @@ func ApproxStreamRanked(db *relation.Database, a approx.Join, tau float64, f Fun
 			}
 		}
 		if best < 0 {
-			return stats, nil
+			return Result{}, false // all queues empty: AFD exhausted
 		}
-		T, _ := queues[best].PopSet()
-		result := approx.GetNextResult(u, best, a, tau, T, queues[best], complete, &stats)
-		stats.Iterations++
+		T, _ := c.queues[best].PopSet()
+		result := approx.GetNextResult(c.u, best, c.a, c.tau, c.opts, T, c.queues[best], c.complete, &c.stats)
+		c.stats.Iterations++
 		anchor, ok := result.Member(best)
 		if !ok {
-			return stats, fmt.Errorf("rank: internal error: result lacks seed tuple")
+			c.err = fmt.Errorf("rank: internal error: result lacks seed tuple")
+			return Result{}, false
 		}
-		if complete.ContainsSuperset(result, anchor, &stats) {
-			continue
+		if c.complete.ContainsSuperset(result, anchor, &c.stats) {
+			continue // already printed via another queue
 		}
-		complete.Add(result)
-		stats.Emitted++
-		if !yield(Result{Set: result, Rank: f.Rank(u, result)}) {
-			return stats, nil
+		c.complete.Add(result)
+		c.stats.Emitted++
+		return Result{Set: result, Rank: c.f.Rank(c.u, result)}, true
+	}
+}
+
+// Stats returns the counters accumulated so far.
+func (c *ApproxCursor) Stats() core.Stats { return c.stats }
+
+// Err returns the error that terminated the enumeration, if any.
+func (c *ApproxCursor) Err() error { return c.err }
+
+// Close abandons the enumeration; idempotent, leaks nothing.
+func (c *ApproxCursor) Close() { c.closed = true }
+
+// ApproxStreamRanked streams the members of AFD(R, A, τ) in
+// non-increasing rank order under a monotonically c-determined ranking
+// function f. Return false from yield to stop early. It is the
+// push-style rendering of an ApproxCursor.
+func ApproxStreamRanked(db *relation.Database, a approx.Join, tau float64, f Func,
+	opts core.Options, yield func(Result) bool) (core.Stats, error) {
+	c, err := NewApproxCursor(context.Background(), db, a, tau, f, opts)
+	if err != nil {
+		return core.Stats{}, err
+	}
+	defer c.Close()
+	for {
+		r, ok := c.Next()
+		if !ok {
+			return c.Stats(), c.Err()
+		}
+		if !yield(r) {
+			return c.Stats(), nil
 		}
 	}
 }
@@ -121,7 +195,8 @@ func approxMergeFixpoint(u *tupleset.Universe, a approx.Join, tau float64,
 
 // ApproxTopK returns the k highest-ranking members of the
 // (A,τ)-approximate full disjunction, in rank order.
-func ApproxTopK(db *relation.Database, a approx.Join, tau float64, f Func, k int) ([]Result, core.Stats, error) {
+func ApproxTopK(db *relation.Database, a approx.Join, tau float64, f Func, k int,
+	opts core.Options) ([]Result, core.Stats, error) {
 	if k < 0 {
 		return nil, core.Stats{}, fmt.Errorf("rank: negative k")
 	}
@@ -129,7 +204,7 @@ func ApproxTopK(db *relation.Database, a approx.Join, tau float64, f Func, k int
 		return nil, core.Stats{}, nil
 	}
 	var out []Result
-	stats, err := ApproxStreamRanked(db, a, tau, f, func(r Result) bool {
+	stats, err := ApproxStreamRanked(db, a, tau, f, opts, func(r Result) bool {
 		out = append(out, r)
 		return len(out) < k
 	})
@@ -138,9 +213,10 @@ func ApproxTopK(db *relation.Database, a approx.Join, tau float64, f Func, k int
 
 // ApproxThreshold returns every member of AFD(R, A, τ) whose rank is at
 // least rankTau, in rank order.
-func ApproxThreshold(db *relation.Database, a approx.Join, tau, rankTau float64, f Func) ([]Result, core.Stats, error) {
+func ApproxThreshold(db *relation.Database, a approx.Join, tau, rankTau float64, f Func,
+	opts core.Options) ([]Result, core.Stats, error) {
 	var out []Result
-	stats, err := ApproxStreamRanked(db, a, tau, f, func(r Result) bool {
+	stats, err := ApproxStreamRanked(db, a, tau, f, opts, func(r Result) bool {
 		if r.Rank < rankTau {
 			return false
 		}

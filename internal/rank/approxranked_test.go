@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/approx"
+	"repro/internal/core"
 	"repro/internal/naive"
 	"repro/internal/relation"
 	"repro/internal/tupleset"
@@ -29,7 +30,7 @@ func TestApproxRankedMatchesBruteForce(t *testing.T) {
 		f := FMax{}
 		for _, tau := range []float64{0.4, 0.7} {
 			var got []Result
-			if _, err := ApproxStreamRanked(db, amin, tau, f, func(r Result) bool {
+			if _, err := ApproxStreamRanked(db, amin, tau, f, core.Options{UseIndex: true}, func(r Result) bool {
 				got = append(got, r)
 				return true
 			}); err != nil {
@@ -84,7 +85,7 @@ func TestApproxTopKAndThreshold(t *testing.T) {
 	}
 	amin := &approx.Amin{S: approx.NewSimTable(sims)}
 
-	top, _, err := ApproxTopK(db, amin, 0.4, FMax{}, 2)
+	top, _, err := ApproxTopK(db, amin, 0.4, FMax{}, 2, core.Options{UseIndex: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestApproxTopKAndThreshold(t *testing.T) {
 		t.Errorf("top rank = %v, want 4", top[0].Rank)
 	}
 
-	thr, _, err := ApproxThreshold(db, amin, 0.4, 3, FMax{})
+	thr, _, err := ApproxThreshold(db, amin, 0.4, 3, FMax{}, core.Options{UseIndex: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,19 +112,19 @@ func TestApproxTopKAndThreshold(t *testing.T) {
 	}
 
 	// Validation paths.
-	if _, _, err := ApproxTopK(db, amin, 0, FMax{}, 1); err == nil {
+	if _, _, err := ApproxTopK(db, amin, 0, FMax{}, 1, core.Options{UseIndex: true}); err == nil {
 		t.Error("τ=0 accepted")
 	}
-	if _, _, err := ApproxTopK(db, nil, 0.5, FMax{}, 1); err == nil {
+	if _, _, err := ApproxTopK(db, nil, 0.5, FMax{}, 1, core.Options{UseIndex: true}); err == nil {
 		t.Error("nil join accepted")
 	}
-	if _, _, err := ApproxTopK(db, amin, 0.5, FSum{}, 1); err == nil {
+	if _, _, err := ApproxTopK(db, amin, 0.5, FSum{}, 1, core.Options{UseIndex: true}); err == nil {
 		t.Error("fsum accepted")
 	}
-	if got, _, err := ApproxTopK(db, amin, 0.5, FMax{}, 0); err != nil || len(got) != 0 {
+	if got, _, err := ApproxTopK(db, amin, 0.5, FMax{}, 0, core.Options{UseIndex: true}); err != nil || len(got) != 0 {
 		t.Error("k=0 misbehaves")
 	}
-	if _, _, err := ApproxTopK(db, amin, 0.5, FMax{}, -1); err == nil {
+	if _, _, err := ApproxTopK(db, amin, 0.5, FMax{}, -1, core.Options{UseIndex: true}); err == nil {
 		t.Error("negative k accepted")
 	}
 }

@@ -1,6 +1,8 @@
 package rank
 
 import (
+	"context"
+
 	"runtime"
 	"testing"
 	"time"
@@ -36,7 +38,7 @@ func TestCursorMatchesStreamRanked(t *testing.T) {
 			t.Fatal(err)
 		}
 
-		c, err := NewCursor(db, f, opts)
+		c, err := NewCursor(context.Background(), db, f, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -68,7 +70,7 @@ func TestCursorMatchesStreamRanked(t *testing.T) {
 
 // TestCursorRejectsNonDetermined mirrors the StreamRanked validation.
 func TestCursorRejectsNonDetermined(t *testing.T) {
-	if _, err := NewCursor(cursorDB(t), FSum{}, core.Options{}); err == nil {
+	if _, err := NewCursor(context.Background(), cursorDB(t), FSum{}, core.Options{}); err == nil {
 		t.Fatal("NewCursor accepted a non-c-determined function")
 	}
 }
@@ -79,7 +81,7 @@ func TestRankedCursorNoGoroutineLeak(t *testing.T) {
 	db := cursorDB(t)
 	before := runtime.NumGoroutine()
 	for i := 0; i < 20; i++ {
-		c, err := NewCursor(db, FMax{}, core.Options{UseIndex: true})
+		c, err := NewCursor(context.Background(), db, FMax{}, core.Options{UseIndex: true})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package rank
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -23,6 +24,7 @@ type Result struct {
 //
 // A Cursor is not safe for concurrent use.
 type Cursor struct {
+	ctx      context.Context
 	u        *tupleset.Universe
 	f        Func
 	opts     core.Options
@@ -37,15 +39,21 @@ type Cursor struct {
 // initialisation (lines 1–8: enumerate the JCC connected tuple sets of
 // size ≤ c and merge each queue to a fixpoint) happens here, so the
 // constructor carries the polynomial preprocessing cost of Lemma 5.3
-// and every Next call is one queue extraction.
-func NewCursor(db *relation.Database, f Func, opts core.Options) (*Cursor, error) {
+// and every Next call is one queue extraction. Cancelling ctx aborts
+// the preprocessing between queue merges and makes a later Next fail
+// within one queue extraction with Err() == ctx.Err(). A nil ctx means
+// context.Background().
+func NewCursor(ctx context.Context, db *relation.Database, f Func, opts core.Options) (*Cursor, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := Validate(f); err != nil {
 		return nil, err
 	}
 	u := tupleset.NewUniverse(db)
 	n := db.NumRelations()
 	c := f.C()
-	cur := &Cursor{u: u, f: f, opts: opts}
+	cur := &Cursor{ctx: ctx, u: u, f: f, opts: opts}
 
 	// Lines 1–4: enumerate every JCC connected tuple set of size ≤ c
 	// and distribute it to the queue of each relation it touches.
@@ -63,12 +71,19 @@ func NewCursor(db *relation.Database, f Func, opts core.Options) (*Cursor, error
 	// establishing initialisation condition (iii) of Lemma 5.2.
 	cur.queues = make([]*priorityQueue, n)
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		merged := mergeFixpoint(u, perSeed[i], &cur.stats)
 		cur.queues[i] = newPriorityQueue(u, i, f)
 		for _, s := range merged {
 			cur.queues[i].Push(s)
 		}
 	}
+	// The duplicate-check store is always hash-indexed (as it was before
+	// Options reached this family): UseIndex governs the §7 lists of the
+	// exact engine, not this internal structure, and an unindexed store
+	// degrades every emission to a linear ContainsSuperset scan.
 	cur.complete = core.NewCompleteStore(u, true)
 	return cur, nil
 }
@@ -83,6 +98,12 @@ func (c *Cursor) Next() (Result, bool) {
 		return Result{}, false
 	}
 	for {
+		// One check per queue extraction: a cancelled enumeration stops
+		// within one step of Fig 3's while loop.
+		if err := c.ctx.Err(); err != nil {
+			c.err = err
+			return Result{}, false
+		}
 		best := -1
 		var bestRank float64
 		var bestKey string
@@ -131,7 +152,7 @@ func (c *Cursor) Close() { c.closed = true }
 // guarantees that the first k results cost time polynomial in the input
 // and k. It is the push-style rendering of a Cursor.
 func StreamRanked(db *relation.Database, f Func, opts core.Options, yield func(Result) bool) (core.Stats, error) {
-	c, err := NewCursor(db, f, opts)
+	c, err := NewCursor(context.Background(), db, f, opts)
 	if err != nil {
 		return core.Stats{}, err
 	}

@@ -1,10 +1,12 @@
 package service
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
 
+	fd "repro"
 	"repro/internal/relation"
 	"repro/internal/store"
 )
@@ -34,7 +36,7 @@ func TestDurableRegistryRecovers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	q, err := svc.StartQuery(QuerySpec{Database: "alpha", Mode: ModeExact, UseIndex: true})
+	q, err := svc.StartQuery(context.Background(), "alpha", fd.Query{Options: fd.QueryOptions{UseIndex: true}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +56,7 @@ func TestDurableRegistryRecovers(t *testing.T) {
 	if len(listed) != 2 || listed[0] != info1 || listed[1] != info2 {
 		t.Fatalf("ListDatabases = %+v, want [%+v %+v]", listed, info1, info2)
 	}
-	q2, err := svc2.StartQuery(QuerySpec{Database: "alpha", Mode: ModeExact, UseIndex: true})
+	q2, err := svc2.StartQuery(context.Background(), "alpha", fd.Query{Options: fd.QueryOptions{UseIndex: true}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +144,7 @@ func TestAppendRowsDurable(t *testing.T) {
 	}
 
 	// An old session keeps paging the pre-append database.
-	oldQ, err := svc.StartQuery(QuerySpec{Database: "w", Mode: ModeExact, UseIndex: true})
+	oldQ, err := svc.StartQuery(context.Background(), "w", fd.Query{Options: fd.QueryOptions{UseIndex: true}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +171,7 @@ func TestAppendRowsDurable(t *testing.T) {
 	}
 
 	// The old session's enumeration (started pre-append) is unaffected.
-	oldQ2, err := svc.StartQuery(QuerySpec{Database: "w", Mode: ModeExact, UseIndex: true})
+	oldQ2, err := svc.StartQuery(context.Background(), "w", fd.Query{Options: fd.QueryOptions{UseIndex: true}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +234,7 @@ func TestCacheByteEviction(t *testing.T) {
 	if _, err := svc.AddDatabase("w", db); err != nil {
 		t.Fatal(err)
 	}
-	q, err := svc.StartQuery(QuerySpec{Database: "w", Mode: ModeExact, UseIndex: true})
+	q, err := svc.StartQuery(context.Background(), "w", fd.Query{Options: fd.QueryOptions{UseIndex: true}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +252,7 @@ func TestCacheByteEviction(t *testing.T) {
 	if _, err := svc2.AddDatabase("w", db); err != nil {
 		t.Fatal(err)
 	}
-	q2, err := svc2.StartQuery(QuerySpec{Database: "w", Mode: ModeExact, UseIndex: true})
+	q2, err := svc2.StartQuery(context.Background(), "w", fd.Query{Options: fd.QueryOptions{UseIndex: true}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,7 +262,7 @@ func TestCacheByteEviction(t *testing.T) {
 		t.Fatalf("cache entries %d bytes %d, want 1 entry with positive bytes",
 			st2.CacheEntries, st2.CacheBytes)
 	}
-	q3, err := svc2.StartQuery(QuerySpec{Database: "w", Mode: ModeExact, UseIndex: true})
+	q3, err := svc2.StartQuery(context.Background(), "w", fd.Query{Options: fd.QueryOptions{UseIndex: true}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -20,97 +21,17 @@ import (
 	"sync/atomic"
 	"time"
 
+	fd "repro"
 	"repro/internal/core"
 	"repro/internal/relation"
 	"repro/internal/store"
 	"repro/internal/tupleset"
 )
 
-// Mode selects the evaluation family of a query.
-type Mode string
-
-// Query modes, mapping onto the three public entry-point families.
-const (
-	ModeExact  Mode = "exact"  // FullDisjunction / Stream
-	ModeRanked Mode = "ranked" // StreamRanked (requires Rank)
-	ModeApprox Mode = "approx" // ApproxStream with Amin (requires Tau)
-)
-
-// QuerySpec describes one query against a registered database. The
-// zero spec is not valid; Mode must be set.
-type QuerySpec struct {
-	// Database names the registered database to query.
-	Database string
-	// Mode selects exact, ranked or approximate evaluation.
-	Mode Mode
-	// UseIndex enables the §7 hash index.
-	UseIndex bool
-	// UseJoinIndex enables candidate-only scans over the equi-join
-	// posting index.
-	UseJoinIndex bool
-	// BlockSize is the simulated page size (0/1 = tuple-at-a-time).
-	BlockSize int
-	// Strategy selects the Incomplete initialisation of the exact
-	// driver (ignored by ranked and approx modes).
-	Strategy core.InitStrategy
-	// Rank names the ranking function of ranked mode: fmax, pairsum or
-	// triple.
-	Rank string
-	// Tau is the approximate-join threshold of approx mode, in (0,1].
-	Tau float64
-	// Sim names the similarity of approx mode: levenshtein (default)
-	// or exact.
-	Sim string
-}
-
-// engineOptions renders the spec's engine knobs as core.Options.
-func (s QuerySpec) engineOptions() core.Options {
-	return core.Options{
-		UseIndex:     s.UseIndex,
-		UseJoinIndex: s.UseJoinIndex,
-		BlockSize:    s.BlockSize,
-		Strategy:     s.Strategy,
-	}
-}
-
-// validate rejects malformed specs early, before a session exists.
-func (s QuerySpec) validate() error {
-	switch s.Mode {
-	case ModeExact:
-	case ModeRanked:
-		if _, err := rankFunc(s.Rank); err != nil {
-			return err
-		}
-	case ModeApprox:
-		if s.Tau <= 0 || s.Tau > 1 {
-			return fmt.Errorf("service: approx threshold %v outside (0,1]", s.Tau)
-		}
-		if _, err := simFunc(s.Sim); err != nil {
-			return err
-		}
-	default:
-		return fmt.Errorf("service: unknown query mode %q", s.Mode)
-	}
-	switch s.Strategy {
-	case core.InitSingletons, core.InitSeeded, core.InitProjected:
-	default:
-		return fmt.Errorf("service: unknown init strategy %d", s.Strategy)
-	}
-	if s.BlockSize < 0 {
-		return fmt.Errorf("service: negative block size %d", s.BlockSize)
-	}
-	return nil
-}
-
-// canonicalKey renders every result-affecting field of the spec in a
-// fixed order. Together with the database fingerprint it keys the
-// result cache: engine knobs are included because they may change the
-// emission order (the cached list replays a specific order), and the
-// mode parameters because they change the result set itself.
-func (s QuerySpec) canonicalKey() string {
-	return fmt.Sprintf("m=%s|rank=%s|tau=%g|sim=%s|idx=%t|jidx=%t|blk=%d|strat=%s",
-		s.Mode, s.Rank, s.Tau, s.Sim, s.UseIndex, s.UseJoinIndex, s.BlockSize, s.Strategy)
-}
+// Result is one full-disjunction answer produced by a query session:
+// the unified result shape of the fd.Results cursor (the tuple set
+// plus its rank in ranked modes).
+type Result = fd.Result
 
 // Config tunes a Service. The zero value selects sensible defaults.
 type Config struct {
@@ -511,13 +432,26 @@ func (s *Service) Database(name string) (*relation.Database, bool) {
 	return e.db, true
 }
 
-// StartQuery opens a query session. When an identical query on an
-// identically-fingerprinted database has been drained before, the
-// session serves pages from the result cache without touching the
-// enumerators; otherwise it builds the engine cursor (inside a worker
-// slot — construction can carry the ranked mode's preprocessing).
-func (s *Service) StartQuery(spec QuerySpec) (*Query, error) {
-	if err := spec.validate(); err != nil {
+// StartQuery opens a query session for the declarative spec q against
+// the registered database dbName. When an identical query (by
+// fd.Query.Canonical) on an identically-fingerprinted database has
+// been drained before, the session serves pages from the result cache
+// without touching the enumerators; otherwise it opens the fd.Results
+// cursor (inside a worker slot — construction can carry the ranked
+// modes' preprocessing).
+//
+// The session carries ctx: cancelling it aborts an in-flight page
+// computation within one enumeration step and poisons the session with
+// ctx.Err(). Pass a context that outlives the session (a server
+// lifetime context, not a per-request one) — sessions are closed
+// explicitly via Close, idle eviction, or Service.Close, each of which
+// also cancels the session's derived context. A nil ctx means
+// context.Background().
+func (s *Service) StartQuery(ctx context.Context, dbName string, spec fd.Query) (*Query, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	s.mu.Lock()
@@ -525,10 +459,10 @@ func (s *Service) StartQuery(spec QuerySpec) (*Query, error) {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("service: closed")
 	}
-	entry, ok := s.dbs[spec.Database]
+	entry, ok := s.dbs[dbName]
 	if !ok {
 		s.mu.Unlock()
-		return nil, fmt.Errorf("service: unknown database %q", spec.Database)
+		return nil, fmt.Errorf("service: %w %q", ErrUnknownDatabase, dbName)
 	}
 	s.mu.Unlock()
 	// Read the fingerprint live (cached by the database, invalidated by
@@ -540,11 +474,12 @@ func (s *Service) StartQuery(spec QuerySpec) (*Query, error) {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("service: closed")
 	}
-	key := fmt.Sprintf("%016x|%s", fp, spec.canonicalKey())
+	key := fmt.Sprintf("%016x|%s", fp, spec.Canonical())
 	s.seq++
 	id := fmt.Sprintf("q%d", s.seq)
-	q := &Query{id: id, svc: s, spec: spec, key: key, db: entry,
-		uncacheable: s.cfg.CacheCapacity < 0}
+	qctx, cancel := context.WithCancel(ctx)
+	q := &Query{id: id, svc: s, spec: spec, dbName: dbName, key: key, db: entry,
+		cancel: cancel, uncacheable: s.cfg.CacheCapacity < 0}
 	q.touch(s.cfg.Now())
 
 	if cached, ok := s.cache.get(key); ok {
@@ -558,16 +493,18 @@ func (s *Service) StartQuery(spec QuerySpec) (*Query, error) {
 	s.mu.Unlock()
 
 	s.acquire()
-	cur, err := newEngineCursor(entry.db, spec)
+	cur, err := fd.Open(qctx, entry.db, spec)
 	s.release()
 	if err != nil {
+		cancel()
 		return nil, err
 	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		cur.close()
+		cur.Close()
+		cancel()
 		return nil, fmt.Errorf("service: closed")
 	}
 	s.cacheMisses++
@@ -652,11 +589,16 @@ func (s *Service) Close() {
 // Next(k). Sessions are safe for concurrent use; pages are serialised
 // per session.
 type Query struct {
-	id   string
-	svc  *Service
-	spec QuerySpec
-	key  string
-	db   *dbEntry
+	id     string
+	svc    *Service
+	spec   fd.Query
+	dbName string
+	key    string
+	db     *dbEntry
+	// cancel releases the session's derived context, aborting any
+	// in-flight enumeration step; called on Close, eviction and
+	// Service.Close.
+	cancel context.CancelFunc
 
 	// lastUsed is the unix-nano time of the last page, read without
 	// the session lock by the eviction sweep.
@@ -667,8 +609,8 @@ type Query struct {
 	busy atomic.Int32
 
 	mu        sync.Mutex
-	cur       engineCursor // nil when serving from cache
-	cached    []Result     // cache-hit source (shared, read-only)
+	cur       fd.Results // nil when serving from cache
+	cached    []Result   // cache-hit source (shared, read-only)
 	fromCache bool
 	gathered  []Result // miss: accumulated for the cache insert
 	// uncacheable marks sessions whose output must not (caching
@@ -682,8 +624,12 @@ type Query struct {
 // ID returns the session id.
 func (q *Query) ID() string { return q.id }
 
-// Spec returns the query's spec.
-func (q *Query) Spec() QuerySpec { return q.spec }
+// Spec returns the query's declarative spec.
+func (q *Query) Spec() fd.Query { return q.spec }
+
+// DatabaseName returns the name the queried database is registered
+// under.
+func (q *Query) DatabaseName() string { return q.dbName }
 
 // DB returns the database the query runs against.
 func (q *Query) DB() *relation.Database { return q.db.db }
@@ -738,6 +684,11 @@ func (q *Query) Next(k int) ([]Result, bool, error) {
 			q.svc.mu.Lock()
 			q.svc.queriesDone++
 			q.svc.mu.Unlock()
+			// No cursor holds the derived context, but its cancel func
+			// stays registered on the parent until called — release it
+			// on drain, as the cursor path does, so long-lived servers
+			// don't accumulate one registration per cache hit.
+			q.cancel()
 		}
 		q.svc.mu.Lock()
 		q.svc.resultsServed += int64(len(out))
@@ -751,7 +702,7 @@ func (q *Query) Next(k int) ([]Result, bool, error) {
 	q.svc.acquire()
 	out := make([]Result, 0, k)
 	for len(out) < k {
-		r, ok := q.cur.next()
+		r, ok := q.cur.Next()
 		if !ok {
 			break
 		}
@@ -776,12 +727,12 @@ func (q *Query) Next(k int) ([]Result, bool, error) {
 		return out, false, nil
 	}
 
-	// Exhausted (or failed): fold engine stats, and on clean exhaustion
-	// publish the drained list to the result cache.
-	err := q.cur.err()
+	// Exhausted (or failed/cancelled): fold engine stats, and on clean
+	// exhaustion publish the drained list to the result cache.
+	err := q.cur.Err()
 	q.done = true
-	stats := q.cur.stats()
-	q.cur.close()
+	stats := q.cur.Stats()
+	q.cur.Close()
 	q.svc.mu.Lock()
 	q.svc.resultsServed += int64(len(out))
 	q.svc.engine.Add(stats)
@@ -792,6 +743,9 @@ func (q *Query) Next(k int) ([]Result, bool, error) {
 	q.svc.mu.Unlock()
 	q.cur = nil
 	q.gathered = nil
+	// The enumeration is over; release the session's derived context
+	// now instead of waiting for Close or eviction.
+	q.cancel()
 	return out, true, err
 }
 
@@ -813,9 +767,12 @@ func (q *Query) shut() {
 		return
 	}
 	q.closed = true
+	if q.cancel != nil {
+		q.cancel()
+	}
 	if q.cur != nil {
-		stats := q.cur.stats()
-		q.cur.close()
+		stats := q.cur.Stats()
+		q.cur.Close()
 		q.cur = nil
 		q.svc.mu.Lock()
 		q.svc.engine.Add(stats)

@@ -1,12 +1,16 @@
 package service
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
 	"time"
 
+	fd "repro"
+	"repro/internal/approx"
 	"repro/internal/core"
 	"repro/internal/rank"
 	"repro/internal/relation"
@@ -86,7 +90,7 @@ func TestPagingMatchesOneShot(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, k := range []int{1, 3, 7, 1000} {
-		q, err := svc.StartQuery(QuerySpec{Database: "w", Mode: ModeExact, UseIndex: true})
+		q, err := svc.StartQuery(context.Background(), "w", fd.Query{Options: fd.QueryOptions{UseIndex: true}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -120,7 +124,7 @@ func TestRankedPagingOrder(t *testing.T) {
 	if _, err := svc.AddDatabase("w", db); err != nil {
 		t.Fatal(err)
 	}
-	q, err := svc.StartQuery(QuerySpec{Database: "w", Mode: ModeRanked, Rank: "fmax", UseIndex: true})
+	q, err := svc.StartQuery(context.Background(), "w", fd.Query{Mode: fd.ModeRanked, Rank: "fmax", Options: fd.QueryOptions{UseIndex: true}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,14 +158,14 @@ func TestApproxPaging(t *testing.T) {
 	if _, err := svc.AddDatabase("w", db); err != nil {
 		t.Fatal(err)
 	}
-	q, err := svc.StartQuery(QuerySpec{Database: "w", Mode: ModeApprox, Tau: 0.7})
+	q, err := svc.StartQuery(context.Background(), "w", fd.Query{Mode: fd.ModeApprox, Tau: 0.7})
 	if err != nil {
 		t.Fatal(err)
 	}
 	got := keysOf(drain(t, q, 5))
 
 	// One-shot reference through the same Amin+Levenshtein engine.
-	ref, err := svc.StartQuery(QuerySpec{Database: "w", Mode: ModeApprox, Tau: 0.7})
+	ref, err := svc.StartQuery(context.Background(), "w", fd.Query{Mode: fd.ModeApprox, Tau: 0.7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,9 +185,9 @@ func TestResultCache(t *testing.T) {
 	if _, err := svc.AddDatabase("w", db); err != nil {
 		t.Fatal(err)
 	}
-	spec := QuerySpec{Database: "w", Mode: ModeExact, UseIndex: true, UseJoinIndex: true}
+	spec := fd.Query{Options: fd.QueryOptions{UseIndex: true, UseJoinIndex: true}}
 
-	q1, err := svc.StartQuery(spec)
+	q1, err := svc.StartQuery(context.Background(), "w", spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +199,7 @@ func TestResultCache(t *testing.T) {
 	}
 	engineBefore := st.Engine
 
-	q2, err := svc.StartQuery(spec)
+	q2, err := svc.StartQuery(context.Background(), "w", spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +224,7 @@ func TestResultCache(t *testing.T) {
 	}
 
 	// A different spec must not hit the cache.
-	q3, err := svc.StartQuery(QuerySpec{Database: "w", Mode: ModeExact})
+	q3, err := svc.StartQuery(context.Background(), "w", fd.Query{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,12 +244,12 @@ func TestCacheSharedAcrossIdenticalDatabases(t *testing.T) {
 	if _, err := svc.AddDatabase("b", testDB(t, "chain", 23)); err != nil {
 		t.Fatal(err)
 	}
-	qa, err := svc.StartQuery(QuerySpec{Database: "a", Mode: ModeExact, UseIndex: true})
+	qa, err := svc.StartQuery(context.Background(), "a", fd.Query{Options: fd.QueryOptions{UseIndex: true}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	drain(t, qa, 10)
-	qb, err := svc.StartQuery(QuerySpec{Database: "b", Mode: ModeExact, UseIndex: true})
+	qb, err := svc.StartQuery(context.Background(), "b", fd.Query{Options: fd.QueryOptions{UseIndex: true}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,9 +272,9 @@ func TestEmptyResultCacheReplay(t *testing.T) {
 	if _, err := svc.AddDatabase("empty", db); err != nil {
 		t.Fatal(err)
 	}
-	spec := QuerySpec{Database: "empty", Mode: ModeExact}
+	spec := fd.Query{}
 
-	q1, err := svc.StartQuery(spec)
+	q1, err := svc.StartQuery(context.Background(), "empty", spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +282,7 @@ func TestEmptyResultCacheReplay(t *testing.T) {
 		t.Fatalf("empty FD returned %d results", len(got))
 	}
 
-	q2, err := svc.StartQuery(spec)
+	q2, err := svc.StartQuery(context.Background(), "empty", spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,8 +309,8 @@ func TestDropRefreshReload(t *testing.T) {
 	if _, err := svc.AddDatabase("w", db); err != nil {
 		t.Fatal(err)
 	}
-	spec := QuerySpec{Database: "w", Mode: ModeExact, UseIndex: true}
-	q1, err := svc.StartQuery(spec)
+	spec := fd.Query{Options: fd.QueryOptions{UseIndex: true}}
+	q1, err := svc.StartQuery(context.Background(), "w", spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,7 +339,7 @@ func TestDropRefreshReload(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	q2, err := svc.StartQuery(spec)
+	q2, err := svc.StartQuery(context.Background(), "w", spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -353,14 +357,14 @@ func TestDropRefreshReload(t *testing.T) {
 // than CacheMaxResults is never cached (nor retained in memory).
 func TestCacheDisabledAndCapped(t *testing.T) {
 	db := testDB(t, "chain", 67)
-	spec := QuerySpec{Database: "w", Mode: ModeExact, UseIndex: true}
+	spec := fd.Query{Options: fd.QueryOptions{UseIndex: true}}
 
 	off := New(Config{CacheCapacity: -1})
 	defer off.Close()
 	if _, err := off.AddDatabase("w", db); err != nil {
 		t.Fatal(err)
 	}
-	q1, err := off.StartQuery(spec)
+	q1, err := off.StartQuery(context.Background(), "w", spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -368,7 +372,7 @@ func TestCacheDisabledAndCapped(t *testing.T) {
 	if st := off.Stats(); st.CacheEntries != 0 {
 		t.Fatalf("caching disabled but %d entries cached", st.CacheEntries)
 	}
-	q2, err := off.StartQuery(spec)
+	q2, err := off.StartQuery(context.Background(), "w", spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -381,7 +385,7 @@ func TestCacheDisabledAndCapped(t *testing.T) {
 	if _, err := capped.AddDatabase("w", db); err != nil {
 		t.Fatal(err)
 	}
-	q3, err := capped.StartQuery(spec)
+	q3, err := capped.StartQuery(context.Background(), "w", spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -431,7 +435,7 @@ func TestIdleEviction(t *testing.T) {
 	if _, err := svc.AddDatabase("w", testDB(t, "chain", 29)); err != nil {
 		t.Fatal(err)
 	}
-	q, err := svc.StartQuery(QuerySpec{Database: "w", Mode: ModeExact})
+	q, err := svc.StartQuery(context.Background(), "w", fd.Query{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -496,9 +500,8 @@ func TestPropertyConcurrentSessions(t *testing.T) {
 			rng := rand.New(rand.NewSource(int64(w)))
 			for round := 0; round < 3; round++ {
 				name := fmt.Sprintf("db-%s", shapes[rng.Intn(len(shapes))])
-				q, err := svc.StartQuery(QuerySpec{
-					Database: name, Mode: ModeExact,
-					UseIndex: true, UseJoinIndex: rng.Intn(2) == 0,
+				q, err := svc.StartQuery(context.Background(), name, fd.Query{
+					Options: fd.QueryOptions{UseIndex: true, UseJoinIndex: rng.Intn(2) == 0},
 				})
 				if err != nil {
 					errs <- err
@@ -565,8 +568,8 @@ func TestAdmissionSingleWorker(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			// Distinct specs so nobody is served from cache.
-			q, err := svc.StartQuery(QuerySpec{
-				Database: "w", Mode: ModeExact, UseIndex: true, BlockSize: w + 1})
+			q, err := svc.StartQuery(context.Background(), "w", fd.Query{
+				Options: fd.QueryOptions{UseIndex: true, BlockSize: w + 1}})
 			if err != nil {
 				return
 			}
@@ -597,18 +600,22 @@ func TestStartQueryValidation(t *testing.T) {
 	if _, err := svc.AddDatabase("w", testDB(t, "chain", 53)); err != nil {
 		t.Fatal(err)
 	}
-	bad := []QuerySpec{
-		{Database: "w", Mode: "nope"},
-		{Database: "w", Mode: ModeRanked, Rank: "fsum"},
-		{Database: "w", Mode: ModeApprox, Tau: 0},
-		{Database: "w", Mode: ModeApprox, Tau: 1.5},
-		{Database: "w", Mode: ModeApprox, Tau: 0.5, Sim: "nope"},
-		{Database: "missing", Mode: ModeExact},
-		{Database: "w", Mode: ModeExact, Strategy: core.InitStrategy(9)},
+	bad := []struct {
+		db string
+		q  fd.Query
+	}{
+		{"w", fd.Query{Mode: "nope"}},
+		{"w", fd.Query{Mode: fd.ModeRanked, Rank: "fsum"}},
+		{"w", fd.Query{Mode: fd.ModeApprox, Tau: 0}},
+		{"w", fd.Query{Mode: fd.ModeApprox, Tau: 1.5}},
+		{"w", fd.Query{Mode: fd.ModeApprox, Tau: 0.5, Sim: "nope"}},
+		{"w", fd.Query{Mode: fd.ModeApproxRanked, Tau: 0.5}}, // no rank function
+		{"missing", fd.Query{}},
+		{"w", fd.Query{Options: fd.QueryOptions{Strategy: "bogus"}}},
 	}
-	for _, spec := range bad {
-		if _, err := svc.StartQuery(spec); err == nil {
-			t.Errorf("spec %+v unexpectedly accepted", spec)
+	for _, c := range bad {
+		if _, err := svc.StartQuery(context.Background(), c.db, c.q); err == nil {
+			t.Errorf("query %+v on %q unexpectedly accepted", c.q, c.db)
 		}
 	}
 }
@@ -626,12 +633,12 @@ func TestPadAcrossUniverses(t *testing.T) {
 	if _, err := svc.AddDatabase("b", b); err != nil {
 		t.Fatal(err)
 	}
-	qa, err := svc.StartQuery(QuerySpec{Database: "a", Mode: ModeExact})
+	qa, err := svc.StartQuery(context.Background(), "a", fd.Query{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	resA := drain(t, qa, 10)
-	qb, err := svc.StartQuery(QuerySpec{Database: "b", Mode: ModeExact})
+	qb, err := svc.StartQuery(context.Background(), "b", fd.Query{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -647,5 +654,94 @@ func TestPadAcrossUniverses(t *testing.T) {
 		if pa.Key() != pb.Key() {
 			t.Fatalf("padded rendering differs at %d", i)
 		}
+	}
+}
+
+// TestApproxRankedPaging is the approx-ranked serving path (previously
+// unexposed): pages arrive in the order and with the ranks of
+// rank.ApproxStreamRanked.
+func TestApproxRankedPaging(t *testing.T) {
+	db, err := workload.DirtyChain(workload.DirtyConfig{
+		Config:    workload.Config{Relations: 3, TuplesPerRelation: 8, Domain: 3, Seed: 71},
+		ErrorRate: 0.3, MaxEdits: 2, MinProb: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []rank.Result
+	if _, err := rank.ApproxStreamRanked(db, &approx.Amin{S: approx.LevenshteinSim{}}, 0.6,
+		rank.FMax{}, core.Options{UseIndex: true}, func(r rank.Result) bool {
+			want = append(want, r)
+			return true
+		}); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("workload yields no approx-ranked results")
+	}
+
+	svc := New(Config{})
+	defer svc.Close()
+	if _, err := svc.AddDatabase("w", db); err != nil {
+		t.Fatal(err)
+	}
+	q, err := svc.StartQuery(context.Background(), "w", fd.Query{
+		Mode: fd.ModeApproxRanked, Tau: 0.6, Rank: "fmax",
+		Options: fd.QueryOptions{UseIndex: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, q, 3)
+	if len(got) != len(want) {
+		t.Fatalf("approx-ranked paging returned %d results, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if !got[i].Ranked {
+			t.Fatalf("result %d not marked ranked", i)
+		}
+		if got[i].Rank != want[i].Rank || got[i].Set.Key() != want[i].Set.Key() {
+			t.Fatalf("approx-ranked result %d differs: got (%q, %v), want (%q, %v)",
+				i, got[i].Set.Key(), got[i].Rank, want[i].Set.Key(), want[i].Rank)
+		}
+	}
+	// The repeat query replays from the cache, keyed by Canonical().
+	q2, err := svc.StartQuery(context.Background(), "w", fd.Query{
+		Mode: fd.ModeApproxRanked, Tau: 0.6, Rank: "fmax",
+		Options: fd.QueryOptions{UseIndex: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q2.FromCache() {
+		t.Error("repeated approx-ranked query not served from cache")
+	}
+}
+
+// TestSessionContextCancellation checks that cancelling the context a
+// session was started under aborts its in-flight enumeration: the next
+// page fails with ctx.Err() and the session counts as done.
+func TestSessionContextCancellation(t *testing.T) {
+	svc := New(Config{})
+	defer svc.Close()
+	if _, err := svc.AddDatabase("w", testDB(t, "chain", 83)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	q, err := svc.StartQuery(ctx, "w", fd.Query{Options: fd.QueryOptions{UseIndex: true}})
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	if _, done, err := q.Next(1); err != nil || done {
+		t.Fatalf("first page: done=%v err=%v", done, err)
+	}
+	cancel()
+	_, done, err := q.Next(1)
+	if !done {
+		t.Fatal("cancelled session reported more results pending")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("page after cancel: err=%v, want context.Canceled", err)
 	}
 }

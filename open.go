@@ -1,0 +1,223 @@
+package fd
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/approx"
+	"repro/internal/core"
+	"repro/internal/rank"
+)
+
+// Result is one full-disjunction answer: the tuple set, plus its rank
+// when the producing query ranks results.
+type Result struct {
+	// Set is the answer tuple set.
+	Set *TupleSet
+	// Rank is the result's rank under the query's ranking function.
+	Rank float64
+	// Ranked reports whether Rank is meaningful (ranked modes only).
+	Ranked bool
+}
+
+// Results is the unified pull cursor every query mode produces: one
+// result per Next call, explicit suspended state, no goroutines, so an
+// abandoned cursor leaks nothing once Close is called (or the cursor
+// is simply dropped).
+//
+// A Results cursor is not safe for concurrent use; wrap it (as
+// internal/service does) when several goroutines share one
+// enumeration.
+type Results interface {
+	// Next produces the next result, or ok=false when the enumeration
+	// is exhausted, closed, cancelled, or failed (check Err).
+	Next() (Result, bool)
+	// Err returns the error that terminated the enumeration, if any —
+	// including ctx.Err() after a cancellation.
+	Err() error
+	// Stats snapshots the execution counters accumulated so far.
+	Stats() Stats
+	// Close abandons the enumeration; idempotent.
+	Close()
+}
+
+// Open is the single execution entry point: it validates q and starts
+// its enumeration over db, returning the unified Results cursor. All
+// four modes — exact, ranked, approx, approx-ranked — serve through
+// the same interface; K and RankTau bounds are enforced here, so a
+// drained cursor is exactly the query's declared result sequence.
+//
+// Cancelling ctx makes an in-flight enumeration stop within one step:
+// the pending Next returns ok=false promptly and Err reports
+// ctx.Err(). A nil ctx means context.Background().
+//
+// Ranked modes pay their Fig 3 preprocessing inside Open, so every
+// Next afterwards is one priority-queue extraction.
+func Open(ctx context.Context, db *Database, q Query) (Results, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if db == nil {
+		return nil, fmt.Errorf("fd: nil database")
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	n := q.normalize()
+	opts, err := n.Options.engine()
+	if err != nil {
+		return nil, err
+	}
+	// normalize strips the runtime-only hooks (they must not reach the
+	// canonical form); they still have to reach execution.
+	opts.Pool, opts.Trace = q.Options.Pool, q.Options.Trace
+
+	var base Results
+	switch n.Mode {
+	case ModeExact:
+		c, err := core.NewCursor(ctx, db, opts)
+		if err != nil {
+			return nil, err
+		}
+		base = exactResults{c}
+	case ModeRanked:
+		f, err := RankByName(n.Rank)
+		if err != nil {
+			return nil, err
+		}
+		c, err := rank.NewCursor(ctx, db, f, opts)
+		if err != nil {
+			return nil, err
+		}
+		base = rankedResults{c}
+	case ModeApprox:
+		s, err := SimByName(n.Sim)
+		if err != nil {
+			return nil, err
+		}
+		c, err := approx.NewCursor(ctx, db, &approx.Amin{S: s}, n.Tau, opts)
+		if err != nil {
+			return nil, err
+		}
+		base = approxResults{c}
+	case ModeApproxRanked:
+		f, err := RankByName(n.Rank)
+		if err != nil {
+			return nil, err
+		}
+		s, err := SimByName(n.Sim)
+		if err != nil {
+			return nil, err
+		}
+		c, err := rank.NewApproxCursor(ctx, db, &approx.Amin{S: s}, n.Tau, f, opts)
+		if err != nil {
+			return nil, err
+		}
+		base = approxRankedResults{c}
+	default:
+		return nil, fmt.Errorf("fd: unknown query mode %q", n.Mode)
+	}
+
+	if n.K > 0 || n.RankTau > 0 {
+		return &boundedResults{Results: base, remaining: n.K, rankTau: n.RankTau}, nil
+	}
+	return base, nil
+}
+
+// exactResults adapts core.Cursor to Results.
+type exactResults struct{ c *core.Cursor }
+
+func (r exactResults) Next() (Result, bool) {
+	t, ok := r.c.Next()
+	if !ok {
+		return Result{}, false
+	}
+	return Result{Set: t}, true
+}
+func (r exactResults) Err() error   { return r.c.Err() }
+func (r exactResults) Stats() Stats { return r.c.Stats() }
+func (r exactResults) Close()       { r.c.Close() }
+
+// rankedResults adapts rank.Cursor to Results.
+type rankedResults struct{ c *rank.Cursor }
+
+func (r rankedResults) Next() (Result, bool) {
+	res, ok := r.c.Next()
+	if !ok {
+		return Result{}, false
+	}
+	return Result{Set: res.Set, Rank: res.Rank, Ranked: true}, true
+}
+func (r rankedResults) Err() error   { return r.c.Err() }
+func (r rankedResults) Stats() Stats { return r.c.Stats() }
+func (r rankedResults) Close()       { r.c.Close() }
+
+// approxResults adapts approx.Cursor to Results.
+type approxResults struct{ c *approx.Cursor }
+
+func (r approxResults) Next() (Result, bool) {
+	t, ok := r.c.Next()
+	if !ok {
+		return Result{}, false
+	}
+	return Result{Set: t}, true
+}
+func (r approxResults) Err() error   { return r.c.Err() }
+func (r approxResults) Stats() Stats { return r.c.Stats() }
+func (r approxResults) Close()       { r.c.Close() }
+
+// approxRankedResults adapts rank.ApproxCursor to Results.
+type approxRankedResults struct{ c *rank.ApproxCursor }
+
+func (r approxRankedResults) Next() (Result, bool) {
+	res, ok := r.c.Next()
+	if !ok {
+		return Result{}, false
+	}
+	return Result{Set: res.Set, Rank: res.Rank, Ranked: true}, true
+}
+func (r approxRankedResults) Err() error   { return r.c.Err() }
+func (r approxRankedResults) Stats() Stats { return r.c.Stats() }
+func (r approxRankedResults) Close()       { r.c.Close() }
+
+// boundedResults enforces the query's K and RankTau bounds over an
+// unbounded cursor. Once a bound trips, the underlying enumeration is
+// closed — further results could never be served, so their suspended
+// state is released immediately.
+type boundedResults struct {
+	Results
+	remaining int     // K countdown; 0 with a K-bounded query = spent
+	rankTau   float64 // stop at the first rank below this (ranked modes)
+	done      bool
+}
+
+func (b *boundedResults) Next() (Result, bool) {
+	if b.done {
+		return Result{}, false
+	}
+	r, ok := b.Results.Next()
+	if !ok {
+		b.done = true
+		return Result{}, false
+	}
+	if b.rankTau > 0 && r.Rank < b.rankTau {
+		b.stop()
+		return Result{}, false
+	}
+	if b.remaining > 0 {
+		b.remaining--
+		if b.remaining == 0 {
+			// The K bound is spent with this result; release the
+			// suspended state now rather than on the (possibly never
+			// issued) next call.
+			b.stop()
+			return r, true
+		}
+	}
+	return r, true
+}
+
+func (b *boundedResults) stop() {
+	b.done = true
+	b.Results.Close()
+}

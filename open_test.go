@@ -1,0 +1,253 @@
+package fd_test
+
+import (
+	"context"
+	"testing"
+
+	fd "repro"
+	"repro/internal/workload"
+)
+
+// openDrain pulls an Open cursor dry and returns the sequence plus
+// final stats.
+func openDrain(t *testing.T, db *fd.Database, q fd.Query) ([]fd.Result, fd.Stats) {
+	t.Helper()
+	rs, err := fd.Open(context.Background(), db, q)
+	if err != nil {
+		t.Fatalf("Open(%+v): %v", q, err)
+	}
+	defer rs.Close()
+	var out []fd.Result
+	for r, ok := rs.Next(); ok; r, ok = rs.Next() {
+		out = append(out, r)
+	}
+	if err := rs.Err(); err != nil {
+		t.Fatalf("Open(%+v) drain: %v", q, err)
+	}
+	return out, rs.Stats()
+}
+
+// equivDB is a chain workload small enough to drain in every mode but
+// large enough that sequences are non-trivial.
+func equivDB(t *testing.T) *fd.Database {
+	t.Helper()
+	db, err := workload.Chain(workload.Config{
+		Relations: 4, TuplesPerRelation: 8, Domain: 3, NullRate: 0.1, ImpMax: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// dirtyDB carries misspellings and probabilities for the approx modes.
+func dirtyDB(t *testing.T) *fd.Database {
+	t.Helper()
+	db, err := workload.DirtyChain(workload.DirtyConfig{
+		Config:    workload.Config{Relations: 3, TuplesPerRelation: 8, Domain: 3, Seed: 23},
+		ErrorRate: 0.3, MaxEdits: 2, MinProb: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func sameSequence(t *testing.T, label string, got []fd.Result, wantSets []*fd.TupleSet, wantRanks []float64) {
+	t.Helper()
+	if len(got) != len(wantSets) {
+		t.Fatalf("%s: %d results via Open, %d via wrapper", label, len(got), len(wantSets))
+	}
+	for i := range got {
+		if got[i].Set.Key() != wantSets[i].Key() {
+			t.Fatalf("%s: sequence differs at %d: %q vs %q", label, i, got[i].Set.Key(), wantSets[i].Key())
+		}
+		if wantRanks != nil {
+			if !got[i].Ranked {
+				t.Fatalf("%s: result %d not marked ranked", label, i)
+			}
+			if got[i].Rank != wantRanks[i] {
+				t.Fatalf("%s: rank differs at %d: %v vs %v", label, i, got[i].Rank, wantRanks[i])
+			}
+		}
+	}
+}
+
+// TestOpenEquivalentToExactWrappers proves the deprecated exact-mode
+// wrappers and their fd.Open forms produce identical sequences and
+// stats.
+func TestOpenEquivalentToExactWrappers(t *testing.T) {
+	db := equivDB(t)
+	for _, strategy := range []string{"singletons", "seeded", "projected"} {
+		strat, err := fd.ParseInitStrategy(strategy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := fd.Options{UseIndex: true, UseJoinIndex: true, Strategy: strat}
+		wantSets, wantStats, err := fd.FullDisjunction(db, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gotStats := openDrain(t, db, fd.Query{Mode: fd.ModeExact,
+			Options: fd.QueryOptions{UseIndex: true, UseJoinIndex: true, Strategy: strategy}})
+		sameSequence(t, "exact/"+strategy, got, wantSets, nil)
+		if gotStats != wantStats {
+			t.Errorf("exact/%s stats differ:\n open    %+v\n wrapper %+v", strategy, gotStats, wantStats)
+		}
+	}
+
+	// K-bounded prefix ≡ Stream with early stop.
+	var prefix []*fd.TupleSet
+	if _, err := fd.Stream(db, fd.Options{UseIndex: true}, func(s *fd.TupleSet) bool {
+		prefix = append(prefix, s)
+		return len(prefix) < 5
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := openDrain(t, db, fd.Query{K: 5, Options: fd.QueryOptions{UseIndex: true}})
+	sameSequence(t, "exact/K", got, prefix, nil)
+}
+
+// TestOpenEquivalentToRankedWrappers proves StreamRanked / TopK /
+// Threshold and their fd.Open forms coincide, ranks included.
+func TestOpenEquivalentToRankedWrappers(t *testing.T) {
+	db := equivDB(t)
+	opts := fd.Options{UseIndex: true}
+	qopts := fd.QueryOptions{UseIndex: true}
+
+	var wantSets []*fd.TupleSet
+	var wantRanks []float64
+	wantStats, err := fd.StreamRanked(db, fd.FMax(), opts, func(r fd.Ranked) bool {
+		wantSets = append(wantSets, r.Set)
+		wantRanks = append(wantRanks, r.Rank)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotStats := openDrain(t, db, fd.Query{Mode: fd.ModeRanked, Rank: "fmax", Options: qopts})
+	sameSequence(t, "ranked", got, wantSets, wantRanks)
+	if gotStats != wantStats {
+		t.Errorf("ranked stats differ:\n open    %+v\n wrapper %+v", gotStats, wantStats)
+	}
+
+	top, topStats, err := fd.TopK(db, fd.FMax(), 4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotTop, gotTopStats := openDrain(t, db, fd.Query{Mode: fd.ModeRanked, Rank: "fmax", K: 4, Options: qopts})
+	sameSequence(t, "ranked/K", gotTop, setsOf(top), ranksOf(top))
+	if gotTopStats != topStats {
+		t.Errorf("top-k stats differ:\n open    %+v\n wrapper %+v", gotTopStats, topStats)
+	}
+
+	tau := wantRanks[len(wantRanks)/2]
+	thr, thrStats, err := fd.Threshold(db, fd.FMax(), tau, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotThr, gotThrStats := openDrain(t, db, fd.Query{Mode: fd.ModeRanked, Rank: "fmax", RankTau: tau, Options: qopts})
+	sameSequence(t, "ranked/RankTau", gotThr, setsOf(thr), ranksOf(thr))
+	if gotThrStats != thrStats {
+		t.Errorf("threshold stats differ:\n open    %+v\n wrapper %+v", gotThrStats, thrStats)
+	}
+}
+
+// TestOpenEquivalentToApproxWrappers proves the approx family wrappers
+// and their fd.Open forms coincide.
+func TestOpenEquivalentToApproxWrappers(t *testing.T) {
+	db := dirtyDB(t)
+	amin := fd.Amin(fd.LevenshteinSim())
+
+	var wantSets []*fd.TupleSet
+	wantStats, err := fd.ApproxStream(db, amin, 0.7, func(s *fd.TupleSet) bool {
+		wantSets = append(wantSets, s)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The wrappers run with the historical engine configuration
+	// (hash index on); the equivalent query spells it out.
+	q := fd.Query{Mode: fd.ModeApprox, Tau: 0.7, Options: fd.QueryOptions{UseIndex: true}}
+	got, gotStats := openDrain(t, db, q)
+	sameSequence(t, "approx", got, wantSets, nil)
+	if gotStats != wantStats {
+		t.Errorf("approx stats differ:\n open    %+v\n wrapper %+v", gotStats, wantStats)
+	}
+
+	var wantRanked []fd.Ranked
+	wantRankedStats, err := fd.ApproxStreamRanked(db, amin, 0.6, fd.FMax(), func(r fd.Ranked) bool {
+		wantRanked = append(wantRanked, r)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr := fd.Query{Mode: fd.ModeApproxRanked, Tau: 0.6, Rank: "fmax",
+		Options: fd.QueryOptions{UseIndex: true}}
+	gotRanked, gotRankedStats := openDrain(t, db, qr)
+	sameSequence(t, "approx-ranked", gotRanked, setsOf(wantRanked), ranksOf(wantRanked))
+	if gotRankedStats != wantRankedStats {
+		t.Errorf("approx-ranked stats differ:\n open    %+v\n wrapper %+v", gotRankedStats, wantRankedStats)
+	}
+
+	top, _, err := fd.ApproxTopK(db, amin, 0.6, fd.FMax(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qk := qr
+	qk.K = 3
+	gotTop, _ := openDrain(t, db, qk)
+	sameSequence(t, "approx-ranked/K", gotTop, setsOf(top), ranksOf(top))
+
+	if len(wantRanked) > 1 {
+		tau := wantRanked[len(wantRanked)/2].Rank
+		thr, _, err := fd.ApproxThreshold(db, amin, 0.6, tau, fd.FMax())
+		if err != nil {
+			t.Fatal(err)
+		}
+		qt := qr
+		qt.RankTau = tau
+		gotThr, _ := openDrain(t, db, qt)
+		sameSequence(t, "approx-ranked/RankTau", gotThr, setsOf(thr), ranksOf(thr))
+	}
+}
+
+func setsOf(rs []fd.Ranked) []*fd.TupleSet {
+	out := make([]*fd.TupleSet, len(rs))
+	for i, r := range rs {
+		out[i] = r.Set
+	}
+	return out
+}
+
+func ranksOf(rs []fd.Ranked) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = r.Rank
+	}
+	return out
+}
+
+// TestOpenRuntimeHooks pins that the runtime-only options — stripped
+// from the canonical form by normalisation — still reach execution:
+// the trace hook fires per iteration and the buffer pool absorbs page
+// fetches.
+func TestOpenRuntimeHooks(t *testing.T) {
+	db := equivDB(t)
+	traced := 0
+	pool := fd.NewBufferPool(16)
+	_, _ = openDrain(t, db, fd.Query{
+		Mode: fd.ModeExact,
+		Options: fd.QueryOptions{
+			BlockSize: 8,
+			Pool:      pool,
+			Trace:     func(int, *fd.TupleSet, []*fd.TupleSet, []*fd.TupleSet) { traced++ },
+		},
+	})
+	if traced == 0 {
+		t.Error("Trace hook never fired through fd.Open")
+	}
+	if pool.Hits()+pool.Misses() == 0 {
+		t.Error("buffer pool never consulted through fd.Open")
+	}
+}

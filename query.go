@@ -1,0 +1,251 @@
+package fd
+
+import (
+	"fmt"
+
+	"repro/internal/approx"
+	"repro/internal/core"
+	"repro/internal/rank"
+)
+
+// Mode selects the evaluation family of a Query, mapping onto the
+// paper's four problems: FD(R), top-(k,f)/(τ,f)-threshold,
+// (A,τ)-approximate, and the ranked approximate adaptation sketched at
+// the end of Section 6.
+type Mode string
+
+// Query modes. The zero value is normalised to ModeExact.
+const (
+	// ModeExact enumerates FD(R) (INCREMENTALFD).
+	ModeExact Mode = "exact"
+	// ModeRanked enumerates FD(R) in non-increasing rank order under a
+	// named ranking function (PRIORITYINCREMENTALFD); combine with K or
+	// RankTau for the top-(k,f) and (τ,f)-threshold problems.
+	ModeRanked Mode = "ranked"
+	// ModeApprox enumerates AFD(R, Amin, τ) under a named similarity
+	// (APPROXINCREMENTALFD).
+	ModeApprox Mode = "approx"
+	// ModeApproxRanked enumerates AFD(R, Amin, τ) in non-increasing
+	// rank order — Sections 5 and 6 combined.
+	ModeApproxRanked Mode = "approx-ranked"
+)
+
+// TraceFunc observes enumerator state after each GetNextResult call
+// (the reproduction hook behind the paper's Table 3).
+type TraceFunc = core.TraceFunc
+
+// QueryOptions carries the engine knobs of a Query. The serialisable
+// fields travel in the Query's JSON encoding and participate in its
+// canonical form (they can change the emission order, which a cached
+// result list replays); Pool and Trace are process-local hooks that do
+// neither.
+type QueryOptions struct {
+	// UseIndex enables the §7 hash index over the Complete and
+	// Incomplete lists.
+	UseIndex bool `json:"use_index,omitempty"`
+	// UseJoinIndex enables candidate-only database scans over the
+	// equi-join posting index. Approximate modes apply it only when the
+	// similarity is exact (a graded similarity admits matches that
+	// never equi-join, so candidate scans would lose results).
+	UseJoinIndex bool `json:"use_join_index,omitempty"`
+	// BlockSize is the simulated page size of database scans; 0 or 1
+	// means tuple-at-a-time.
+	BlockSize int `json:"block_size,omitempty"`
+	// Strategy names the Incomplete initialisation of exact mode:
+	// "singletons" (default), "seeded" or "projected" (§7).
+	Strategy string `json:"strategy,omitempty"`
+	// Pool, when non-nil, routes simulated page fetches through an LRU
+	// buffer pool. Runtime-only: never serialised, never keyed.
+	Pool *BufferPool `json:"-"`
+	// Trace, when non-nil, snapshots enumerator state per iteration.
+	// Runtime-only: never serialised, never keyed.
+	Trace TraceFunc `json:"-"`
+}
+
+// engine renders the options as core.Options; the strategy name must
+// already be validated.
+func (o QueryOptions) engine() (core.Options, error) {
+	strat, err := ParseInitStrategy(o.Strategy)
+	if err != nil {
+		return core.Options{}, err
+	}
+	return core.Options{
+		UseIndex:     o.UseIndex,
+		UseJoinIndex: o.UseJoinIndex,
+		BlockSize:    o.BlockSize,
+		Strategy:     strat,
+		Pool:         o.Pool,
+		Trace:        o.Trace,
+	}, nil
+}
+
+// ParseInitStrategy resolves a strategy name from a Query's options;
+// the empty name selects InitSingletons.
+func ParseInitStrategy(name string) (InitStrategy, error) {
+	switch name {
+	case "", "singletons":
+		return InitSingletons, nil
+	case "seeded":
+		return InitSeeded, nil
+	case "projected":
+		return InitProjected, nil
+	default:
+		return 0, fmt.Errorf("fd: unknown init strategy %q (singletons, seeded, projected)", name)
+	}
+}
+
+// RankByName resolves a ranking-function name of a Query: "fmax",
+// "pairsum" or "triple".
+func RankByName(name string) (RankFunc, error) {
+	switch name {
+	case "fmax":
+		return rank.FMax{}, nil
+	case "pairsum":
+		return rank.PairSum(), nil
+	case "triple":
+		return rank.PaperTriple(), nil
+	default:
+		return nil, fmt.Errorf("fd: unknown ranking function %q (fmax, pairsum, triple)", name)
+	}
+}
+
+// SimByName resolves a similarity name of a Query: "levenshtein"
+// (the default when empty) or "exact".
+func SimByName(name string) (Sim, error) {
+	switch name {
+	case "", "levenshtein":
+		return approx.LevenshteinSim{}, nil
+	case "exact":
+		return approx.ExactSim{}, nil
+	default:
+		return nil, fmt.Errorf("fd: unknown similarity %q (levenshtein, exact)", name)
+	}
+}
+
+// Query is the declarative specification of one full-disjunction
+// computation — the single spec every front end (library, service,
+// HTTP, CLI) parses, validates, caches and executes identically. The
+// zero Query is a valid exact full enumeration. A Query round-trips
+// through JSON (the fdserve wire format embeds it verbatim), and its
+// Canonical form keys result caches.
+type Query struct {
+	// Mode selects the evaluation family; empty means exact.
+	Mode Mode `json:"mode,omitempty"`
+	// Rank names the ranking function of the ranked modes: fmax,
+	// pairsum or triple.
+	Rank string `json:"rank,omitempty"`
+	// K, when positive, stops the enumeration after K results — the
+	// top-(k,f) problem in ranked modes, a first-k prefix otherwise.
+	K int `json:"k,omitempty"`
+	// Tau is the approximate-join threshold of the approx modes, in
+	// (0,1].
+	Tau float64 `json:"tau,omitempty"`
+	// RankTau, when positive, stops a ranked enumeration at the first
+	// result ranking below it — the (τ,f)-threshold problem.
+	RankTau float64 `json:"rank_tau,omitempty"`
+	// Sim names the similarity of the approx modes: levenshtein
+	// (default) or exact.
+	Sim string `json:"sim,omitempty"`
+	// Options carries the engine knobs.
+	Options QueryOptions `json:"options,omitzero"`
+}
+
+// normalize resolves defaults (mode, similarity, strategy, block size)
+// so that queries meaning the same computation compare equal in
+// Canonical.
+func (q Query) normalize() Query {
+	if q.Mode == "" {
+		q.Mode = ModeExact
+	}
+	if q.Options.Strategy == "" {
+		q.Options.Strategy = "singletons"
+	}
+	if q.Options.BlockSize < 1 {
+		q.Options.BlockSize = 1 // 0 and 1 are both tuple-at-a-time
+	}
+	if (q.Mode == ModeApprox || q.Mode == ModeApproxRanked) && q.Sim == "" {
+		q.Sim = "levenshtein"
+	}
+	if q.Mode != ModeExact {
+		// Only the exact driver has per-pass initialisation strategies.
+		q.Options.Strategy = "singletons"
+	}
+	q.Options.Pool, q.Options.Trace = nil, nil
+	return q
+}
+
+// Validate rejects malformed queries before any session or cursor
+// exists: unknown modes, names that do not resolve, thresholds outside
+// their domain, parameters that their mode would silently ignore.
+func (q Query) Validate() error {
+	ranked, approxMode := false, false
+	switch q.Mode {
+	case "", ModeExact:
+	case ModeRanked:
+		ranked = true
+	case ModeApprox:
+		approxMode = true
+	case ModeApproxRanked:
+		ranked, approxMode = true, true
+	default:
+		return fmt.Errorf("fd: unknown query mode %q", q.Mode)
+	}
+	if ranked {
+		if _, err := RankByName(q.Rank); err != nil {
+			return err
+		}
+	} else {
+		if q.Rank != "" {
+			return fmt.Errorf("fd: rank function %q given for non-ranked mode %q", q.Rank, q.Mode)
+		}
+		if q.RankTau != 0 {
+			return fmt.Errorf("fd: rank threshold %v given for non-ranked mode %q", q.RankTau, q.Mode)
+		}
+	}
+	if approxMode {
+		if q.Tau <= 0 || q.Tau > 1 {
+			return fmt.Errorf("fd: approx threshold %v outside (0,1]", q.Tau)
+		}
+		if _, err := SimByName(q.Sim); err != nil {
+			return err
+		}
+	} else {
+		if q.Tau != 0 {
+			return fmt.Errorf("fd: approx threshold %v given for non-approx mode %q", q.Tau, q.Mode)
+		}
+		if q.Sim != "" {
+			return fmt.Errorf("fd: similarity %q given for non-approx mode %q", q.Sim, q.Mode)
+		}
+	}
+	if q.K < 0 {
+		return fmt.Errorf("fd: negative k %d", q.K)
+	}
+	if q.RankTau < 0 {
+		return fmt.Errorf("fd: negative rank threshold %v", q.RankTau)
+	}
+	if q.Options.BlockSize < 0 {
+		return fmt.Errorf("fd: negative block size %d", q.Options.BlockSize)
+	}
+	if _, err := ParseInitStrategy(q.Options.Strategy); err != nil {
+		return err
+	}
+	if (ranked || approxMode) && q.Options.Strategy != "" && q.Options.Strategy != "singletons" {
+		return fmt.Errorf("fd: init strategy %q given for mode %q (only the exact driver has per-pass initialisation strategies)", q.Options.Strategy, q.Mode)
+	}
+	return nil
+}
+
+// Canonical renders every result-affecting field of the (normalised)
+// query in a fixed order. Two valid queries describing the same
+// computation produce the same canonical string, so it keys result
+// caches together with a database content fingerprint: engine knobs are
+// included because they may change the emission order a cached list
+// replays, the mode parameters because they change the result sequence
+// itself. Runtime-only options (Pool, Trace) affect neither and are
+// excluded.
+func (q Query) Canonical() string {
+	n := q.normalize()
+	return fmt.Sprintf("fdq1|mode=%s|rank=%s|k=%d|tau=%g|ranktau=%g|sim=%s|idx=%t|jidx=%t|blk=%d|strat=%s",
+		n.Mode, n.Rank, n.K, n.Tau, n.RankTau, n.Sim,
+		n.Options.UseIndex, n.Options.UseJoinIndex, n.Options.BlockSize, n.Options.Strategy)
+}

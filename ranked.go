@@ -1,6 +1,8 @@
 package fd
 
 import (
+	"context"
+
 	"repro/internal/rank"
 )
 
@@ -31,6 +33,10 @@ func PaperTriple() RankFunc { return rank.PaperTriple() }
 // StreamRanked yields the members of FD(R) in non-increasing rank order
 // under a monotonically c-determined ranking function
 // (PRIORITYINCREMENTALFD, Fig 3); return false from yield to stop.
+//
+// Deprecated: use Open with Query{Mode: ModeRanked, Rank: "<name>"}
+// and pull from the Results cursor. StreamRanked remains for custom
+// (unnamed) RankFunc implementations.
 func StreamRanked(db *Database, f RankFunc, opts Options, yield func(Ranked) bool) (Stats, error) {
 	return rank.StreamRanked(db, f, opts, yield)
 }
@@ -43,13 +49,19 @@ type RankedCursor = rank.Cursor
 // NewRankedCursor prepares a pull-based ranked enumeration. The Fig 3
 // preprocessing (small-set enumeration and queue merging) happens here;
 // each Next call is then one priority-queue extraction.
+//
+// Deprecated: use Open with Query{Mode: ModeRanked, Rank: "<name>"};
+// the Results cursor it returns adds context cancellation.
 func NewRankedCursor(db *Database, f RankFunc, opts Options) (*RankedCursor, error) {
-	return rank.NewCursor(db, f, opts)
+	return rank.NewCursor(context.Background(), db, f, opts)
 }
 
 // TopK solves the top-(k,f) full-disjunction problem: the k highest
 // ranking members of FD(R), in rank order, in time polynomial in the
 // input and k (Theorem 5.5).
+//
+// Deprecated: use Open with Query{Mode: ModeRanked, Rank: "<name>",
+// K: k} and drain the Results cursor.
 func TopK(db *Database, f RankFunc, k int, opts Options) ([]Ranked, Stats, error) {
 	return rank.TopK(db, f, k, opts)
 }
@@ -57,6 +69,9 @@ func TopK(db *Database, f RankFunc, k int, opts Options) ([]Ranked, Stats, error
 // Threshold solves the (τ,f)-threshold full-disjunction problem
 // (Remark 5.6): every member of FD(R) ranking at least tau, in rank
 // order.
+//
+// Deprecated: use Open with Query{Mode: ModeRanked, Rank: "<name>",
+// RankTau: tau} and drain the Results cursor.
 func Threshold(db *Database, f RankFunc, tau float64, opts Options) ([]Ranked, Stats, error) {
 	return rank.Threshold(db, f, tau, opts)
 }

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Guards the deprecation contract of the Query API redesign: every
+# released per-mode wrapper in the public package must carry a
+# "Deprecated:" marker in its doc comment pointing callers at fd.Open.
+# Run from the repository root (CI does); exits non-zero listing any
+# wrapper whose marker went missing.
+set -euo pipefail
+
+# file:function pairs of the legacy wrappers kept for compatibility.
+wrappers="
+fd.go:FullDisjunction
+fd.go:Stream
+fd.go:NewCursor
+ranked.go:StreamRanked
+ranked.go:NewRankedCursor
+ranked.go:TopK
+ranked.go:Threshold
+approx.go:ApproxFullDisjunction
+approx.go:ApproxStream
+approx.go:NewApproxCursor
+approx.go:ApproxStreamRanked
+approx.go:ApproxTopK
+approx.go:ApproxThreshold
+"
+
+fail=0
+for entry in $wrappers; do
+  file="${entry%%:*}"
+  fn="${entry##*:}"
+  if ! grep -q "^func $fn(" "$file"; then
+    echo "FAIL: wrapper $fn missing from $file (update scripts/check_deprecated.sh if it moved)" >&2
+    fail=1
+    continue
+  fi
+  # The doc comment is the contiguous comment block directly above the
+  # declaration; look for the marker within it.
+  if ! awk -v fn="$fn" '
+      /^\/\// { doc = doc $0 "\n"; next }
+      {
+        if ($0 ~ "^func " fn "\\(") { print doc; exit }
+        doc = ""
+      }' "$file" | grep -q "Deprecated:"; then
+    echo "FAIL: $file: $fn has no Deprecated: marker in its doc comment" >&2
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "PASS: all released wrappers carry Deprecated: markers"

@@ -75,6 +75,37 @@ if [ -z "$hits" ] || [ "$hits" -lt 1 ]; then
 fi
 echo "cache hits: $hits"
 
+# --- approx-ranked over the wire (fd.Query JSON: mode/tau/rank/k) ----
+curl -fsS -X POST "$base/databases" -d \
+  '{"name":"d","workload":{"kind":"dirty","relations":3,"tuples":8,"domain":3,"error_rate":0.3,"seed":5}}' \
+  >/dev/null
+arqid="$(curl -fsS -X POST "$base/queries" \
+  -d '{"database":"d","mode":"approx-ranked","tau":0.6,"rank":"fmax","k":6}' |
+  sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+if [ -z "$arqid" ]; then
+  echo "FAIL: approx-ranked query was not accepted" >&2
+  exit 1
+fi
+ar_total=0
+while :; do
+  page="$(curl -fsS "$base/queries/$arqid/next?k=2")"
+  # The final page can be empty; "|| true" keeps the zero count from
+  # tripping pipefail.
+  ranks="$(grep -o '"rank":' <<<"$page" | wc -l || true)"
+  sets="$(grep -o '"set":' <<<"$page" | wc -l || true)"
+  if [ "$ranks" != "$sets" ]; then
+    echo "FAIL: approx-ranked page carries $sets results but $ranks ranks: $page" >&2
+    exit 1
+  fi
+  ar_total="$((ar_total + sets))"
+  grep -q '"done":true' <<<"$page" && break
+done
+if [ "$ar_total" -lt 1 ] || [ "$ar_total" -gt 6 ]; then
+  echo "FAIL: approx-ranked k=6 paged $ar_total results" >&2
+  exit 1
+fi
+echo "approx-ranked paged count: $ar_total (every result ranked)"
+
 # --- persistence: register with -data, SIGTERM, restart, recover -----
 kill "$server_pid" && wait "$server_pid" 2>/dev/null || true
 data="$wl/data"
