@@ -66,6 +66,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		joinIdx  = fs.Bool("joinindex", false, "use the equi-join candidate index")
 		block    = fs.Int("block", 1, "block size for block-based execution")
 		strategy = fs.String("strategy", "", "init strategy: singletons (default), seeded or projected")
+		workers  = fs.Int("workers", 0, "parallel enumeration workers: 0 = GOMAXPROCS, 1 = sequential (exact restart and approx modes; ranked runs sequential)")
 		stats    = fs.Bool("stats", false, "print execution counters to stderr")
 		snapshot = fs.String("snapshot", "", "load the database from a binary snapshot instead of CSV files")
 		save     = fs.String("save", "", "write the loaded database to a binary snapshot file")
@@ -121,6 +122,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			UseJoinIndex: *joinIdx,
 			BlockSize:    *block,
 			Strategy:     *strategy,
+			Workers:      *workers,
 		},
 	}
 	switch {

@@ -57,6 +57,7 @@ func main() {
 	var (
 		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
 		workers    = flag.Int("workers", 0, "concurrent page computations (0 = GOMAXPROCS)")
+		engineWk   = flag.Int("engine-workers", 0, "total intra-query enumeration workers across live queries; queries request theirs via the spec's \"workers\" field (0 = GOMAXPROCS, 1 = all queries sequential)")
 		cache      = flag.Int("cache", 64, "result-cache capacity in cached result lists (negative disables caching)")
 		cacheBytes = flag.Int64("cache-bytes", 64<<20, "result-cache budget in approximate bytes (negative removes the bound)")
 		idle       = flag.Duration("idle", 5*time.Minute, "query-session idle eviction timeout")
@@ -80,6 +81,7 @@ func main() {
 
 	svc := service.New(service.Config{
 		Workers:       *workers,
+		EngineWorkers: *engineWk,
 		CacheCapacity: *cache,
 		CacheMaxBytes: *cacheBytes,
 		IdleTimeout:   *idle,

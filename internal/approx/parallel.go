@@ -1,0 +1,48 @@
+package approx
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/tupleset"
+)
+
+// NewParallelCursor starts a parallel streaming enumeration of
+// AFD(R, A, τ) on a pool of at most workers goroutines (≤0 selects
+// GOMAXPROCS). The per-relation passes of APPROXINCREMENTALFD are
+// independent — each builds AFDi(R, A, τ) from scratch — so they are
+// the partition; as in the sequential Cursor, a result is owned by the
+// pass of its minimal relation. A shared buffer Pool is rejected
+// rather than raced over.
+//
+// The returned cursor has the core.ParallelCursor contract: merged
+// stream, nondeterministic arrival order, workers stopped within one
+// step by ctx or Close.
+func NewParallelCursor(ctx context.Context, db *relation.Database, a Join, tau float64, opts core.Options, workers int) (*core.ParallelCursor, error) {
+	if a == nil {
+		return nil, fmt.Errorf("approx: nil approximate join function")
+	}
+	if tau <= 0 || tau > 1 {
+		return nil, fmt.Errorf("approx: threshold %v outside (0,1]", tau)
+	}
+	if opts.Pool != nil {
+		return nil, fmt.Errorf("approx: parallel execution does not support a shared buffer pool")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	tasks := make([]core.Task, db.NumRelations())
+	for pass := range tasks {
+		pass := pass
+		tasks[pass] = core.Task{
+			Open: func() (core.TaskEnumerator, error) {
+				return NewEnumerator(db, pass, a, tau, opts)
+			},
+			Owns: func(t *tupleset.Set) bool { return minRel(t) == pass },
+		}
+	}
+	return core.NewTaskCursor(ctx, tasks, workers), nil
+}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	fd "repro"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/approx"
 	"repro/internal/core"
 	"repro/internal/join"
+	"repro/internal/relation"
 	"repro/internal/storage"
 	"repro/internal/tupleset"
 	"repro/internal/workload"
@@ -76,6 +78,30 @@ func E9Ablations() (*Table, error) {
 	return e9Table(nil)
 }
 
+// drainParallel runs the streaming executor to exhaustion and returns
+// the canonically-sorted batch, so parallel E9 rungs measure the same
+// deliverable as the sequential ones.
+func drainParallel(db *relation.Database, opts core.Options, workers int) ([]*tupleset.Set, core.Stats, error) {
+	c, err := core.NewParallelCursor(context.Background(), db, opts, workers)
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
+	defer c.Close()
+	var out []*tupleset.Set
+	for {
+		t, ok := c.Next()
+		if !ok {
+			break
+		}
+		out = append(out, t)
+	}
+	if err := c.Err(); err != nil {
+		return nil, c.Stats(), err
+	}
+	tupleset.SortSets(db, out)
+	return out, c.Stats(), nil
+}
+
 // e9Table runs the E9 ablation ladder and the buffer-pool sweep,
 // rendering the markdown table. When rec is non-nil, the ladder's
 // measurements (wall-clock, counters, allocation deltas) are also
@@ -95,8 +121,8 @@ func e9Table(rec *Record) (*Table, error) {
 		var sets []*tupleset.Set
 		var stats core.Stats
 		d, mallocs, bytes := measure(func() {
-			if v.parallel {
-				sets, stats, err = core.ParallelFullDisjunction(db, v.opts, 0)
+			if v.workers > 1 {
+				sets, stats, err = drainParallel(db, v.opts, v.workers)
 			} else {
 				sets, stats, err = core.FullDisjunction(db, v.opts)
 			}
@@ -109,11 +135,16 @@ func e9Table(rec *Record) (*Table, error) {
 		} else if len(sets) != baseline {
 			return nil, fmt.Errorf("E9: variant %q changed the output: %d vs %d", v.name, len(sets), baseline)
 		}
+		workers := v.workers
+		if workers < 1 {
+			workers = 1
+		}
 		if rec != nil {
 			rec.Variants = append(rec.Variants, Metric{
 				Name:          v.name,
 				WallMillis:    float64(d.Microseconds()) / 1000,
 				Results:       len(sets),
+				Workers:       workers,
 				JCCChecks:     stats.JCCChecks,
 				SigHits:       stats.SigHits,
 				SigRebuilds:   stats.SigRebuilds,

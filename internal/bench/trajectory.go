@@ -15,19 +15,22 @@ import (
 // the algorithm counters of core.Stats, and allocation deltas sampled
 // around the run (testing.Benchmark-style, via runtime.MemStats).
 type Metric struct {
-	Name          string  `json:"name"`
-	WallMillis    float64 `json:"wall_ms"`
-	Results       int     `json:"results"`
-	JCCChecks     int64   `json:"jcc_checks"`
-	SigHits       int64   `json:"sig_hits"`
-	SigRebuilds   int64   `json:"sig_rebuilds"`
-	TuplesScanned int64   `json:"tuples_scanned"`
-	TuplesSkipped int64   `json:"tuples_skipped"`
-	IndexProbes   int64   `json:"index_probes"`
-	ListScans     int64   `json:"list_scans"`
-	PageReads     int64   `json:"page_reads"`
-	Mallocs       uint64  `json:"mallocs"`
-	BytesAlloc    uint64  `json:"bytes_alloc"`
+	Name       string  `json:"name"`
+	WallMillis float64 `json:"wall_ms"`
+	Results    int     `json:"results"`
+	// Workers is the enumeration worker count of the variant: 1 for
+	// the sequential driver, the pool size for parallel variants.
+	Workers       int    `json:"workers"`
+	JCCChecks     int64  `json:"jcc_checks"`
+	SigHits       int64  `json:"sig_hits"`
+	SigRebuilds   int64  `json:"sig_rebuilds"`
+	TuplesScanned int64  `json:"tuples_scanned"`
+	TuplesSkipped int64  `json:"tuples_skipped"`
+	IndexProbes   int64  `json:"index_probes"`
+	ListScans     int64  `json:"list_scans"`
+	PageReads     int64  `json:"page_reads"`
+	Mallocs       uint64 `json:"mallocs"`
+	BytesAlloc    uint64 `json:"bytes_alloc"`
 }
 
 // Record is one machine-readable benchmark trajectory: the per-variant
@@ -35,10 +38,15 @@ type Metric struct {
 // comparable across PRs (the file is committed as BENCH_<workload>.json
 // and appended to, diffed or plotted by later sessions).
 type Record struct {
-	Workload string   `json:"workload"`
-	Title    string   `json:"title"`
-	Go       string   `json:"go"`
-	Variants []Metric `json:"variants"`
+	Workload string `json:"workload"`
+	Title    string `json:"title"`
+	Go       string `json:"go"`
+	// GoMaxProcs and NumCPU describe the box the record was measured
+	// on, so a flat parallel speedup curve on a single-core machine
+	// reads as the hardware's fault, not the executor's.
+	GoMaxProcs int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu"`
+	Variants   []Metric `json:"variants"`
 }
 
 // Trajectories maps experiment ids to runners that produce the
@@ -78,9 +86,11 @@ func measure(fn func()) (time.Duration, uint64, uint64) {
 // buffer-pool sweep) and the structured trajectory record.
 func E9Both() (*Table, *Record, error) {
 	rec := &Record{
-		Workload: "e9",
-		Title:    "Section 7 ablations (chain workload)",
-		Go:       runtime.Version(),
+		Workload:   "e9",
+		Title:      "Section 7 ablations (chain workload)",
+		Go:         runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 	}
 	t, err := e9Table(rec)
 	if err != nil {
@@ -96,17 +106,19 @@ func e9DB() (*relation.Database, error) {
 		Relations: 4, TuplesPerRelation: 28, Domain: 4, NullRate: 0.1, Seed: 23})
 }
 
-// e9Variant is one rung of the E9 ablation ladder. A parallel variant
-// runs ParallelFullDisjunction (restart strategy, GOMAXPROCS workers)
-// instead of the sequential driver.
+// e9Variant is one rung of the E9 ablation ladder. A variant with
+// workers > 1 runs the parallel streaming executor (restart strategy)
+// with that pool size instead of the sequential driver.
 type e9Variant struct {
-	name     string
-	opts     core.Options
-	parallel bool
+	name    string
+	opts    core.Options
+	workers int
 }
 
-// e9Variants returns the §7 ablation ladder in presentation order.
+// e9Variants returns the §7 ablation ladder in presentation order,
+// ending with the parallel speedup curve of the streaming executor.
 func e9Variants() []e9Variant {
+	parallel := core.Options{UseIndex: true, UseJoinIndex: true}
 	return []e9Variant{
 		{name: "tuple-at-a-time, no index, restart init", opts: core.Options{}},
 		{name: "+ hash index", opts: core.Options{UseIndex: true}},
@@ -115,7 +127,8 @@ func e9Variants() []e9Variant {
 		{name: "+ projected init (§7 opt 3)", opts: core.Options{UseIndex: true, UseJoinIndex: true, Strategy: core.InitProjected}},
 		{name: "+ blocks of 8", opts: core.Options{UseIndex: true, UseJoinIndex: true, Strategy: core.InitSeeded, BlockSize: 8}},
 		{name: "+ blocks of 64", opts: core.Options{UseIndex: true, UseJoinIndex: true, Strategy: core.InitSeeded, BlockSize: 64}},
-		{name: "parallel driver (restart init, GOMAXPROCS workers)",
-			opts: core.Options{UseIndex: true, UseJoinIndex: true}, parallel: true},
+		{name: "parallel ×2 (restart init, streaming executor)", opts: parallel, workers: 2},
+		{name: "parallel ×4 (restart init, streaming executor)", opts: parallel, workers: 4},
+		{name: "parallel ×8 (restart init, streaming executor)", opts: parallel, workers: 8},
 	}
 }

@@ -1,86 +1,339 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/relation"
 	"repro/internal/tupleset"
 )
 
-// ParallelFullDisjunction computes FD(R) by running the n per-relation
-// passes of the textbook driver concurrently. The passes of Fig 1 are
-// independent by construction (each computes FDi(R) from scratch), so
-// this is a safe engineering extension beyond the paper: results are
-// deduplicated exactly as in the sequential driver (a result belongs to
-// the pass of its minimal relation), and the output set is identical —
-// only the order differs, so results are returned sorted by their
-// canonical keys for determinism.
+// The per-relation passes of Fig 1 are independent by construction —
+// each computes FDi(R) from scratch — and within one pass the seed
+// singletons of Fig 1 lines 1–4 can be split into blocks: an
+// enumeration seeded with the singletons of a block produces every
+// result whose seed-relation member lies in the block (the extension
+// and discovery walks of Fig 2 never depend on which other singletons
+// were enqueued). Results produced by more than one task are
+// deduplicated by ownership, the duplicate-avoidance rule below
+// Corollary 4.7 refined to blocks: a result belongs to the pass of its
+// minimal relation and, within that pass, to the block containing its
+// seed-relation member.
 //
-// workers ≤ 0 selects GOMAXPROCS. Streaming semantics (PINC) are
-// sequential by nature; use Stream when incremental delivery matters
-// more than total wall-clock time.
-func ParallelFullDisjunction(db *relation.Database, opts Options, workers int) ([]*tupleset.Set, Stats, error) {
+// Splitting a pass does not divide its work the way splitting passes
+// does — each block's enumeration still discovers candidates anchored
+// anywhere in the seed relation — so blocks are cut only when there
+// are more workers than relations, and never smaller than
+// minTaskSeeds tuples.
+
+// TaskEnumerator is one suspended enumeration run by a parallel
+// worker: a source of tuple sets plus its execution counters. Both
+// core.Enumerator and approx.Enumerator satisfy it.
+type TaskEnumerator interface {
+	Next() (*tupleset.Set, bool)
+	Stats() Stats
+}
+
+// Task is one independent unit of a partitioned enumeration.
+type Task struct {
+	// Open starts the task's enumeration. It runs on a worker
+	// goroutine; everything it touches must be shareable (a frozen
+	// database, a Universe) or task-local.
+	Open func() (TaskEnumerator, error)
+	// Owns reports whether this task is the unique owner of a result
+	// it produced. Partitions overlap (a task can produce results
+	// seeded outside its block); exactly one task owns each result, so
+	// the merged stream carries no duplicates.
+	Owns func(*tupleset.Set) bool
+}
+
+// ParallelCursor merges the outputs of partitioned enumeration tasks,
+// run on a bounded worker pool, into one pull cursor with the same
+// Next/Err/Stats/Close semantics as the sequential Cursor. At most
+// min(workers, len(tasks)) goroutines exist; they pull task indices
+// from a shared queue, so a long task never strands idle workers while
+// queued tasks wait (and task counts well above the worker count cost
+// nothing). Cancelling ctx or calling Close stops every worker within
+// one enumeration step; Close does not return before all of them have
+// exited, so an early-closed cursor leaks no goroutines.
+//
+// Arrival order is whatever the interleaving produced — run-to-run
+// nondeterministic — but the delivered set is exactly the union of the
+// owned task outputs. Per-worker counters accumulate in task-local
+// Stats and are folded under a lock once per finished task, never on
+// the per-result path.
+//
+// A ParallelCursor is not safe for concurrent use by multiple
+// consumers. Unlike the sequential cursors it holds goroutines while
+// live: drain it, Close it, or cancel ctx — don't just drop it.
+type ParallelCursor struct {
+	parent context.Context
+	cancel context.CancelFunc
+	out    chan *tupleset.Set
+	done   chan struct{} // closed after every worker has exited
+
+	mu     sync.Mutex
+	folded Stats // finished tasks' counters (Emitted zeroed)
+	werr   error // first worker failure
+
+	// consumer-goroutine state
+	emitted int
+	err     error
+	closed  bool
+}
+
+// NewTaskCursor starts tasks on a pool of at most workers goroutines
+// (≤0 selects GOMAXPROCS) and returns the merged cursor. A nil ctx
+// means context.Background().
+func NewTaskCursor(ctx context.Context, tasks []Task, workers int) *ParallelCursor {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	c := &ParallelCursor{
+		parent: ctx,
+		cancel: cancel,
+		out:    make(chan *tupleset.Set, workers),
+		done:   make(chan struct{}),
+	}
+	run := func(cctx context.Context, t Task) error {
+		e, err := t.Open()
+		if err != nil {
+			return err
+		}
+		defer func() {
+			// Fold once per finished task — the per-result path touches
+			// only the enumerator's own counters.
+			s := e.Stats()
+			s.Emitted = 0
+			c.mu.Lock()
+			c.folded.Add(s)
+			c.mu.Unlock()
+		}()
+		for {
+			// One check per enumeration step, as in the sequential
+			// cursor: a cancelled run stops within one GetNextResult
+			// iteration without polling per scanned tuple.
+			if cctx.Err() != nil {
+				return nil
+			}
+			r, ok := e.Next()
+			if !ok {
+				return nil
+			}
+			if !t.Owns(r) {
+				continue
+			}
+			select {
+			case c.out <- r:
+			case <-cctx.Done():
+				return nil
+			}
+		}
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for cctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				if err := run(cctx, tasks[i]); err != nil {
+					c.mu.Lock()
+					if c.werr == nil {
+						c.werr = err
+					}
+					c.mu.Unlock()
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(c.out)
+		close(c.done)
+	}()
+	return c
+}
+
+// Next produces the next merged result, or ok=false when the
+// enumeration is exhausted, closed, cancelled, or failed (check Err).
+func (c *ParallelCursor) Next() (*tupleset.Set, bool) {
+	if c.closed || c.err != nil {
+		return nil, false
+	}
+	if err := c.parent.Err(); err != nil {
+		// Cancelled between calls: report promptly instead of serving
+		// results the workers had already buffered.
+		c.err = err
+		c.cancel()
+		return nil, false
+	}
+	r, ok := <-c.out
+	if !ok {
+		// out closes only after every worker exited, so folded and
+		// werr are final here.
+		c.mu.Lock()
+		werr := c.werr
+		c.mu.Unlock()
+		if werr != nil {
+			c.err = werr
+		} else if err := c.parent.Err(); err != nil {
+			c.err = err
+		}
+		c.cancel()
+		return nil, false
+	}
+	c.emitted++
+	return r, true
+}
+
+// Err returns the error that terminated the enumeration, if any —
+// including ctx.Err() after a cancellation. A voluntary Close is not
+// an error.
+func (c *ParallelCursor) Err() error { return c.err }
+
+// Stats snapshots the counters accumulated so far: the folded totals
+// of every finished task plus the cursor's own emission count.
+// In-flight tasks contribute when they finish (after a drain or Close
+// the snapshot is complete); Emitted counts delivered results, as in
+// the sequential cursor.
+func (c *ParallelCursor) Stats() Stats {
+	c.mu.Lock()
+	s := c.folded
+	c.mu.Unlock()
+	s.Emitted = c.emitted
+	return s
+}
+
+// Close abandons the enumeration: every worker is cancelled and Close
+// waits for all of them to exit (each stops within one enumeration
+// step), so no goroutine outlives the cursor. Idempotent; Next returns
+// ok=false afterwards.
+func (c *ParallelCursor) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.cancel()
+	<-c.done
+}
+
+// minTaskSeeds is the smallest seed block a pass is split into: below
+// this the per-task fixed costs (stores, scanner, duplicated discovery
+// work) outweigh the parallelism.
+const minTaskSeeds = 8
+
+// exactTasks partitions the restart-strategy enumeration of FD(R):
+// one task per per-relation pass and, when workers exceed the number
+// of relations, per block of seed singletons within a pass, so one
+// skewed relation doesn't serialise the run.
+func exactTasks(u *tupleset.Universe, opts Options, workers int) []Task {
+	n := u.DB.NumRelations()
+	blocksPerPass := 1
+	if n > 0 && workers > n {
+		blocksPerPass = (workers + n - 1) / n
+	}
+	var tasks []Task
+	for pass := 0; pass < n; pass++ {
+		pass := pass
+		length := u.DB.Relation(pass).Len()
+		if length == 0 {
+			continue // no seeds, no results owned by this pass
+		}
+		blocks := blocksPerPass
+		if most := length / minTaskSeeds; blocks > most {
+			blocks = most
+		}
+		if blocks < 1 {
+			blocks = 1
+		}
+		for b := 0; b < blocks; b++ {
+			lo, hi := b*length/blocks, (b+1)*length/blocks
+			tasks = append(tasks, Task{
+				Open: func() (TaskEnumerator, error) {
+					init := make([]*tupleset.Set, 0, hi-lo)
+					for i := lo; i < hi; i++ {
+						init = append(init, u.Singleton(relation.Ref{Rel: int32(pass), Idx: int32(i)}))
+					}
+					return NewSeededEnumerator(u, pass, opts, init, 0)
+				},
+				Owns: func(t *tupleset.Set) bool {
+					if minRelation(t) != pass {
+						return false
+					}
+					m, ok := t.Member(pass)
+					return ok && int(m.Idx) >= lo && int(m.Idx) < hi
+				},
+			})
+		}
+	}
+	return tasks
+}
+
+// NewParallelCursor starts a parallel streaming enumeration of FD(R)
+// on a pool of at most workers goroutines (≤0 selects GOMAXPROCS) and
+// returns the merged cursor. Only the restart strategy partitions
+// (the seeded/projected initialisations feed each pass from the
+// previous one, which is inherently sequential), and the per-iteration
+// hooks — Trace, a shared buffer Pool — are rejected rather than raced
+// over.
+func NewParallelCursor(ctx context.Context, db *relation.Database, opts Options, workers int) (*ParallelCursor, error) {
 	if opts.Strategy != InitSingletons {
-		return nil, Stats{}, fmt.Errorf("core: parallel execution requires the restart strategy (got %s)", opts.Strategy)
+		return nil, fmt.Errorf("core: parallel execution requires the restart strategy (got %s)", opts.Strategy)
 	}
 	if opts.Trace != nil {
-		return nil, Stats{}, fmt.Errorf("core: parallel execution does not support tracing")
+		return nil, fmt.Errorf("core: parallel execution does not support tracing")
+	}
+	if opts.Pool != nil {
+		return nil, fmt.Errorf("core: parallel execution does not support a shared buffer pool")
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	u := tupleset.NewUniverse(db)
-	n := db.NumRelations()
+	return NewTaskCursor(ctx, exactTasks(u, opts, workers), workers), nil
+}
 
-	type passResult struct {
-		seed  int
-		sets  []*tupleset.Set
-		stats Stats
-		err   error
+// ParallelFullDisjunction computes FD(R) on a bounded worker pool and
+// returns the results sorted by their canonical keys, so the output is
+// deterministic and set-identical to the sequential driver.
+//
+// Deprecated: this is the batch form of the streaming executor; use
+// NewParallelCursor, or fd.Open with QueryOptions.Workers, which
+// streams results as they merge instead of materialising the batch.
+func ParallelFullDisjunction(db *relation.Database, opts Options, workers int) ([]*tupleset.Set, Stats, error) {
+	c, err := NewParallelCursor(context.Background(), db, opts, workers)
+	if err != nil {
+		return nil, Stats{}, err
 	}
-	results := make([]passResult, n)
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(seed int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			e, err := NewEnumerator(u, seed, opts)
-			if err != nil {
-				results[seed] = passResult{seed: seed, err: err}
-				return
-			}
-			var kept []*tupleset.Set
-			for {
-				t, ok := e.Next()
-				if !ok {
-					break
-				}
-				if minRelation(t) == seed {
-					kept = append(kept, t)
-				}
-			}
-			results[seed] = passResult{seed: seed, sets: kept, stats: e.Stats()}
-		}(i)
-	}
-	wg.Wait()
-
+	defer c.Close()
 	var out []*tupleset.Set
-	var total Stats
-	for _, r := range results {
-		if r.err != nil {
-			return nil, total, r.err
+	for {
+		t, ok := c.Next()
+		if !ok {
+			break
 		}
-		out = append(out, r.sets...)
-		s := r.stats
-		s.Emitted = 0
-		total.Add(s)
+		out = append(out, t)
 	}
-	total.Emitted = len(out)
+	if err := c.Err(); err != nil {
+		return nil, c.Stats(), err
+	}
 	tupleset.SortSets(db, out)
-	return out, total, nil
+	return out, c.Stats(), nil
 }

@@ -38,6 +38,15 @@ type Config struct {
 	// Workers bounds the number of concurrently computing pages (and
 	// cursor constructions) across all sessions; ≤0 selects GOMAXPROCS.
 	Workers int
+	// EngineWorkers bounds intra-query parallelism: the total
+	// enumeration workers the streaming executor may run across all
+	// live queries. Every admitted query carries one implicit worker;
+	// queries whose spec asks for more (QueryOptions.Workers) are
+	// granted extra workers best-effort from the shared remainder of
+	// EngineWorkers−1, so parallel queries never multiply admission —
+	// a parallel query still consumes exactly one admission slot.
+	// ≤0 selects GOMAXPROCS; 1 forces every query sequential.
+	EngineWorkers int
 	// CacheCapacity bounds the result cache in entries (cached result
 	// lists); 0 selects 64, negative disables result caching.
 	CacheCapacity int
@@ -69,6 +78,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.EngineWorkers <= 0 {
+		c.EngineWorkers = runtime.GOMAXPROCS(0)
 	}
 	if c.CacheCapacity == 0 {
 		c.CacheCapacity = 64
@@ -135,9 +147,14 @@ type dbEntry struct {
 type Service struct {
 	cfg Config
 	// sem is the admission semaphore: one slot per concurrently
-	// computing page or cursor construction (the
-	// ParallelFullDisjunction pattern, shared across sessions).
+	// computing page or cursor construction, shared across sessions.
 	sem chan struct{}
+	// engineSem is the shared intra-query worker budget: capacity
+	// EngineWorkers−1 (each admitted query brings its own first
+	// worker). StartQuery takes extra slots non-blockingly — parallelism
+	// degrades, admission never deadlocks — and the session returns
+	// them when its cursor is closed or drained.
+	engineSem chan struct{}
 
 	// appendMu serialises AppendRows end to end (rebuild, log write,
 	// registry swap), so concurrent appends to one database cannot
@@ -164,11 +181,12 @@ type Service struct {
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	return &Service{
-		cfg:     cfg,
-		sem:     make(chan struct{}, cfg.Workers),
-		dbs:     make(map[string]*dbEntry),
-		queries: make(map[string]*Query),
-		cache:   newResultCache(cfg.CacheCapacity, cfg.CacheMaxBytes),
+		cfg:       cfg,
+		sem:       make(chan struct{}, cfg.Workers),
+		engineSem: make(chan struct{}, cfg.EngineWorkers-1),
+		dbs:       make(map[string]*dbEntry),
+		queries:   make(map[string]*Query),
+		cache:     newResultCache(cfg.CacheCapacity, cfg.CacheMaxBytes),
 	}
 }
 
@@ -492,10 +510,32 @@ func (s *Service) StartQuery(ctx context.Context, dbName string, spec fd.Query) 
 	}
 	s.mu.Unlock()
 
+	// Intra-query parallelism: grant extra enumeration workers from the
+	// shared engine budget, non-blockingly — a busy service degrades a
+	// parallel query toward sequential instead of queueing it. The
+	// granted count overrides the spec handed to the executor only; the
+	// cache key above keeps the client's requested spec.
+	run := spec
+	if want := spec.ParallelWorkers(); want > 1 {
+		granted := 1
+		for granted < want {
+			select {
+			case s.engineSem <- struct{}{}:
+				granted++
+				continue
+			default:
+			}
+			break
+		}
+		run.Options.Workers = granted
+		q.engineSlots = granted - 1
+	}
+
 	s.acquire()
-	cur, err := fd.Open(qctx, entry.db, spec)
+	cur, err := fd.Open(qctx, entry.db, run)
 	s.release()
 	if err != nil {
+		q.releaseEngine()
 		cancel()
 		return nil, err
 	}
@@ -616,9 +656,20 @@ type Query struct {
 	// uncacheable marks sessions whose output must not (caching
 	// disabled) or can no longer (over CacheMaxResults) be cached.
 	uncacheable bool
+	// engineSlots counts extra intra-query workers held from the
+	// service's shared engine budget, returned when the cursor ends.
+	engineSlots int
 	served      int
 	done        bool
 	closed      bool
+}
+
+// releaseEngine returns the session's extra intra-query workers to the
+// shared budget. Idempotent; called once the cursor is closed.
+func (q *Query) releaseEngine() {
+	for ; q.engineSlots > 0; q.engineSlots-- {
+		<-q.svc.engineSem
+	}
 }
 
 // ID returns the session id.
@@ -728,11 +779,14 @@ func (q *Query) Next(k int) ([]Result, bool, error) {
 	}
 
 	// Exhausted (or failed/cancelled): fold engine stats, and on clean
-	// exhaustion publish the drained list to the result cache.
+	// exhaustion publish the drained list to the result cache. Close
+	// before the stats snapshot — a parallel cursor folds its last
+	// in-flight workers' counters as Close waits for them.
 	err := q.cur.Err()
 	q.done = true
-	stats := q.cur.Stats()
 	q.cur.Close()
+	stats := q.cur.Stats()
+	q.releaseEngine()
 	q.svc.mu.Lock()
 	q.svc.resultsServed += int64(len(out))
 	q.svc.engine.Add(stats)
@@ -771,8 +825,10 @@ func (q *Query) shut() {
 		q.cancel()
 	}
 	if q.cur != nil {
-		stats := q.cur.Stats()
+		// Close before the stats snapshot: a parallel cursor folds its
+		// in-flight workers' counters as Close waits for them to exit.
 		q.cur.Close()
+		stats := q.cur.Stats()
 		q.cur = nil
 		q.svc.mu.Lock()
 		q.svc.engine.Add(stats)
@@ -780,6 +836,7 @@ func (q *Query) shut() {
 			q.svc.queriesDone++
 		}
 		q.svc.mu.Unlock()
+		q.releaseEngine()
 	} else if !q.done && q.cached != nil {
 		q.svc.mu.Lock()
 		q.svc.queriesDone++

@@ -745,3 +745,79 @@ func TestSessionContextCancellation(t *testing.T) {
 		t.Fatalf("page after cancel: err=%v, want context.Canceled", err)
 	}
 }
+
+// TestEngineWorkerPool checks the shared intra-query worker budget: a
+// parallel query takes extra workers from the pool (never more than
+// EngineWorkers−1), a concurrent parallel query degrades toward
+// sequential, a parallel query still costs one admission slot, and the
+// slots come back when the session ends.
+func TestEngineWorkerPool(t *testing.T) {
+	svc := New(Config{Workers: 4, EngineWorkers: 3, CacheCapacity: -1})
+	defer svc.Close()
+	if _, err := svc.AddDatabase("w", testDB(t, "chain", 41)); err != nil {
+		t.Fatal(err)
+	}
+	spec := fd.Query{Options: fd.QueryOptions{UseIndex: true, Workers: 8}}
+
+	q1, err := svc.StartQuery(context.Background(), "w", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1.engineSlots != 2 {
+		t.Fatalf("first query holds %d extra workers, want 2 (EngineWorkers-1)", q1.engineSlots)
+	}
+	q2, err := svc.StartQuery(context.Background(), "w", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.engineSlots != 0 {
+		t.Fatalf("second query holds %d extra workers, want 0 (budget exhausted)", q2.engineSlots)
+	}
+
+	want := drain(t, q2, 7) // sequential-degraded still enumerates fully
+	q1.Close()
+	if q1.engineSlots != 0 {
+		t.Fatalf("closed query still holds %d extra workers", q1.engineSlots)
+	}
+
+	q3, err := svc.StartQuery(context.Background(), "w", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q3.engineSlots != 2 {
+		t.Fatalf("post-release query holds %d extra workers, want 2", q3.engineSlots)
+	}
+	got := drain(t, q3, 7)
+	a, b := keysOf(want), keysOf(got)
+	if len(a) != len(b) {
+		t.Fatalf("parallel and degraded runs differ: %d vs %d results", len(b), len(a))
+	}
+	for k, n := range a {
+		if b[k] != n {
+			t.Fatalf("result multiplicity differs at %s: %d vs %d", k, b[k], n)
+		}
+	}
+}
+
+// TestEngineWorkerPoolSequentialSpec checks that sequential specs
+// (ranked mode, explicit Workers 1) never touch the engine budget.
+func TestEngineWorkerPoolSequentialSpec(t *testing.T) {
+	svc := New(Config{Workers: 2, EngineWorkers: 4, CacheCapacity: -1})
+	defer svc.Close()
+	if _, err := svc.AddDatabase("w", testDB(t, "chain", 43)); err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range []fd.Query{
+		{Options: fd.QueryOptions{Workers: 1}},
+		{Mode: fd.ModeRanked, Rank: "fmax", K: 3, Options: fd.QueryOptions{Workers: 8}},
+	} {
+		q, err := svc.StartQuery(context.Background(), "w", spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.engineSlots != 0 {
+			t.Fatalf("spec %+v holds %d extra workers, want 0", spec, q.engineSlots)
+		}
+		q.Close()
+	}
+}

@@ -21,9 +21,12 @@ type Result struct {
 }
 
 // Results is the unified pull cursor every query mode produces: one
-// result per Next call, explicit suspended state, no goroutines, so an
-// abandoned cursor leaks nothing once Close is called (or the cursor
-// is simply dropped).
+// result per Next call with explicit suspended state. Sequential
+// cursors (Workers 1, the ranked modes) hold no goroutines and can
+// simply be dropped; a parallel cursor (Workers ≠ 1 on the
+// parallelisable paths) holds its worker pool while live, and Close —
+// or cancelling ctx, or draining it — stops every worker within one
+// enumeration step, so a Closed cursor leaks nothing either way.
 //
 // A Results cursor is not safe for concurrent use; wrap it (as
 // internal/service does) when several goroutines share one
@@ -53,6 +56,12 @@ type Results interface {
 //
 // Ranked modes pay their Fig 3 preprocessing inside Open, so every
 // Next afterwards is one priority-queue extraction.
+//
+// Exact (restart-strategy) and approx queries whose effective Workers
+// count exceeds one — the default, since Workers 0 means GOMAXPROCS —
+// run on the parallel streaming executor: the result set is identical
+// to the sequential path, but arrival order varies run to run (sort by
+// canonical key, or set Workers 1, when a reproducible order matters).
 func Open(ctx context.Context, db *Database, q Query) (Results, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -72,9 +81,24 @@ func Open(ctx context.Context, db *Database, q Query) (Results, error) {
 	// canonical form); they still have to reach execution.
 	opts.Pool, opts.Trace = q.Options.Pool, q.Options.Trace
 
+	// The parallelisable modes route through the streaming executor
+	// when the query's effective worker count exceeds one (Workers 0
+	// means GOMAXPROCS, so multi-core is the default path); ranked
+	// modes and the seeded/projected strategies are inherently
+	// sequential and ignore Workers (see QueryOptions.Workers).
+	workers := q.ParallelWorkers()
+
 	var base Results
 	switch n.Mode {
 	case ModeExact:
+		if workers > 1 {
+			c, err := core.NewParallelCursor(ctx, db, opts, workers)
+			if err != nil {
+				return nil, err
+			}
+			base = exactResults{c}
+			break
+		}
 		c, err := core.NewCursor(ctx, db, opts)
 		if err != nil {
 			return nil, err
@@ -94,6 +118,14 @@ func Open(ctx context.Context, db *Database, q Query) (Results, error) {
 		s, err := SimByName(n.Sim)
 		if err != nil {
 			return nil, err
+		}
+		if workers > 1 {
+			c, err := approx.NewParallelCursor(ctx, db, &approx.Amin{S: s}, n.Tau, opts, workers)
+			if err != nil {
+				return nil, err
+			}
+			base = approxResults{c}
+			break
 		}
 		c, err := approx.NewCursor(ctx, db, &approx.Amin{S: s}, n.Tau, opts)
 		if err != nil {
@@ -124,8 +156,17 @@ func Open(ctx context.Context, db *Database, q Query) (Results, error) {
 	return base, nil
 }
 
-// exactResults adapts core.Cursor to Results.
-type exactResults struct{ c *core.Cursor }
+// setCursor is the shape every unranked engine cursor shares —
+// sequential or parallel, exact or approximate.
+type setCursor interface {
+	Next() (*TupleSet, bool)
+	Err() error
+	Stats() Stats
+	Close()
+}
+
+// exactResults adapts an exact-mode engine cursor to Results.
+type exactResults struct{ c setCursor }
 
 func (r exactResults) Next() (Result, bool) {
 	t, ok := r.c.Next()
@@ -152,8 +193,8 @@ func (r rankedResults) Err() error   { return r.c.Err() }
 func (r rankedResults) Stats() Stats { return r.c.Stats() }
 func (r rankedResults) Close()       { r.c.Close() }
 
-// approxResults adapts approx.Cursor to Results.
-type approxResults struct{ c *approx.Cursor }
+// approxResults adapts an approx-mode engine cursor to Results.
+type approxResults struct{ c setCursor }
 
 func (r approxResults) Next() (Result, bool) {
 	t, ok := r.c.Next()

@@ -86,8 +86,11 @@ func TestOpenEquivalentToExactWrappers(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		// Workers pinned to 1: the wrappers are sequential, and on a
+		// multicore box Workers 0 would resolve to a parallel cursor
+		// whose arrival order is not the canonical sequence.
 		got, gotStats := openDrain(t, db, fd.Query{Mode: fd.ModeExact,
-			Options: fd.QueryOptions{UseIndex: true, UseJoinIndex: true, Strategy: strategy}})
+			Options: fd.QueryOptions{UseIndex: true, UseJoinIndex: true, Strategy: strategy, Workers: 1}})
 		sameSequence(t, "exact/"+strategy, got, wantSets, nil)
 		if gotStats != wantStats {
 			t.Errorf("exact/%s stats differ:\n open    %+v\n wrapper %+v", strategy, gotStats, wantStats)
@@ -102,7 +105,7 @@ func TestOpenEquivalentToExactWrappers(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	got, _ := openDrain(t, db, fd.Query{K: 5, Options: fd.QueryOptions{UseIndex: true}})
+	got, _ := openDrain(t, db, fd.Query{K: 5, Options: fd.QueryOptions{UseIndex: true, Workers: 1}})
 	sameSequence(t, "exact/K", got, prefix, nil)
 }
 
@@ -167,7 +170,9 @@ func TestOpenEquivalentToApproxWrappers(t *testing.T) {
 	}
 	// The wrappers run with the historical engine configuration
 	// (hash index on); the equivalent query spells it out.
-	q := fd.Query{Mode: fd.ModeApprox, Tau: 0.7, Options: fd.QueryOptions{UseIndex: true}}
+	// Workers pinned to 1 so the arrival order matches the sequential
+	// wrapper on any GOMAXPROCS.
+	q := fd.Query{Mode: fd.ModeApprox, Tau: 0.7, Options: fd.QueryOptions{UseIndex: true, Workers: 1}}
 	got, gotStats := openDrain(t, db, q)
 	sameSequence(t, "approx", got, wantSets, nil)
 	if gotStats != wantStats {

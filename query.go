@@ -2,6 +2,7 @@ package fd
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/approx"
 	"repro/internal/core"
@@ -54,6 +55,15 @@ type QueryOptions struct {
 	// Strategy names the Incomplete initialisation of exact mode:
 	// "singletons" (default), "seeded" or "projected" (§7).
 	Strategy string `json:"strategy,omitempty"`
+	// Workers bounds the intra-query parallelism of the streaming
+	// executor: 0 (the default) selects GOMAXPROCS, 1 forces the
+	// sequential path, higher values run that many enumeration workers.
+	// Only the parallelisable paths use it — exact mode under the
+	// restart ("singletons") strategy and the approx modes; the ranked
+	// modes are inherently serial (the Fig 3 priority-queue order) and
+	// the seeded/projected initialisations feed each pass from the
+	// previous one, so there Workers is ignored and normalised away.
+	Workers int `json:"workers,omitempty"`
 	// Pool, when non-nil, routes simulated page fetches through an LRU
 	// buffer pool. Runtime-only: never serialised, never keyed.
 	Pool *BufferPool `json:"-"`
@@ -170,8 +180,42 @@ func (q Query) normalize() Query {
 		// Only the exact driver has per-pass initialisation strategies.
 		q.Options.Strategy = "singletons"
 	}
+	if q.Mode == ModeRanked || q.Mode == ModeApproxRanked ||
+		(q.Mode == ModeExact && q.Options.Strategy != "singletons") {
+		// Workers is ignored on the inherently sequential paths; zero it
+		// so spellings that cannot differ share one canonical key.
+		q.Options.Workers = 0
+	}
 	q.Options.Pool, q.Options.Trace = nil, nil
 	return q
+}
+
+// ParallelWorkers reports the worker count Open would actually run q
+// with: 1 on the sequential paths (ranked modes, seeded/projected
+// strategies, a Trace hook or buffer Pool attached), otherwise the
+// requested Workers with 0 resolved to GOMAXPROCS. Admission layers
+// (internal/service) use it to budget intra-query parallelism before
+// opening the cursor.
+func (q Query) ParallelWorkers() int {
+	if q.Options.Trace != nil || q.Options.Pool != nil {
+		return 1
+	}
+	n := q.normalize()
+	switch n.Mode {
+	case ModeRanked, ModeApproxRanked:
+		return 1
+	}
+	if n.Mode == ModeExact && n.Options.Strategy != "singletons" {
+		return 1
+	}
+	w := n.Options.Workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // Validate rejects malformed queries before any session or cursor
@@ -226,6 +270,9 @@ func (q Query) Validate() error {
 	if q.Options.BlockSize < 0 {
 		return fmt.Errorf("fd: negative block size %d", q.Options.BlockSize)
 	}
+	if q.Options.Workers < 0 {
+		return fmt.Errorf("fd: negative workers %d", q.Options.Workers)
+	}
 	if _, err := ParseInitStrategy(q.Options.Strategy); err != nil {
 		return err
 	}
@@ -245,7 +292,8 @@ func (q Query) Validate() error {
 // excluded.
 func (q Query) Canonical() string {
 	n := q.normalize()
-	return fmt.Sprintf("fdq1|mode=%s|rank=%s|k=%d|tau=%g|ranktau=%g|sim=%s|idx=%t|jidx=%t|blk=%d|strat=%s",
+	return fmt.Sprintf("fdq2|mode=%s|rank=%s|k=%d|tau=%g|ranktau=%g|sim=%s|idx=%t|jidx=%t|blk=%d|strat=%s|wrk=%d",
 		n.Mode, n.Rank, n.K, n.Tau, n.RankTau, n.Sim,
-		n.Options.UseIndex, n.Options.UseJoinIndex, n.Options.BlockSize, n.Options.Strategy)
+		n.Options.UseIndex, n.Options.UseJoinIndex, n.Options.BlockSize, n.Options.Strategy,
+		n.Options.Workers)
 }

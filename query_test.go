@@ -20,6 +20,7 @@ func randomQuery(rng *rand.Rand) Query {
 			UseIndex:     rng.Intn(2) == 0,
 			UseJoinIndex: rng.Intn(2) == 0,
 			BlockSize:    rng.Intn(3),
+			Workers:      rng.Intn(3),
 		},
 	}
 	if q.Mode == ModeExact {
@@ -80,6 +81,13 @@ func TestQueryCanonicalNormalisation(t *testing.T) {
 		{{Mode: ModeExact}, {Mode: ModeExact, Options: QueryOptions{BlockSize: 1}}},
 		{{Mode: ModeApprox, Tau: 0.5}, {Mode: ModeApprox, Tau: 0.5, Sim: "levenshtein"}},
 		{{Mode: ModeExact, Options: QueryOptions{Pool: NewBufferPool(4)}}, {Mode: ModeExact}},
+		// Workers is meaningless on paths that always run sequentially,
+		// so it must not fragment their cache keys.
+		{{Mode: ModeRanked, Rank: "fmax", Options: QueryOptions{Workers: 4}}, {Mode: ModeRanked, Rank: "fmax"}},
+		{{Mode: ModeApproxRanked, Tau: 0.5, Rank: "fmax", Options: QueryOptions{Workers: 4}},
+			{Mode: ModeApproxRanked, Tau: 0.5, Rank: "fmax"}},
+		{{Mode: ModeExact, Options: QueryOptions{Strategy: "seeded", Workers: 4}},
+			{Mode: ModeExact, Options: QueryOptions{Strategy: "seeded"}}},
 	}
 	for _, pair := range same {
 		if pair[0].Canonical() != pair[1].Canonical() {
@@ -101,6 +109,11 @@ func TestQueryCanonicalNormalisation(t *testing.T) {
 		{Mode: ModeApprox, Tau: 0.7},
 		{Mode: ModeApprox, Tau: 0.5, Sim: "exact"},
 		{Mode: ModeApproxRanked, Tau: 0.5, Rank: "fmax"},
+		// Worker counts change arrival order, so they split keys on the
+		// parallel-capable paths.
+		{Mode: ModeExact, Options: QueryOptions{Workers: 2}},
+		{Mode: ModeExact, Options: QueryOptions{Workers: 4}},
+		{Mode: ModeApprox, Tau: 0.5, Options: QueryOptions{Workers: 4}},
 	}
 	seen := make(map[string]Query, len(distinct))
 	for _, q := range distinct {
@@ -135,6 +148,7 @@ func TestQueryValidate(t *testing.T) {
 		// non-default one anywhere else would be silently ignored.
 		{Mode: ModeRanked, Rank: "fmax", Options: QueryOptions{Strategy: "seeded"}},
 		{Mode: ModeApprox, Tau: 0.5, Options: QueryOptions{Strategy: "projected"}},
+		{Mode: ModeExact, Options: QueryOptions{Workers: -1}}, // negative workers
 	}
 	for _, q := range bad {
 		if err := q.Validate(); err == nil {
@@ -147,6 +161,11 @@ func TestQueryValidate(t *testing.T) {
 		{Mode: ModeRanked, Rank: "triple", RankTau: 0.5},
 		{Mode: ModeApprox, Tau: 1},
 		{Mode: ModeApproxRanked, Tau: 0.25, Rank: "fmax", K: 2, Sim: "exact"},
+		{Mode: ModeExact, Options: QueryOptions{Workers: 8}},
+		{Mode: ModeApprox, Tau: 0.5, Options: QueryOptions{Workers: 2}},
+		// Workers on a ranked query is accepted and ignored (the Fig 3
+		// queue order is inherently serial), not rejected.
+		{Mode: ModeRanked, Rank: "fmax", K: 2, Options: QueryOptions{Workers: 8}},
 	}
 	for _, q := range good {
 		if err := q.Validate(); err != nil {

@@ -75,6 +75,23 @@ if [ -z "$hits" ] || [ "$hits" -lt 1 ]; then
 fi
 echo "cache hits: $hits"
 
+# --- parallel execution over the wire (options.workers) --------------
+# A workers:4 spec runs the parallel streaming executor behind the same
+# paging surface; the paged count must match the sequential one.
+pqid="$(curl -fsS -X POST "$base/queries" \
+  -d '{"database":"w","mode":"exact","options":{"workers":4}}' |
+  sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+if [ -z "$pqid" ]; then
+  echo "FAIL: workers:4 query was not accepted" >&2
+  exit 1
+fi
+par_count="$(page_to_exhaustion "$pqid")"
+echo "fdserve parallel (workers:4) paged count: $par_count"
+if [ "$par_count" != "$cli_count" ]; then
+  echo "FAIL: parallel query paged $par_count results, sequential printed $cli_count" >&2
+  exit 1
+fi
+
 # --- approx-ranked over the wire (fd.Query JSON: mode/tau/rank/k) ----
 curl -fsS -X POST "$base/databases" -d \
   '{"name":"d","workload":{"kind":"dirty","relations":3,"tuples":8,"domain":3,"error_rate":0.3,"seed":5}}' \
