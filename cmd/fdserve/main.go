@@ -42,7 +42,9 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"strconv"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -63,6 +65,8 @@ func main() {
 		idle       = flag.Duration("idle", 5*time.Minute, "query-session idle eviction timeout")
 		pageMax    = flag.Int("page-max", 1024, "maximum results per page")
 		dataDir    = flag.String("data", "", "data directory for durable registration (empty = in-memory only)")
+		maxBody    = flag.Int64("max-body", defaultMaxBody, "maximum request body size in bytes (oversized uploads get 413)")
+		admitWait  = flag.Duration("admission-wait", 2*time.Second, "how long a request may wait for a worker slot before being shed with 503 (0 = wait forever)")
 	)
 	flag.Parse()
 	if *idle <= 0 {
@@ -80,20 +84,25 @@ func main() {
 	}
 
 	svc := service.New(service.Config{
-		Workers:       *workers,
-		EngineWorkers: *engineWk,
-		CacheCapacity: *cache,
-		CacheMaxBytes: *cacheBytes,
-		IdleTimeout:   *idle,
-		MaxPageSize:   *pageMax,
-		Store:         st,
+		Workers:          *workers,
+		EngineWorkers:    *engineWk,
+		CacheCapacity:    *cache,
+		CacheMaxBytes:    *cacheBytes,
+		IdleTimeout:      *idle,
+		MaxPageSize:      *pageMax,
+		AdmissionTimeout: *admitWait,
+		Store:            st,
 	})
 	if st != nil {
 		infos, err := svc.Recover()
 		if err != nil {
-			// Healthy databases recovered anyway; the broken ones need
-			// re-registration, which the log points the operator at.
+			// Healthy databases recovered anyway; corrupt ones were
+			// quarantined on disk and the server serves without them.
 			log.Printf("recover: %v", err)
+		}
+		for _, q := range svc.QuarantinedDatabases() {
+			log.Printf("quarantined database %q (files moved to %s in %s); re-register to serve it again",
+				q.Name, q.Label, st.Dir())
 		}
 		for _, info := range infos {
 			log.Printf("recovered database %q (%d relations, %d tuples, fingerprint %s)",
@@ -106,7 +115,18 @@ func main() {
 	// outside without cutting short a well-behaved drain.
 	sessionCtx, cancelSessions := context.WithCancel(context.Background())
 	defer cancelSessions()
-	srv := &http.Server{Addr: *addr, Handler: newMux(sessionCtx, svc)}
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: newServer(sessionCtx, svc, *maxBody).handler(),
+		// A client that stalls mid-headers, trickles a body forever, or
+		// never reads its response must not pin a connection goroutine
+		// indefinitely. WriteTimeout is generous: it covers the page
+		// computation of GET /queries/{id}/next.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      10 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -148,12 +168,29 @@ func main() {
 	}
 }
 
+// defaultMaxBody bounds request bodies: big enough for bulk uploads,
+// small enough that one malicious POST cannot balloon the heap.
+const defaultMaxBody = 32 << 20
+
 // newMux wires the HTTP surface onto a service. Query sessions are
 // opened under ctx (a server-lifetime context, not a per-request one —
 // sessions outlive the request that created them). Split from main so
 // tests drive the handlers through httptest.
-func newMux(ctx context.Context, svc *service.Service) *http.ServeMux {
-	s := &server{ctx: ctx, svc: svc}
+func newMux(ctx context.Context, svc *service.Service) http.Handler {
+	return newServer(ctx, svc, defaultMaxBody).handler()
+}
+
+func newServer(ctx context.Context, svc *service.Service, maxBody int64) *server {
+	if maxBody <= 0 {
+		maxBody = defaultMaxBody
+	}
+	return &server{ctx: ctx, svc: svc, maxBody: maxBody}
+}
+
+// routes builds the raw route table; handler wraps it with the
+// panic-recovery middleware. Tests that need to inject a panicking
+// route compose the two themselves.
+func (s *server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /databases", s.handleCreateDatabase)
 	mux.HandleFunc("GET /databases", s.handleListDatabases)
@@ -167,10 +204,64 @@ func newMux(ctx context.Context, svc *service.Service) *http.ServeMux {
 	return mux
 }
 
+func (s *server) handler() http.Handler { return s.withRecovery(s.routes()) }
+
+// withRecovery turns a handler panic into a 500 plus a counted,
+// logged incident, so one bad request cannot take the server down
+// with it. http.ErrAbortHandler passes through — it is net/http's own
+// control flow for aborting a response.
+func (s *server) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler { //nolint:errorlint // sentinel comparison per net/http docs
+					panic(rec)
+				}
+				s.panics.Add(1)
+				log.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				// Best effort: if the handler already wrote, this is a
+				// trailing fragment the client ignores.
+				writeError(w, http.StatusInternalServerError, fmt.Errorf("internal error"))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
 type server struct {
 	// ctx is the base context of every query session this server opens.
 	ctx context.Context
 	svc *service.Service
+	// maxBody caps request body bytes; oversized uploads get 413.
+	maxBody int64
+	// panics counts handler panics recovered by withRecovery, surfaced
+	// as panics_recovered in GET /stats.
+	panics atomic.Int64
+}
+
+// decodeBody decodes the request body as JSON into v under the body
+// size cap, writing the HTTP error (413 for an oversized body, 400
+// otherwise) itself; the caller just returns on false.
+func (s *server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return false
+	}
+	return true
+}
+
+// writeOverloaded maps service.ErrOverloaded to 503 + Retry-After: the
+// request was shed unprocessed and the client should back off briefly.
+func writeOverloaded(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, err)
 }
 
 // --- request/response shapes -------------------------------------------
@@ -284,8 +375,7 @@ type errorResponse struct {
 
 func (s *server) handleCreateDatabase(w http.ResponseWriter, r *http.Request) {
 	var req createDatabaseRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	var (
@@ -390,8 +480,19 @@ func buildUploaded(specs []relationSpec) (*relation.Database, error) {
 	return relation.NewDatabase(rels...)
 }
 
+// listDatabasesResponse is the GET /databases body: the registered
+// databases plus any quarantined by recovery, so an operator sees
+// casualties in the same place as survivors.
+type listDatabasesResponse struct {
+	Databases   []service.DatabaseInfo   `json:"databases"`
+	Quarantined []service.QuarantineInfo `json:"quarantined,omitempty"`
+}
+
 func (s *server) handleListDatabases(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.svc.ListDatabases())
+	writeJSON(w, http.StatusOK, listDatabasesResponse{
+		Databases:   s.svc.ListDatabases(),
+		Quarantined: s.svc.QuarantinedDatabases(),
+	})
 }
 
 // appendRowsRequest appends tuples to one relation of a registered
@@ -407,8 +508,7 @@ type appendRowsRequest struct {
 func (s *server) handleAppendRows(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	var req appendRowsRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	db, ok := s.svc.Database(name)
@@ -485,17 +585,19 @@ func (s *server) handleDropDatabase(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleCreateQuery(w http.ResponseWriter, r *http.Request) {
 	var req createQueryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	spec := req.Query
 	spec.Options = req.Options.resolve()
 	q, err := s.svc.StartQuery(s.ctx, req.Database, spec)
 	if err != nil {
-		if errors.Is(err, service.ErrUnknownDatabase) {
+		switch {
+		case errors.Is(err, service.ErrUnknownDatabase):
 			writeError(w, http.StatusNotFound, err)
-		} else {
+		case errors.Is(err, service.ErrOverloaded):
+			writeOverloaded(w, err)
+		default:
 			writeError(w, http.StatusBadRequest, err)
 		}
 		return
@@ -520,6 +622,12 @@ func (s *server) handleNext(w http.ResponseWriter, r *http.Request) {
 	}
 	page, done, err := q.Next(k)
 	if err != nil {
+		if errors.Is(err, service.ErrOverloaded) {
+			// Shed, not dead: the session is untouched and the identical
+			// Next may be retried.
+			writeOverloaded(w, err)
+			return
+		}
 		writeError(w, http.StatusGone, err)
 		return
 	}
@@ -560,8 +668,18 @@ func (s *server) handleDeleteQuery(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// statsResponse adds the HTTP layer's own counters to the service
+// snapshot.
+type statsResponse struct {
+	service.Stats
+	PanicsRecovered int64 `json:"panics_recovered"`
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.svc.Stats())
+	writeJSON(w, http.StatusOK, statsResponse{
+		Stats:           s.svc.Stats(),
+		PanicsRecovered: s.panics.Load(),
+	})
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {

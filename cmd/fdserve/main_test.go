@@ -356,10 +356,14 @@ func TestServeDurableRestart(t *testing.T) {
 	svc1.Close()
 
 	ts2, _ := startDurableServer(t, dir)
-	var listed []service.DatabaseInfo
-	call(t, "GET", ts2.URL+"/databases", nil, http.StatusOK, &listed)
+	var listing listDatabasesResponse
+	call(t, "GET", ts2.URL+"/databases", nil, http.StatusOK, &listing)
+	listed := listing.Databases
 	if len(listed) != 1 || listed[0] != info {
 		t.Fatalf("recovered listing %+v, want [%+v]", listed, info)
+	}
+	if len(listing.Quarantined) != 0 {
+		t.Fatalf("clean recovery reported quarantines: %+v", listing.Quarantined)
 	}
 	var q2 createQueryResponse
 	call(t, "POST", ts2.URL+"/queries", map[string]any{"database": "w"}, http.StatusCreated, &q2)
@@ -374,8 +378,9 @@ func TestServeAppendRows(t *testing.T) {
 
 	call(t, "POST", ts.URL+"/databases",
 		map[string]any{"name": "w", "workload": chainSpec}, http.StatusCreated, nil)
-	var before []service.DatabaseInfo
-	call(t, "GET", ts.URL+"/databases", nil, http.StatusOK, &before)
+	var beforeList listDatabasesResponse
+	call(t, "GET", ts.URL+"/databases", nil, http.StatusOK, &beforeList)
+	before := beforeList.Databases
 
 	// The chain workload's relations share attributes J0..; fetch the
 	// schema indirectly by appending with explicit nulls only.
@@ -398,8 +403,9 @@ func TestServeAppendRows(t *testing.T) {
 	preCount := pageAll(t, ts.URL, q.ID)
 
 	ts2, _ := startDurableServer(t, dir)
-	var listed []service.DatabaseInfo
-	call(t, "GET", ts2.URL+"/databases", nil, http.StatusOK, &listed)
+	var listing2 listDatabasesResponse
+	call(t, "GET", ts2.URL+"/databases", nil, http.StatusOK, &listing2)
+	listed := listing2.Databases
 	if len(listed) != 1 || listed[0] != info {
 		t.Fatalf("restart after append listed %+v, want [%+v]", listed, info)
 	}

@@ -1,0 +1,191 @@
+package main
+
+// Handler error-path tests: malformed and oversized bodies, a
+// panicking handler behind the recovery middleware, and admission
+// overload surfacing as 503 + Retry-After.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// rawCall posts a raw (possibly invalid) body and returns the response.
+func rawCall(t *testing.T, method, url, body string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestMalformedBodies(t *testing.T) {
+	ts, _ := startServer(t)
+	for _, tc := range []struct{ method, path, body string }{
+		{"POST", "/databases", `{"name": "x", "workload": `},
+		{"POST", "/databases", `not json at all`},
+		{"POST", "/queries", `{"database": 42`},
+		{"POST", "/databases/w/rows", `[]`},
+	} {
+		resp := rawCall(t, tc.method, ts.URL+tc.path, tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s %s with body %q: status %d, want 400", tc.method, tc.path, tc.body, resp.StatusCode)
+		}
+		var e errorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+			t.Fatalf("%s %s: error body not JSON (%v)", tc.method, tc.path, err)
+		}
+	}
+}
+
+func TestOversizedBodyRejected(t *testing.T) {
+	svc := service.New(service.Config{})
+	defer svc.Close()
+	srv := newServer(context.Background(), svc, 128)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	big := `{"name": "x", "relations": [{"name": "` + strings.Repeat("r", 200) + `"}]}`
+	resp := rawCall(t, "POST", ts.URL+"/databases", big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+	// A body within the cap still works.
+	call(t, "POST", ts.URL+"/databases",
+		map[string]any{"name": "w", "workload": map[string]any{"kind": "chain",
+			"relations": 2, "tuples": 2, "domain": 2}}, http.StatusCreated, nil)
+}
+
+func TestPanicRecoveryKeepsServing(t *testing.T) {
+	svc := service.New(service.Config{})
+	defer svc.Close()
+	srv := newServer(context.Background(), svc, defaultMaxBody)
+	mux := srv.routes()
+	mux.HandleFunc("GET /boom", func(http.ResponseWriter, *http.Request) {
+		panic("synthetic handler failure")
+	})
+	ts := httptest.NewServer(srv.withRecovery(mux))
+	defer ts.Close()
+
+	resp := rawCall(t, "GET", ts.URL+"/boom", "")
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking handler: status %d, want 500", resp.StatusCode)
+	}
+	var e errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+		t.Fatalf("panic response not a JSON error (%v)", err)
+	}
+
+	// The incident is counted and the server keeps serving.
+	var stats statsResponse
+	call(t, "GET", ts.URL+"/stats", nil, http.StatusOK, &stats)
+	if stats.PanicsRecovered != 1 {
+		t.Fatalf("panics_recovered = %d, want 1", stats.PanicsRecovered)
+	}
+	call(t, "GET", ts.URL+"/healthz", nil, http.StatusOK, nil)
+	call(t, "POST", ts.URL+"/databases",
+		map[string]any{"name": "w", "workload": chainSpec}, http.StatusCreated, nil)
+	rawCall(t, "GET", ts.URL+"/boom", "")
+	call(t, "GET", ts.URL+"/stats", nil, http.StatusOK, &stats)
+	if stats.PanicsRecovered != 2 {
+		t.Fatalf("panics_recovered = %d, want 2", stats.PanicsRecovered)
+	}
+}
+
+func TestOverloadSheds503(t *testing.T) {
+	// One worker, minimal patience: concurrent heavy pages must shed
+	// with 503 + Retry-After instead of queueing without bound.
+	svc := service.New(service.Config{Workers: 1, AdmissionTimeout: time.Millisecond})
+	defer svc.Close()
+	ts := httptest.NewServer(newMux(context.Background(), svc))
+	defer ts.Close()
+
+	// A clique workload with a large result set keeps the single worker
+	// busy long enough for the concurrent requests to overlap.
+	call(t, "POST", ts.URL+"/databases", map[string]any{
+		"name": "d", "workload": map[string]any{
+			"kind": "clique", "relations": 5, "tuples": 6, "domain": 2, "seed": 3}},
+		http.StatusCreated, nil)
+
+	const n = 6
+	ids := make([]string, n)
+	for i := range ids {
+		var q createQueryResponse
+		call(t, "POST", ts.URL+"/queries",
+			map[string]any{"database": "d", "options": map[string]any{"use_index": true}},
+			http.StatusCreated, &q)
+		ids[i] = q.ID
+	}
+
+	got503 := false
+	for round := 0; round < 20 && !got503; round++ {
+		var (
+			mu       sync.Mutex
+			statuses []int
+			retries  []string
+		)
+		var wg sync.WaitGroup
+		for _, id := range ids {
+			wg.Add(1)
+			go func(id string) {
+				defer wg.Done()
+				resp, err := http.Get(ts.URL + "/queries/" + id + "/next?k=1024")
+				if err != nil {
+					return
+				}
+				defer resp.Body.Close()
+				mu.Lock()
+				statuses = append(statuses, resp.StatusCode)
+				if resp.StatusCode == http.StatusServiceUnavailable {
+					retries = append(retries, resp.Header.Get("Retry-After"))
+				}
+				mu.Unlock()
+			}(id)
+		}
+		wg.Wait()
+		okCount := 0
+		for _, st := range statuses {
+			switch st {
+			case http.StatusOK:
+				okCount++
+			case http.StatusServiceUnavailable:
+				got503 = true
+			default:
+				t.Fatalf("unexpected status %d under load (want 200 or 503)", st)
+			}
+		}
+		if okCount == 0 {
+			t.Fatal("no request succeeded under load")
+		}
+		for _, ra := range retries {
+			if ra == "" {
+				t.Fatal("503 response missing Retry-After")
+			}
+		}
+	}
+	if !got503 {
+		t.Fatal("never observed a 503 across 20 concurrent rounds")
+	}
+	if svc.Stats().AdmissionTimeouts == 0 {
+		t.Fatal("AdmissionTimeouts stayed zero despite shed requests")
+	}
+
+	// A shed session is still alive: with the load gone its Next works.
+	resp := rawCall(t, "GET", ts.URL+"/queries/"+ids[0]+"/next?k=4", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("Next after load: status %d, want 200", resp.StatusCode)
+	}
+}

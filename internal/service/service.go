@@ -15,6 +15,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	iofs "io/fs"
 	"runtime"
 	"sort"
 	"sync"
@@ -71,8 +72,24 @@ type Config struct {
 	IdleTimeout time.Duration
 	// MaxPageSize caps the k of one Next call; ≤0 selects 1024.
 	MaxPageSize int
+	// AdmissionTimeout bounds how long StartQuery and Next wait for a
+	// worker slot before shedding the request with ErrOverloaded (the
+	// front end turns it into 503 + Retry-After). 0 waits forever —
+	// the pre-timeout behaviour; negative sheds immediately.
+	AdmissionTimeout time.Duration
+	// RetryAttempts is the total number of tries a transient store
+	// failure gets during persistence (AddDatabase, AppendRows, the
+	// recovery compaction); 0 selects 3, negative disables retrying.
+	// Permanent failures — fingerprint mismatch, missing files — are
+	// never retried.
+	RetryAttempts int
+	// RetryBackoff is the delay before the first retry, doubling per
+	// attempt and capped at 8× the base; 0 selects 10ms.
+	RetryBackoff time.Duration
 	// Now supplies the clock, for tests; nil selects time.Now.
 	Now func() time.Time
+	// Sleep suspends between retries, for tests; nil selects time.Sleep.
+	Sleep func(time.Duration)
 }
 
 func (c Config) withDefaults() Config {
@@ -97,8 +114,20 @@ func (c Config) withDefaults() Config {
 	if c.MaxPageSize <= 0 {
 		c.MaxPageSize = 1024
 	}
+	if c.RetryAttempts == 0 {
+		c.RetryAttempts = 3
+	}
+	if c.RetryAttempts < 0 {
+		c.RetryAttempts = 1
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 10 * time.Millisecond
+	}
 	if c.Now == nil {
 		c.Now = time.Now
+	}
+	if c.Sleep == nil {
+		c.Sleep = time.Sleep
 	}
 	return c
 }
@@ -116,15 +145,40 @@ type Stats struct {
 	CacheEntries   int   `json:"cache_entries"`
 	CacheBytes     int64 `json:"cache_bytes"`
 	ResultsServed  int64 `json:"results_served"`
+	// StoreRetries counts transient store failures that were retried
+	// during persistence (whether or not the retry then succeeded).
+	StoreRetries int64 `json:"store_retries"`
+	// AdmissionTimeouts counts requests shed with ErrOverloaded because
+	// no worker slot freed up within AdmissionTimeout.
+	AdmissionTimeouts int64 `json:"admission_timeouts"`
+	// QuarantinedDatabases lists databases whose files Recover moved
+	// aside as corrupt (plus quarantines found on disk from earlier
+	// runs); the service keeps serving everything else.
+	QuarantinedDatabases []QuarantineInfo `json:"quarantined_databases,omitempty"`
 	// Engine aggregates the core.Stats of every finished or closed
 	// query session (in-flight sessions contribute at close).
 	Engine core.Stats `json:"engine"`
+}
+
+// QuarantineInfo describes one quarantined database: the name it was
+// registered under, the label its files now carry on disk, and the
+// load error that condemned it (empty for quarantines inherited from
+// an earlier run).
+type QuarantineInfo struct {
+	Name  string `json:"name"`
+	Label string `json:"label"`
+	Error string `json:"error,omitempty"`
 }
 
 // ErrUnknownDatabase marks lookups of names that are not registered;
 // front ends use it to tell "no such database" (404) apart from an
 // operational failure.
 var ErrUnknownDatabase = errors.New("unknown database")
+
+// ErrOverloaded marks requests shed because every worker slot stayed
+// busy for the whole AdmissionTimeout; front ends turn it into 503 +
+// Retry-After. The request had no effect and may be retried.
+var ErrOverloaded = errors.New("service overloaded")
 
 // dbEntry is one registered database with a shared rendering universe
 // (safe across goroutines: the database is frozen and emitted sets
@@ -168,13 +222,16 @@ type Service struct {
 	seq     uint64
 	closed  bool
 
-	queriesStarted int64
-	queriesDone    int64
-	queriesEvicted int64
-	cacheHits      int64
-	cacheMisses    int64
-	resultsServed  int64
-	engine         core.Stats
+	queriesStarted    int64
+	queriesDone       int64
+	queriesEvicted    int64
+	cacheHits         int64
+	cacheMisses       int64
+	resultsServed     int64
+	storeRetries      int64
+	admissionTimeouts int64
+	quarantined       []QuarantineInfo
+	engine            core.Stats
 }
 
 // New builds a Service.
@@ -190,8 +247,67 @@ func New(cfg Config) *Service {
 	}
 }
 
-func (s *Service) acquire() { s.sem <- struct{}{} }
+// acquire takes one admission slot, waiting at most AdmissionTimeout
+// (forever when the timeout is zero). On timeout the request is shed
+// with ErrOverloaded instead of queueing without bound.
+func (s *Service) acquire() error {
+	if s.cfg.AdmissionTimeout == 0 {
+		s.sem <- struct{}{}
+		return nil
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if s.cfg.AdmissionTimeout < 0 {
+		return s.shed()
+	}
+	t := time.NewTimer(s.cfg.AdmissionTimeout)
+	defer t.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-t.C:
+		return s.shed()
+	}
+}
+
+func (s *Service) shed() error {
+	s.mu.Lock()
+	s.admissionTimeouts++
+	s.mu.Unlock()
+	return fmt.Errorf("service: %w: all %d workers busy for %v",
+		ErrOverloaded, s.cfg.Workers, s.cfg.AdmissionTimeout)
+}
+
 func (s *Service) release() { <-s.sem }
+
+// retryStore runs one persistence operation with capped exponential
+// backoff: transient failures (a flaky disk, a full-but-recovering
+// volume) get up to RetryAttempts tries, while permanent failures —
+// a snapshot fingerprint mismatch, files that no longer exist — fail
+// immediately, since retrying cannot change them.
+func (s *Service) retryStore(op func() error) error {
+	backoff := s.cfg.RetryBackoff
+	for attempt := 1; ; attempt++ {
+		err := op()
+		if err == nil || attempt >= s.cfg.RetryAttempts || !retryable(err) {
+			return err
+		}
+		s.mu.Lock()
+		s.storeRetries++
+		s.mu.Unlock()
+		s.cfg.Sleep(backoff)
+		if backoff < s.cfg.RetryBackoff<<3 {
+			backoff *= 2
+		}
+	}
+}
+
+func retryable(err error) bool {
+	return !errors.Is(err, store.ErrFingerprintMismatch) && !errors.Is(err, iofs.ErrNotExist)
+}
 
 // DatabaseInfo describes a registered database.
 type DatabaseInfo struct {
@@ -247,7 +363,7 @@ func (s *Service) addDatabase(name string, db *relation.Database, persist bool) 
 	if persist && s.cfg.Store != nil {
 		// Snapshot IO happens outside the registry lock; a failure rolls
 		// the registration back so memory and disk agree.
-		if err := s.cfg.Store.Save(name, db); err != nil {
+		if err := s.retryStore(func() error { return s.cfg.Store.Save(name, db) }); err != nil {
 			s.mu.Lock()
 			delete(s.dbs, name)
 			s.mu.Unlock()
@@ -291,12 +407,24 @@ func (s *Service) DropDatabase(name string) error {
 // Recover loads every database in the configured Store and registers
 // it, so a restarted server resumes serving exactly what it served
 // before. Row logs are replayed and immediately compacted back into
-// their snapshots. Databases that fail to load (corrupt snapshot, torn
-// log) are skipped and reported in the joined error; the rest recover.
-// Recover returns nil infos and nil error when no Store is configured.
+// their snapshots. A database that fails to load (corrupt snapshot,
+// torn log) is quarantined — its files are renamed aside on disk, so
+// the next recovery does not trip over it again — and reported both in
+// the joined error and in Stats.QuarantinedDatabases; the rest recover
+// and the service serves them. Recover returns nil infos and nil error
+// when no Store is configured.
 func (s *Service) Recover() ([]DatabaseInfo, error) {
 	if s.cfg.Store == nil {
 		return nil, nil
+	}
+	// Start from what is already quarantined on disk, so repeated
+	// recoveries (and restarts) keep reporting earlier casualties
+	// without re-quarantining anything.
+	var quarantined []QuarantineInfo
+	if prior, err := s.cfg.Store.ListQuarantined(); err == nil {
+		for _, q := range prior {
+			quarantined = append(quarantined, QuarantineInfo{Name: q.Name, Label: q.Label})
+		}
 	}
 	names, err := s.cfg.Store.List()
 	if err != nil {
@@ -307,13 +435,21 @@ func (s *Service) Recover() ([]DatabaseInfo, error) {
 	for _, name := range names {
 		db, replayed, err := s.cfg.Store.Load(name)
 		if err != nil {
-			errs = append(errs, err)
+			info := QuarantineInfo{Name: name, Error: err.Error()}
+			label, qerr := s.cfg.Store.Quarantine(name)
+			if qerr != nil {
+				errs = append(errs, errors.Join(err, qerr))
+			} else {
+				info.Label = label
+				errs = append(errs, fmt.Errorf("service: recover: quarantined %q as %s: %w", name, label, err))
+			}
+			quarantined = append(quarantined, info)
 			continue
 		}
 		if replayed {
 			// Fold the row log back into the snapshot now, so the next
 			// restart loads one flat file with no replay.
-			if err := s.cfg.Store.Save(name, db); err != nil {
+			if err := s.retryStore(func() error { return s.cfg.Store.Save(name, db) }); err != nil {
 				errs = append(errs, fmt.Errorf("service: compacting %q: %w", name, err))
 				continue
 			}
@@ -325,7 +461,21 @@ func (s *Service) Recover() ([]DatabaseInfo, error) {
 		}
 		infos = append(infos, info)
 	}
+	s.mu.Lock()
+	s.quarantined = quarantined
+	s.mu.Unlock()
 	return infos, errors.Join(errs...)
+}
+
+// QuarantinedDatabases lists the databases quarantined by Recover (and
+// quarantines inherited from earlier runs), sorted by label.
+func (s *Service) QuarantinedDatabases() []QuarantineInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]QuarantineInfo, len(s.quarantined))
+	copy(out, s.quarantined)
+	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	return out
 }
 
 // ListDatabases describes every registered database, sorted by name.
@@ -414,7 +564,10 @@ func (s *Service) AppendRows(dbName, relName string, tuples []relation.Tuple) (D
 	// fingerprint) instead of durably logging rows the caller will be
 	// told failed.
 	if s.cfg.Store != nil {
-		if err := s.cfg.Store.Append(dbName, relName, tuples, entry.snapFP); err != nil {
+		err := s.retryStore(func() error {
+			return s.cfg.Store.Append(dbName, relName, tuples, entry.snapFP)
+		})
+		if err != nil {
 			return DatabaseInfo{}, err
 		}
 	}
@@ -531,7 +684,11 @@ func (s *Service) StartQuery(ctx context.Context, dbName string, spec fd.Query) 
 		q.engineSlots = granted - 1
 	}
 
-	s.acquire()
+	if err := s.acquire(); err != nil {
+		q.releaseEngine()
+		cancel()
+		return nil, err
+	}
 	cur, err := fd.Open(qctx, entry.db, run)
 	s.release()
 	if err != nil {
@@ -591,17 +748,20 @@ func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		Databases:      len(s.dbs),
-		ActiveQueries:  len(s.queries),
-		QueriesStarted: s.queriesStarted,
-		QueriesDone:    s.queriesDone,
-		QueriesEvicted: s.queriesEvicted,
-		CacheHits:      s.cacheHits,
-		CacheMisses:    s.cacheMisses,
-		CacheEntries:   s.cache.len(),
-		CacheBytes:     s.cache.bytes(),
-		ResultsServed:  s.resultsServed,
-		Engine:         s.engine,
+		Databases:            len(s.dbs),
+		ActiveQueries:        len(s.queries),
+		QueriesStarted:       s.queriesStarted,
+		QueriesDone:          s.queriesDone,
+		QueriesEvicted:       s.queriesEvicted,
+		CacheHits:            s.cacheHits,
+		CacheMisses:          s.cacheMisses,
+		CacheEntries:         s.cache.len(),
+		CacheBytes:           s.cache.bytes(),
+		ResultsServed:        s.resultsServed,
+		StoreRetries:         s.storeRetries,
+		AdmissionTimeouts:    s.admissionTimeouts,
+		QuarantinedDatabases: append([]QuarantineInfo(nil), s.quarantined...),
+		Engine:               s.engine,
 	}
 }
 
@@ -750,7 +910,11 @@ func (q *Query) Next(k int) ([]Result, bool, error) {
 		return nil, true, nil
 	}
 
-	q.svc.acquire()
+	if err := q.svc.acquire(); err != nil {
+		// Shed, not failed: the session stays usable and the client may
+		// retry the identical Next.
+		return nil, false, err
+	}
 	out := make([]Result, 0, k)
 	for len(out) < k {
 		r, ok := q.cur.Next()

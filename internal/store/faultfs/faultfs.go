@@ -1,0 +1,539 @@
+// Package faultfs is an in-memory, fault-injecting implementation of
+// store.FS for crash-consistency testing. It models a journaling
+// filesystem conservatively:
+//
+//   - File content lives in two layers: the volatile buffer every
+//     read and write sees, and the durable image that only advances
+//     when the file is fsynced.
+//   - Directory operations (create, rename, remove) are journalled:
+//     they apply to the volatile directory immediately but become
+//     durable only when SyncDir commits the journal — or, at a crash,
+//     when the journal's own commit interval happens to have flushed a
+//     prefix of them (metadata journals commit on their own cadence,
+//     fsync or not). Reboot therefore takes the length of the
+//     journal prefix to apply, and a harness enumerates every prefix.
+//
+// Faults are armed with ArmAfter: fail the Nth operation outright,
+// tear the Nth write (apply a prefix of the bytes, then error), drop
+// every fsync from the Nth operation on (they report success but
+// persist nothing), or crash at the Nth operation (it and everything
+// after fail until Reboot). Clone forks the whole filesystem state, so
+// a harness can build one scenario and replay it under every fault
+// point without re-running the setup.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	iofs "io/fs"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/store"
+)
+
+// Mode selects what happens at the armed operation.
+type Mode int
+
+const (
+	// FailOp makes the operation return ErrInjected with no effect.
+	FailOp Mode = iota
+	// TornWrite makes the operation — which must be a write — apply
+	// only a prefix of its bytes, then return ErrInjected. On any
+	// other operation it degrades to FailOp.
+	TornWrite
+	// DropSync makes this and every later Sync/SyncDir report success
+	// while persisting nothing — the lying-disk fault class.
+	DropSync
+	// Crash makes the operation and every one after it fail with
+	// ErrCrashed until Reboot; the durable state is frozen as it was.
+	Crash
+)
+
+// ErrInjected is the error returned by an operation that an armed
+// FailOp or TornWrite fault hit.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// ErrCrashed is returned by every operation between a crash and the
+// next Reboot, and by handles opened before the reboot afterwards.
+var ErrCrashed = errors.New("faultfs: crashed (reboot required)")
+
+// inode is one file: the volatile content and the last-fsynced image.
+type inode struct {
+	data    []byte
+	durable []byte
+}
+
+// metaOp is one journalled directory operation.
+type metaOp struct {
+	kind string // "create", "rename", "remove"
+	a, b string
+	ino  *inode // create only
+}
+
+// FS implements store.FS. All methods are safe for concurrent use.
+type FS struct {
+	mu      sync.Mutex
+	dir     map[string]*inode // volatile directory
+	pdir    map[string]*inode // durable directory image
+	pending []metaOp          // journalled dir ops since the last commit
+
+	ops     int      // operations executed so far
+	trace   []string // one "<kind> <path>" entry per operation
+	faultAt int      // 1-based op index to fault; 0 = disarmed
+	mode    Mode
+	fired   bool
+	drop    bool // DropSync engaged: all syncs lie from here on
+	crashed bool
+	gen     int // bumped by Reboot; stale handles fail
+}
+
+// New returns an empty filesystem.
+func New() *FS {
+	return &FS{dir: make(map[string]*inode), pdir: make(map[string]*inode)}
+}
+
+// Clone forks the filesystem: an independent deep copy sharing no
+// state, including the fault plan and operation counter.
+func (f *FS) Clone() *FS {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	seen := make(map[*inode]*inode)
+	dup := func(ino *inode) *inode {
+		if ino == nil {
+			return nil
+		}
+		if d, ok := seen[ino]; ok {
+			return d
+		}
+		d := &inode{data: append([]byte(nil), ino.data...), durable: append([]byte(nil), ino.durable...)}
+		seen[ino] = d
+		return d
+	}
+	c := &FS{
+		dir:     make(map[string]*inode, len(f.dir)),
+		pdir:    make(map[string]*inode, len(f.pdir)),
+		pending: make([]metaOp, len(f.pending)),
+		ops:     f.ops,
+		trace:   append([]string(nil), f.trace...),
+		faultAt: f.faultAt,
+		mode:    f.mode,
+		fired:   f.fired,
+		drop:    f.drop,
+		crashed: f.crashed,
+		gen:     f.gen,
+	}
+	for name, ino := range f.dir {
+		c.dir[name] = dup(ino)
+	}
+	for name, ino := range f.pdir {
+		c.pdir[name] = dup(ino)
+	}
+	for i, op := range f.pending {
+		op.ino = dup(op.ino)
+		c.pending[i] = op
+	}
+	return c
+}
+
+// ArmAfter arms one fault at the n-th operation from now (1-based):
+// the next operation is n=1. Mode DropSync stays engaged from that
+// operation on.
+func (f *FS) ArmAfter(n int, mode Mode) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faultAt = f.ops + n
+	f.mode = mode
+	f.fired = false
+}
+
+// Disarm clears any armed fault (DropSync, once engaged, stays).
+func (f *FS) Disarm() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faultAt = 0
+}
+
+// Fired reports whether the armed fault has hit.
+func (f *FS) Fired() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fired
+}
+
+// OpCount returns how many operations have executed.
+func (f *FS) OpCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Trace returns one "<kind> <path>" entry per executed operation.
+func (f *FS) Trace() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.trace...)
+}
+
+// CrashNow crashes the filesystem immediately: durable state freezes
+// and every operation fails with ErrCrashed until Reboot.
+func (f *FS) CrashNow() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashed = true
+}
+
+// PendingMeta returns how many journalled directory operations have
+// not been committed — the range of Reboot prefixes worth enumerating.
+func (f *FS) PendingMeta() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.pending)
+}
+
+// Reboot simulates the machine coming back up: the volatile state is
+// discarded and rebuilt from the durable image, after applying the
+// first metaPrefix journalled directory operations (a metadata journal
+// may have committed any prefix of them by itself before the crash —
+// in order, never reordered). Open handles from before the reboot
+// fail; faults are disarmed; dropped-sync mode is cleared.
+func (f *FS) Reboot(metaPrefix int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if metaPrefix < 0 || metaPrefix > len(f.pending) {
+		panic(fmt.Sprintf("faultfs: Reboot prefix %d out of range [0, %d]", metaPrefix, len(f.pending)))
+	}
+	for _, op := range f.pending[:metaPrefix] {
+		f.applyMeta(op)
+	}
+	f.pending = nil
+	dir := make(map[string]*inode, len(f.pdir))
+	for name, ino := range f.pdir {
+		fresh := &inode{
+			data:    append([]byte(nil), ino.durable...),
+			durable: append([]byte(nil), ino.durable...),
+		}
+		dir[name] = fresh
+	}
+	f.dir = dir
+	f.pdir = make(map[string]*inode, len(dir))
+	for name, ino := range dir {
+		f.pdir[name] = ino
+	}
+	f.crashed = false
+	f.faultAt = 0
+	f.fired = false
+	f.drop = false
+	f.gen++
+}
+
+// applyMeta commits one journalled directory operation to the durable
+// directory image; called with mu held.
+func (f *FS) applyMeta(op metaOp) {
+	switch op.kind {
+	case "create":
+		f.pdir[op.a] = op.ino
+	case "rename":
+		if ino, ok := f.pdir[op.a]; ok {
+			f.pdir[op.b] = ino
+			delete(f.pdir, op.a)
+		}
+	case "remove":
+		delete(f.pdir, op.a)
+	}
+}
+
+// step counts one operation and resolves its fault verdict; called
+// with mu held. It returns the mode to apply (TornWrite only ever
+// reaches Write; elsewhere it degrades to FailOp) and the error for
+// faulted non-write operations.
+func (f *FS) step(kind, path string, isWrite, isSync bool) (Mode, error) {
+	if f.crashed {
+		return 0, fmt.Errorf("%s %s: %w", kind, path, ErrCrashed)
+	}
+	f.ops++
+	f.trace = append(f.trace, kind+" "+path)
+	if f.faultAt == f.ops {
+		f.fired = true
+		switch f.mode {
+		case Crash:
+			f.crashed = true
+			return 0, fmt.Errorf("%s %s: %w", kind, path, ErrCrashed)
+		case DropSync:
+			f.drop = true
+		case TornWrite:
+			if isWrite {
+				return TornWrite, nil
+			}
+			return 0, fmt.Errorf("%s %s: %w", kind, path, ErrInjected)
+		case FailOp:
+			return 0, fmt.Errorf("%s %s: %w", kind, path, ErrInjected)
+		}
+	}
+	if isSync && f.drop {
+		return DropSync, nil
+	}
+	return 0, nil
+}
+
+func pathErr(op, path string, err error) error {
+	return &iofs.PathError{Op: op, Path: path, Err: err}
+}
+
+// --- store.FS ----------------------------------------------------------
+
+// MkdirAll is a no-op beyond fault accounting: the namespace is flat
+// and paths are plain map keys.
+func (f *FS) MkdirAll(dir string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	_, err := f.step("mkdir", dir, false, false)
+	return err
+}
+
+func (f *FS) Create(name string) (store.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, err := f.step("create", name, false, false); err != nil {
+		return nil, err
+	}
+	// A new inode replaces any volatile entry; the durable directory
+	// keeps pointing at the old inode until the journal commits, which
+	// is exactly how truncate-by-create behaves across a crash.
+	ino := &inode{}
+	f.dir[name] = ino
+	f.pending = append(f.pending, metaOp{kind: "create", a: name, ino: ino})
+	return &file{fs: f, ino: ino, name: name, gen: f.gen, writable: true}, nil
+}
+
+func (f *FS) Open(name string) (store.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, err := f.step("open", name, false, false); err != nil {
+		return nil, err
+	}
+	ino, ok := f.dir[name]
+	if !ok {
+		return nil, pathErr("open", name, iofs.ErrNotExist)
+	}
+	return &file{fs: f, ino: ino, name: name, gen: f.gen}, nil
+}
+
+func (f *FS) OpenAppend(name string) (store.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, err := f.step("append-open", name, false, false); err != nil {
+		return nil, err
+	}
+	ino, ok := f.dir[name]
+	if !ok {
+		ino = &inode{}
+		f.dir[name] = ino
+		f.pending = append(f.pending, metaOp{kind: "create", a: name, ino: ino})
+	}
+	return &file{fs: f, ino: ino, name: name, gen: f.gen, writable: true}, nil
+}
+
+func (f *FS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, err := f.step("rename", oldpath+" -> "+newpath, false, false); err != nil {
+		return err
+	}
+	ino, ok := f.dir[oldpath]
+	if !ok {
+		return pathErr("rename", oldpath, iofs.ErrNotExist)
+	}
+	f.dir[newpath] = ino
+	delete(f.dir, oldpath)
+	f.pending = append(f.pending, metaOp{kind: "rename", a: oldpath, b: newpath})
+	return nil
+}
+
+func (f *FS) Remove(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, err := f.step("remove", name, false, false); err != nil {
+		return err
+	}
+	if _, ok := f.dir[name]; !ok {
+		return pathErr("remove", name, iofs.ErrNotExist)
+	}
+	delete(f.dir, name)
+	f.pending = append(f.pending, metaOp{kind: "remove", a: name})
+	return nil
+}
+
+func (f *FS) Stat(name string) (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, err := f.step("stat", name, false, false); err != nil {
+		return 0, err
+	}
+	ino, ok := f.dir[name]
+	if !ok {
+		return 0, pathErr("stat", name, iofs.ErrNotExist)
+	}
+	return int64(len(ino.data)), nil
+}
+
+func (f *FS) ReadDir(dir string) ([]string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, err := f.step("readdir", dir, false, false); err != nil {
+		return nil, err
+	}
+	prefix := strings.TrimSuffix(dir, "/") + "/"
+	var names []string
+	for name := range f.dir {
+		if rest := strings.TrimPrefix(name, prefix); rest != name && !strings.Contains(rest, "/") {
+			names = append(names, rest)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (f *FS) SyncDir(dir string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	mode, err := f.step("syncdir", dir, false, true)
+	if err != nil {
+		return err
+	}
+	if mode == DropSync {
+		return nil
+	}
+	for _, op := range f.pending {
+		f.applyMeta(op)
+	}
+	f.pending = nil
+	return nil
+}
+
+// --- store.File --------------------------------------------------------
+
+type file struct {
+	fs       *FS
+	ino      *inode
+	name     string
+	gen      int
+	rpos     int
+	writable bool
+	closed   bool
+}
+
+// check guards every file operation; called with fs.mu held.
+func (fl *file) check(op string) error {
+	if fl.gen != fl.fs.gen {
+		return pathErr(op, fl.name, ErrCrashed)
+	}
+	if fl.closed {
+		return pathErr(op, fl.name, iofs.ErrClosed)
+	}
+	return nil
+}
+
+func (fl *file) Read(p []byte) (int, error) {
+	fl.fs.mu.Lock()
+	defer fl.fs.mu.Unlock()
+	if err := fl.check("read"); err != nil {
+		return 0, err
+	}
+	if _, err := fl.fs.step("read", fl.name, false, false); err != nil {
+		return 0, err
+	}
+	if fl.rpos >= len(fl.ino.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, fl.ino.data[fl.rpos:])
+	fl.rpos += n
+	return n, nil
+}
+
+func (fl *file) Write(p []byte) (int, error) {
+	fl.fs.mu.Lock()
+	defer fl.fs.mu.Unlock()
+	if err := fl.check("write"); err != nil {
+		return 0, err
+	}
+	if !fl.writable {
+		return 0, pathErr("write", fl.name, iofs.ErrPermission)
+	}
+	mode, err := fl.fs.step("write", fl.name, true, false)
+	if err != nil {
+		return 0, err
+	}
+	if mode == TornWrite {
+		n := len(p) / 2
+		fl.ino.data = append(fl.ino.data, p[:n]...)
+		return n, fmt.Errorf("write %s: %w", fl.name, ErrInjected)
+	}
+	fl.ino.data = append(fl.ino.data, p...)
+	return len(p), nil
+}
+
+func (fl *file) Sync() error {
+	fl.fs.mu.Lock()
+	defer fl.fs.mu.Unlock()
+	if err := fl.check("sync"); err != nil {
+		return err
+	}
+	mode, err := fl.fs.step("sync", fl.name, false, true)
+	if err != nil {
+		return err
+	}
+	if mode == DropSync {
+		return nil
+	}
+	fl.ino.durable = append([]byte(nil), fl.ino.data...)
+	return nil
+}
+
+func (fl *file) Truncate(size int64) error {
+	fl.fs.mu.Lock()
+	defer fl.fs.mu.Unlock()
+	if err := fl.check("truncate"); err != nil {
+		return err
+	}
+	if _, err := fl.fs.step("truncate", fl.name, false, false); err != nil {
+		return err
+	}
+	if size < 0 || size > int64(len(fl.ino.data)) {
+		return pathErr("truncate", fl.name, errors.New("size out of range"))
+	}
+	fl.ino.data = fl.ino.data[:size]
+	return nil
+}
+
+func (fl *file) Size() (int64, error) {
+	fl.fs.mu.Lock()
+	defer fl.fs.mu.Unlock()
+	if err := fl.check("size"); err != nil {
+		return 0, err
+	}
+	if _, err := fl.fs.step("size", fl.name, false, false); err != nil {
+		return 0, err
+	}
+	return int64(len(fl.ino.data)), nil
+}
+
+func (fl *file) Close() error {
+	fl.fs.mu.Lock()
+	defer fl.fs.mu.Unlock()
+	if fl.closed {
+		return nil
+	}
+	fl.closed = true
+	if fl.gen != fl.fs.gen || fl.fs.crashed {
+		// Closing a stale or post-crash handle: nothing to flush, the
+		// close itself cannot matter.
+		return nil
+	}
+	if _, err := fl.fs.step("close", fl.name, false, false); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,273 @@
+package faultfs
+
+import (
+	"errors"
+	"io"
+	iofs "io/fs"
+	"strings"
+	"testing"
+)
+
+// readAll drains a file handle through the store.File interface.
+func readAll(t *testing.T, f *FS, name string) string {
+	t.Helper()
+	h, err := f.Open(name)
+	if err != nil {
+		t.Fatalf("Open(%q): %v", name, err)
+	}
+	defer h.Close()
+	b, err := io.ReadAll(h)
+	if err != nil {
+		t.Fatalf("ReadAll(%q): %v", name, err)
+	}
+	return string(b)
+}
+
+func mustWrite(t *testing.T, f *FS, name, content string) {
+	t.Helper()
+	h, err := f.Create(name)
+	if err != nil {
+		t.Fatalf("Create(%q): %v", name, err)
+	}
+	if _, err := h.Write([]byte(content)); err != nil {
+		t.Fatalf("Write(%q): %v", name, err)
+	}
+	if err := h.Sync(); err != nil {
+		t.Fatalf("Sync(%q): %v", name, err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatalf("Close(%q): %v", name, err)
+	}
+}
+
+func TestVolatileVersusDurable(t *testing.T) {
+	f := New()
+	mustWrite(t, f, "d/a", "hello")
+	if err := f.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Overwrite without syncing: the volatile view sees the new bytes,
+	// the durable image still holds the old ones.
+	h, err := f.OpenAppend("d/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte(" world")); err != nil {
+		t.Fatal(err)
+	}
+	h.Close()
+	if got := readAll(t, f, "d/a"); got != "hello world" {
+		t.Fatalf("volatile content = %q, want %q", got, "hello world")
+	}
+
+	f.CrashNow()
+	if _, err := f.Open("d/a"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Open after crash: err = %v, want ErrCrashed", err)
+	}
+	f.Reboot(f.PendingMeta())
+	if got := readAll(t, f, "d/a"); got != "hello" {
+		t.Fatalf("post-crash content = %q, want %q (unsynced append must vanish)", got, "hello")
+	}
+}
+
+func TestCreateNotDurableWithoutSyncDir(t *testing.T) {
+	f := New()
+	mustWrite(t, f, "d/a", "x") // file fsynced, dentry only journalled
+
+	// Reboot applying no journal prefix: the create never committed, so
+	// the file must be gone despite the file-level fsync.
+	c := f.Clone()
+	c.CrashNow()
+	c.Reboot(0)
+	if _, err := c.Open("d/a"); !errors.Is(err, iofs.ErrNotExist) {
+		t.Fatalf("Open after reboot(0): err = %v, want not-exist", err)
+	}
+
+	// Reboot applying the whole journal: create committed, content durable.
+	f.CrashNow()
+	f.Reboot(f.PendingMeta())
+	if got := readAll(t, f, "d/a"); got != "x" {
+		t.Fatalf("post-reboot content = %q, want %q", got, "x")
+	}
+}
+
+func TestRenameJournalPrefixes(t *testing.T) {
+	// rename a -> b with both states enumerable at the crash boundary.
+	f := New()
+	mustWrite(t, f, "d/a", "v1")
+	if err := f.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, f, "d/tmp", "v2")
+	if err := f.Rename("d/tmp", "d/a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := readAll(t, f, "d/a"); got != "v2" {
+		t.Fatalf("volatile rename target = %q, want v2", got)
+	}
+	n := f.PendingMeta()
+	if n != 2 { // create d/tmp, rename d/tmp -> d/a
+		t.Fatalf("PendingMeta = %d, want 2", n)
+	}
+	for p := 0; p <= n; p++ {
+		c := f.Clone()
+		c.CrashNow()
+		c.Reboot(p)
+		got := readAll(t, c, "d/a")
+		want := "v1"
+		if p == 2 {
+			want = "v2"
+		}
+		if got != want {
+			t.Fatalf("prefix %d: d/a = %q, want %q", p, got, want)
+		}
+	}
+}
+
+func TestFailOp(t *testing.T) {
+	f := New()
+	mustWrite(t, f, "d/a", "keep")
+	f.SyncDir("d")
+
+	f.ArmAfter(1, FailOp)
+	if _, err := f.Create("d/b"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Create under FailOp: err = %v, want ErrInjected", err)
+	}
+	if !f.Fired() {
+		t.Fatal("fault did not report fired")
+	}
+	// One-shot: the next operation succeeds, and the failed create had
+	// no effect on the namespace.
+	names, err := f.ReadDir("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "a" {
+		t.Fatalf("ReadDir = %v, want [a]", names)
+	}
+}
+
+func TestTornWrite(t *testing.T) {
+	f := New()
+	h, err := f.Create("d/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.ArmAfter(1, TornWrite)
+	n, err := h.Write([]byte("abcdefgh"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write err = %v, want ErrInjected", err)
+	}
+	if n != 4 {
+		t.Fatalf("torn write wrote %d bytes, want 4", n)
+	}
+	h.Close()
+	if got := readAll(t, f, "d/a"); got != "abcd" {
+		t.Fatalf("content after torn write = %q, want %q", got, "abcd")
+	}
+}
+
+func TestDropSync(t *testing.T) {
+	f := New()
+	mustWrite(t, f, "d/a", "old")
+	f.SyncDir("d")
+
+	f.ArmAfter(2, DropSync) // arm on the write's following sync
+	h, err := f.OpenAppend("d/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("+new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Sync(); err != nil {
+		t.Fatalf("lying sync must report success, got %v", err)
+	}
+	h.Close()
+
+	f.CrashNow()
+	f.Reboot(f.PendingMeta())
+	if got := readAll(t, f, "d/a"); got != "old" {
+		t.Fatalf("post-crash content = %q, want %q (sync was dropped)", got, "old")
+	}
+}
+
+func TestCrashAtOp(t *testing.T) {
+	f := New()
+	mustWrite(t, f, "d/a", "x")
+	f.SyncDir("d")
+	f.ArmAfter(1, Crash)
+	if _, err := f.Create("d/b"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Create at crash point: err = %v, want ErrCrashed", err)
+	}
+	if _, err := f.Stat("d/a"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Stat after crash: err = %v, want ErrCrashed", err)
+	}
+	f.Reboot(f.PendingMeta())
+	if got := readAll(t, f, "d/a"); got != "x" {
+		t.Fatalf("post-reboot content = %q, want %q", got, "x")
+	}
+}
+
+func TestStaleHandleAfterReboot(t *testing.T) {
+	f := New()
+	h, err := f.Create("d/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.CrashNow()
+	f.Reboot(f.PendingMeta())
+	if _, err := h.Write([]byte("late")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write on stale handle: err = %v, want ErrCrashed", err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatalf("closing a stale handle must be silent, got %v", err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	f := New()
+	mustWrite(t, f, "d/a", "base")
+	f.SyncDir("d")
+	c := f.Clone()
+	mustWrite(t, c, "d/a", "fork")
+	if got := readAll(t, f, "d/a"); got != "base" {
+		t.Fatalf("original mutated by clone write: %q", got)
+	}
+	if got := readAll(t, c, "d/a"); got != "fork" {
+		t.Fatalf("clone content = %q, want fork", got)
+	}
+	// The clone preserves inode identity between dir and journal, so a
+	// pending create committed after the clone still lands the same
+	// content.
+	f2 := New()
+	h, _ := f2.Create("d/x")
+	h.Write([]byte("pend"))
+	h.Sync()
+	h.Close()
+	c2 := f2.Clone()
+	c2.CrashNow()
+	c2.Reboot(c2.PendingMeta())
+	if got := readAll(t, c2, "d/x"); got != "pend" {
+		t.Fatalf("cloned pending create lost content: %q", got)
+	}
+}
+
+func TestTraceAndOpCount(t *testing.T) {
+	f := New()
+	mustWrite(t, f, "d/a", "x")
+	tr := f.Trace()
+	if len(tr) != f.OpCount() {
+		t.Fatalf("trace length %d != op count %d", len(tr), f.OpCount())
+	}
+	var writes int
+	for _, e := range tr {
+		if strings.HasPrefix(e, "write ") {
+			writes++
+		}
+	}
+	if writes != 1 {
+		t.Fatalf("trace records %d writes, want 1: %v", writes, tr)
+	}
+}

@@ -1,0 +1,158 @@
+package store
+
+// The FS seam: every byte the store reads or writes goes through this
+// interface, so tests can substitute a hostile filesystem (see
+// internal/store/faultfs) that fails the Nth operation, tears a write,
+// drops fsyncs, or freezes its durable state to simulate a crash. The
+// crash-consistency harness in crash_test.go enumerates fault points
+// through this seam; docs/FAILURE_MODEL.md states the guarantees it
+// checks.
+
+import (
+	"errors"
+	"io"
+	iofs "io/fs"
+	"os"
+	"syscall"
+)
+
+// File is one open store file. Writes are sequential (the store only
+// ever creates-and-writes or appends); Truncate is used to roll a
+// failed append back to its pre-append size.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync makes the file's current content durable.
+	Sync() error
+	// Truncate shrinks the file to size bytes.
+	Truncate(size int64) error
+	// Size returns the file's current length in bytes.
+	Size() (int64, error)
+}
+
+// FS is the filesystem surface the store runs on. Path arguments are
+// the store's own (dir-prefixed) paths; a missing file is reported
+// with an error matching io/fs.ErrNotExist. The os-backed default is
+// OSFS.
+type FS interface {
+	// MkdirAll creates the store directory (and parents).
+	MkdirAll(dir string) error
+	// Create opens name for writing, truncating any existing content.
+	Create(name string) (File, error)
+	// Open opens name read-only.
+	Open(name string) (File, error)
+	// OpenAppend opens name for appending, creating it when absent.
+	// Note a freshly created file's directory entry is only durable
+	// after SyncDir.
+	OpenAppend(name string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// Stat returns the size of name.
+	Stat(name string) (int64, error)
+	// ReadDir lists the file names (directories excluded) in dir.
+	ReadDir(dir string) ([]string, error)
+	// SyncDir makes dir's entries (renames, removals, creations)
+	// durable.
+	SyncDir(dir string) error
+}
+
+// OSFS returns the operating-system filesystem, the FS used by Open.
+func OSFS() FS { return osFS{} }
+
+type osFS struct{}
+
+type osFile struct{ *os.File }
+
+func (f osFile) Size() (int64, error) {
+	st, err := f.File.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) Create(name string) (File, error) {
+	f, err := os.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+func (osFS) Open(name string) (File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+func (osFS) OpenAppend(name string) (File, error) {
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) Stat(name string) (int64, error) {
+	st, err := os.Stat(name)
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	return names, nil
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		// Some filesystems refuse directory fsync; that refusal is a
+		// property of the mount, not a transient failure.
+		if errors.Is(err, syscall.EINVAL) {
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+// readFile reads the whole of name through fsys.
+func readFile(fsys FS, name string) ([]byte, error) {
+	f, err := fsys.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// notExist reports whether err means the file is absent.
+func notExist(err error) bool { return errors.Is(err, iofs.ErrNotExist) }

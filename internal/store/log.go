@@ -21,7 +21,6 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
-	"os"
 
 	"repro/internal/relation"
 )
@@ -48,17 +47,16 @@ type logRecord struct {
 // durable; a reported failure truncates the file back to its
 // pre-append size, so a failed (and possibly retried) append never
 // leaves a torn record for later appends to bury.
-func appendLog(path string, fp uint64, relName string, tuples []relation.Tuple) (err error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+func appendLog(fsys FS, path string, fp uint64, relName string, tuples []relation.Tuple) (err error) {
+	f, err := fsys.OpenAppend(path)
 	if err != nil {
 		return fmt.Errorf("store: appending log: %w", err)
 	}
 	defer f.Close()
-	st, err := f.Stat()
+	start, err := f.Size()
 	if err != nil {
 		return fmt.Errorf("store: appending log: %w", err)
 	}
-	start := st.Size()
 	defer func() {
 		if err != nil {
 			// Roll the partial batch back (best effort: if the truncate
@@ -141,9 +139,9 @@ func encodeLogPayload(buf *bytes.Buffer, relName string, t *relation.Tuple) {
 // fingerprint of the snapshot it extends. A missing or empty file
 // yields no records; any malformed byte — bad magic, unknown version,
 // checksum mismatch, or a truncated record — is a loud error.
-func readLog(path string) ([]logRecord, uint64, error) {
-	f, err := os.Open(path)
-	if os.IsNotExist(err) {
+func readLog(fsys FS, path string) ([]logRecord, uint64, error) {
+	f, err := fsys.Open(path)
+	if notExist(err) {
 		return nil, 0, nil
 	}
 	if err != nil {

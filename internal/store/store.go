@@ -16,9 +16,9 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"net/url"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -32,25 +32,49 @@ const (
 	logExt      = ".fdlog"
 	markerExt   = ".compact"
 	tmpPrefix   = ".snapshot-"
+	// corruptInfix marks quarantined files: Quarantine renames
+	// "<name>.fdb" to "<name>.fdb.corrupt-N" (and likewise the log and
+	// marker), so a corrupt database stops re-failing every recovery
+	// while its bytes stay on disk for forensics.
+	corruptInfix = ".corrupt-"
 )
+
+// ErrFingerprintMismatch marks an Append whose expected snapshot
+// fingerprint does not match the snapshot on disk (the database was
+// replaced under this name). It is a permanent error: callers must not
+// retry it.
+var ErrFingerprintMismatch = errors.New("snapshot fingerprint mismatch")
 
 // Store manages the snapshot and log files of a data directory. All
 // methods are safe for concurrent use; mutating operations on the same
 // store are serialised.
 type Store struct {
 	dir string
+	fs  FS
 	mu  sync.Mutex
+	// tmpSeq names temporary files uniquely within this store; only
+	// touched under mu.
+	tmpSeq uint64
 }
 
-// Open opens (creating if necessary) a store rooted at dir.
-func Open(dir string) (*Store, error) {
+// Open opens (creating if necessary) a store rooted at dir on the
+// operating-system filesystem.
+func Open(dir string) (*Store, error) { return OpenFS(dir, OSFS()) }
+
+// OpenFS opens a store rooted at dir on an arbitrary filesystem —
+// the seam the fault-injection harness uses to run the store on
+// faultfs.
+func OpenFS(dir string, fsys FS) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("store: empty data directory")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if fsys == nil {
+		return nil, fmt.Errorf("store: nil filesystem")
+	}
+	if err := fsys.MkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	return &Store{dir: dir, fs: fsys}, nil
 }
 
 // Dir returns the store's root directory.
@@ -76,20 +100,22 @@ func (s *Store) markerPath(name string) string {
 	return filepath.Join(s.dir, url.PathEscape(name)+markerExt)
 }
 
-// List returns the names of all stored databases, sorted.
+// List returns the names of all stored databases, sorted. Quarantined
+// databases (see Quarantine) are excluded — their files no longer end
+// in the snapshot extension.
 func (s *Store) List() ([]string, error) {
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	var names []string
 	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), snapshotExt) || strings.HasPrefix(e.Name(), tmpPrefix) {
+		if !strings.HasSuffix(e, snapshotExt) || strings.HasPrefix(e, tmpPrefix) {
 			continue
 		}
-		name, err := url.PathUnescape(strings.TrimSuffix(e.Name(), snapshotExt))
+		name, err := url.PathUnescape(strings.TrimSuffix(e, snapshotExt))
 		if err != nil {
-			return nil, fmt.Errorf("store: undecodable snapshot file %q: %w", e.Name(), err)
+			return nil, fmt.Errorf("store: undecodable snapshot file %q: %w", e, err)
 		}
 		names = append(names, name)
 	}
@@ -107,11 +133,12 @@ func (s *Store) Save(name string, db *relation.Database) error {
 }
 
 func (s *Store) save(name string, db *relation.Database) error {
-	tmp, err := os.CreateTemp(s.dir, tmpPrefix+"*")
+	tmpName := s.tmpName()
+	tmp, err := s.fs.Create(tmpName)
 	if err != nil {
 		return fmt.Errorf("store: save %q: %w", name, err)
 	}
-	defer os.Remove(tmp.Name()) // no-op after the rename succeeds
+	defer s.fs.Remove(tmpName) // no-op after the rename succeeds
 	if err := db.WriteSnapshot(tmp); err != nil {
 		tmp.Close()
 		return fmt.Errorf("store: save %q: %w", name, err)
@@ -130,35 +157,44 @@ func (s *Store) save(name string, db *relation.Database) error {
 	// already folded in (it deletes it) instead of refusing the
 	// fingerprint mismatch forever.
 	hasLog := false
-	if _, err := os.Stat(s.logPath(name)); err == nil {
+	if _, err := s.fs.Stat(s.logPath(name)); err == nil {
 		hasLog = true
 		if err := s.writeMarker(name, db.Fingerprint()); err != nil {
 			return fmt.Errorf("store: save %q: %w", name, err)
 		}
 	}
-	if err := os.Rename(tmp.Name(), s.snapshotPath(name)); err != nil {
+	if err := s.fs.Rename(tmpName, s.snapshotPath(name)); err != nil {
 		return fmt.Errorf("store: save %q: %w", name, err)
 	}
-	if err := os.Remove(s.logPath(name)); err != nil && !os.IsNotExist(err) {
+	if err := s.fs.Remove(s.logPath(name)); err != nil && !notExist(err) {
 		return fmt.Errorf("store: save %q: truncating log: %w", name, err)
 	}
 	if hasLog {
-		if err := os.Remove(s.markerPath(name)); err != nil && !os.IsNotExist(err) {
+		if err := s.fs.Remove(s.markerPath(name)); err != nil && !notExist(err) {
 			return fmt.Errorf("store: save %q: removing marker: %w", name, err)
 		}
 	}
-	s.syncDir()
+	if err := s.fs.SyncDir(s.dir); err != nil {
+		return fmt.Errorf("store: save %q: syncing directory: %w", name, err)
+	}
 	return nil
+}
+
+// tmpName names a fresh temporary file; called with mu held.
+func (s *Store) tmpName() string {
+	s.tmpSeq++
+	return filepath.Join(s.dir, fmt.Sprintf("%s%d", tmpPrefix, s.tmpSeq))
 }
 
 // writeMarker atomically writes the compaction marker for name: the
 // hex fingerprint of the snapshot that replaces the current row log.
 func (s *Store) writeMarker(name string, fp uint64) error {
-	tmp, err := os.CreateTemp(s.dir, tmpPrefix+"*")
+	tmpName := s.tmpName()
+	tmp, err := s.fs.Create(tmpName)
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name())
+	defer s.fs.Remove(tmpName)
 	if _, err := fmt.Fprintf(tmp, "%016x\n", fp); err != nil {
 		tmp.Close()
 		return err
@@ -170,14 +206,14 @@ func (s *Store) writeMarker(name string, fp uint64) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), s.markerPath(name))
+	return s.fs.Rename(tmpName, s.markerPath(name))
 }
 
 // readMarker reads the compaction marker if present, returning the
 // recorded fingerprint. A malformed marker is a loud error.
 func (s *Store) readMarker(name string) (fp uint64, exists bool, err error) {
-	raw, err := os.ReadFile(s.markerPath(name))
-	if os.IsNotExist(err) {
+	raw, err := readFile(s.fs, s.markerPath(name))
+	if notExist(err) {
 		return 0, false, nil
 	}
 	if err != nil {
@@ -189,14 +225,9 @@ func (s *Store) readMarker(name string) (fp uint64, exists bool, err error) {
 	return fp, true, nil
 }
 
-// syncDir fsyncs the store directory so renames and removals are
-// durable; best effort (some filesystems refuse directory fsync).
-func (s *Store) syncDir() {
-	if d, err := os.Open(s.dir); err == nil {
-		_ = d.Sync()
-		d.Close()
-	}
-}
+// syncDir fsyncs the store directory, best effort — used on cleanup
+// paths whose durability the next recovery re-establishes anyway.
+func (s *Store) syncDir() { _ = s.fs.SyncDir(s.dir) }
 
 // Load reads the stored database of that name: the snapshot is loaded
 // (adopting its columnar mirror directly, no re-encoding) and any row
@@ -211,7 +242,7 @@ func (s *Store) Load(name string) (*relation.Database, bool, error) {
 }
 
 func (s *Store) load(name string) (*relation.Database, bool, error) {
-	f, err := os.Open(s.snapshotPath(name))
+	f, err := s.fs.Open(s.snapshotPath(name))
 	if err != nil {
 		return nil, false, fmt.Errorf("store: load %q: %w", name, err)
 	}
@@ -230,17 +261,17 @@ func (s *Store) load(name string) (*relation.Database, bool, error) {
 		return nil, false, fmt.Errorf("store: load %q: %w", name, err)
 	} else if exists {
 		if mfp == db.Fingerprint() {
-			if err := os.Remove(s.logPath(name)); err != nil && !os.IsNotExist(err) {
+			if err := s.fs.Remove(s.logPath(name)); err != nil && !notExist(err) {
 				return nil, false, fmt.Errorf("store: load %q: clearing folded log: %w", name, err)
 			}
 		}
-		if err := os.Remove(s.markerPath(name)); err != nil && !os.IsNotExist(err) {
+		if err := s.fs.Remove(s.markerPath(name)); err != nil && !notExist(err) {
 			return nil, false, fmt.Errorf("store: load %q: clearing marker: %w", name, err)
 		}
 		s.syncDir()
 	}
 
-	recs, fp, err := readLog(s.logPath(name))
+	recs, fp, err := readLog(s.fs, s.logPath(name))
 	if err != nil {
 		return nil, false, fmt.Errorf("store: load %q: %w", name, err)
 	}
@@ -282,7 +313,7 @@ func (s *Store) Append(name, relName string, tuples []relation.Tuple, expectFP u
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
-	sf, err := os.Open(s.snapshotPath(name))
+	sf, err := s.fs.Open(s.snapshotPath(name))
 	if err != nil {
 		return fmt.Errorf("store: append %q: %w", name, err)
 	}
@@ -292,10 +323,28 @@ func (s *Store) Append(name, relName string, tuples []relation.Tuple, expectFP u
 		return fmt.Errorf("store: append %q: %w", name, err)
 	}
 	if fp != expectFP {
-		return fmt.Errorf("store: append %q: snapshot fingerprint %016x is not the expected %016x (database replaced?)",
-			name, fp, expectFP)
+		return fmt.Errorf("store: append %q: %w: snapshot is %016x, expected %016x (database replaced?)",
+			name, ErrFingerprintMismatch, fp, expectFP)
 	}
-	return appendLog(s.logPath(name), fp, relName, tuples)
+	// Is this append creating the log file? Then its directory entry
+	// must be fsynced below — a file fsync alone does not make a fresh
+	// dentry durable, and a crash would silently lose the whole log
+	// (found by the crash harness).
+	_, statErr := s.fs.Stat(s.logPath(name))
+	created := notExist(statErr)
+	if err := appendLog(s.fs, s.logPath(name), fp, relName, tuples); err != nil {
+		return err
+	}
+	if created {
+		if err := s.fs.SyncDir(s.dir); err != nil {
+			// Roll the fresh log back (its dentry never became durable
+			// anyway), so a reported failure means no rows persisted and
+			// the caller may retry without double-appending.
+			_ = s.fs.Remove(s.logPath(name))
+			return fmt.Errorf("store: append %q: syncing directory: %w", name, err)
+		}
+	}
+	return nil
 }
 
 // Compact folds the row log back into the snapshot: when a log exists,
@@ -305,7 +354,7 @@ func (s *Store) Append(name, relName string, tuples []relation.Tuple, expectFP u
 func (s *Store) Compact(name string) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, err := os.Stat(s.logPath(name)); os.IsNotExist(err) {
+	if _, err := s.fs.Stat(s.logPath(name)); notExist(err) {
 		return false, nil
 	}
 	db, replayed, err := s.load(name)
@@ -314,7 +363,7 @@ func (s *Store) Compact(name string) (bool, error) {
 	}
 	if !replayed {
 		// An empty (header-only) log: just drop it.
-		if err := os.Remove(s.logPath(name)); err != nil && !os.IsNotExist(err) {
+		if err := s.fs.Remove(s.logPath(name)); err != nil && !notExist(err) {
 			return false, fmt.Errorf("store: compact %q: %w", name, err)
 		}
 		return false, nil
@@ -330,15 +379,99 @@ func (s *Store) Compact(name string) (bool, error) {
 func (s *Store) Delete(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := os.Remove(s.snapshotPath(name)); err != nil && !os.IsNotExist(err) {
+	// The snapshot goes first: it is the file that makes the name
+	// exist (List keys on it), so a crash mid-delete leaves either the
+	// full database or orphaned log/marker files a later Save of the
+	// same name overwrites harmlessly.
+	if err := s.fs.Remove(s.snapshotPath(name)); err != nil && !notExist(err) {
 		return fmt.Errorf("store: delete %q: %w", name, err)
 	}
-	if err := os.Remove(s.logPath(name)); err != nil && !os.IsNotExist(err) {
+	if err := s.fs.Remove(s.logPath(name)); err != nil && !notExist(err) {
 		return fmt.Errorf("store: delete %q: %w", name, err)
 	}
-	if err := os.Remove(s.markerPath(name)); err != nil && !os.IsNotExist(err) {
+	if err := s.fs.Remove(s.markerPath(name)); err != nil && !notExist(err) {
 		return fmt.Errorf("store: delete %q: %w", name, err)
 	}
-	s.syncDir()
+	if err := s.fs.SyncDir(s.dir); err != nil {
+		return fmt.Errorf("store: delete %q: syncing directory: %w", name, err)
+	}
 	return nil
+}
+
+// Quarantine moves the files of name aside — "<file>.corrupt-N" for
+// the first free N — so a database whose load keeps failing stops
+// breaking every recovery while its bytes remain on disk for
+// inspection. It returns the quarantine label "<name>.corrupt-N".
+// Quarantining a name with no files is an error.
+func (s *Store) Quarantine(name string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	esc := url.PathEscape(name)
+	paths := []string{s.snapshotPath(name), s.logPath(name), s.markerPath(name)}
+	for n := 1; ; n++ {
+		suffix := fmt.Sprintf("%s%d", corruptInfix, n)
+		taken := false
+		for _, p := range paths {
+			if _, err := s.fs.Stat(p + suffix); !notExist(err) {
+				taken = true
+				break
+			}
+		}
+		if taken {
+			continue
+		}
+		moved := 0
+		for _, p := range paths {
+			if _, err := s.fs.Stat(p); notExist(err) {
+				continue
+			}
+			if err := s.fs.Rename(p, p+suffix); err != nil {
+				return "", fmt.Errorf("store: quarantine %q: %w", name, err)
+			}
+			moved++
+		}
+		if moved == 0 {
+			return "", fmt.Errorf("store: quarantine %q: no files to quarantine", name)
+		}
+		if err := s.fs.SyncDir(s.dir); err != nil {
+			return "", fmt.Errorf("store: quarantine %q: syncing directory: %w", name, err)
+		}
+		return fmt.Sprintf("%s%s%d", esc, corruptInfix, n), nil
+	}
+}
+
+// Quarantined is one quarantined database: the original name and the
+// quarantine label its files carry.
+type Quarantined struct {
+	Name  string
+	Label string
+}
+
+// ListQuarantined returns every quarantined database in the store,
+// sorted by label.
+func (s *Store) ListQuarantined() ([]Quarantined, error) {
+	entries, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var out []Quarantined
+	for _, e := range entries {
+		// Quarantined snapshots look like "<escaped>.fdb.corrupt-N";
+		// one entry per database (the log and marker share the label).
+		idx := strings.Index(e, snapshotExt+corruptInfix)
+		if idx < 0 {
+			continue
+		}
+		esc := e[:idx]
+		name, err := url.PathUnescape(esc)
+		if err != nil {
+			return nil, fmt.Errorf("store: undecodable quarantined file %q: %w", e, err)
+		}
+		out = append(out, Quarantined{
+			Name:  name,
+			Label: esc + strings.TrimPrefix(e[idx:], snapshotExt),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	return out, nil
 }

@@ -195,7 +195,7 @@ func TestStoreLoadRejectsLogSnapshotMismatch(t *testing.T) {
 	}
 	// A log bound to a different snapshot fingerprint must be refused.
 	row := relation.Tuple{Values: make([]relation.Value, width), Imp: 1, Prob: 1}
-	if err := appendLog(st.logPath("w"), db.Fingerprint()^1, db.Relation(0).Name(),
+	if err := appendLog(st.fs, st.logPath("w"), db.Fingerprint()^1, db.Relation(0).Name(),
 		[]relation.Tuple{row}); err != nil {
 		t.Fatal(err)
 	}
@@ -467,4 +467,68 @@ func equalStrings(a, b []string) bool {
 		}
 	}
 	return true
+}
+
+func TestStoreQuarantine(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := testDB(t, 11)
+	relName := db.Relation(0).Name()
+	width := db.Relation(0).Schema().Len()
+	if err := st.Save("bad db", db); err != nil {
+		t.Fatal(err)
+	}
+	row := relation.Tuple{Label: "x", Values: make([]relation.Value, width), Imp: 1, Prob: 1}
+	if err := st.Append("bad db", relName, []relation.Tuple{row}, db.Fingerprint()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save("ok", testDB(t, 12)); err != nil {
+		t.Fatal(err)
+	}
+
+	label, err := st.Quarantine("bad db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "bad%20db.corrupt-1"; label != want {
+		t.Fatalf("label %q, want %q", label, want)
+	}
+	names, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"ok"}; !equalStrings(names, want) {
+		t.Fatalf("List after quarantine = %v, want %v", names, want)
+	}
+	q, err := st.ListQuarantined()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q) != 1 || q[0].Name != "bad db" || q[0].Label != label {
+		t.Fatalf("ListQuarantined = %+v, want [{bad db %s}]", q, label)
+	}
+	// The quarantined files stay on disk for forensics.
+	if _, err := os.Stat(st.snapshotPath("bad db") + ".corrupt-1"); err != nil {
+		t.Fatalf("quarantined snapshot missing: %v", err)
+	}
+	if _, err := os.Stat(st.logPath("bad db") + ".corrupt-1"); err != nil {
+		t.Fatalf("quarantined log missing: %v", err)
+	}
+
+	// The name is reusable, and a second quarantine picks the next N.
+	if err := st.Save("bad db", db); err != nil {
+		t.Fatal(err)
+	}
+	label2, err := st.Quarantine("bad db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "bad%20db.corrupt-2"; label2 != want {
+		t.Fatalf("second label %q, want %q", label2, want)
+	}
+	if _, err := st.Quarantine("bad db"); err == nil {
+		t.Fatal("quarantining a name with no files succeeded")
+	}
 }

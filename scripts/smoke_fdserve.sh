@@ -177,4 +177,79 @@ if [ "$count2" != "$count1" ]; then
   exit 1
 fi
 echo "post-restart: fingerprint $fp2, $count2 results (recovered, no re-registration)"
+
+# --- crash consistency: kill -9 mid-append, restart, old or new ------
+# Reference pass, on the running server: append one row to "p" and
+# record the post-append fingerprint and paged count. Registration and
+# append are deterministic, so a second directory reaches the same two
+# states.
+fp_pre="$fp1"
+count_pre="$count1"
+app="$(curl -fsS -X POST "$base/databases/p/rows" -d \
+  '{"relation":"R00","tuples":[{"label":"zz","values":["zz1",null]}]}')"
+fp_post="$(sed -n 's/.*"fingerprint":"\([0-9a-f]*\)".*/\1/p' <<<"$app")"
+if [ -z "$fp_post" ] || [ "$fp_post" = "$fp_pre" ]; then
+  echo "FAIL: append returned no new fingerprint: $app" >&2
+  exit 1
+fi
+qid="$(curl -fsS -X POST "$base/queries" -d '{"database":"p","mode":"exact"}' |
+  sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+count_post="$(page_to_exhaustion "$qid")"
+echo "crash reference: pre $fp_pre/$count_pre, post $fp_post/$count_post"
+kill -TERM "$server_pid" && wait "$server_pid" 2>/dev/null || true
+
+# Crash pass: fresh directory, same registration, then SIGKILL the
+# server with the same append in flight. No flushes, no goodbyes.
+cdata="$wl/crashdata"
+"$bindir/fdserve" -addr "$addr" -data "$cdata" &
+server_pid=$!
+for _ in $(seq 1 50); do
+  curl -fsS "$base/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -fsS "$base/healthz" >/dev/null
+curl -fsS -X POST "$base/databases" -d \
+  '{"name":"p","workload":{"kind":"chain","relations":4,"tuples":12,"domain":4,"null_rate":0.1,"seed":7}}' \
+  >/dev/null
+curl -fsS -X POST "$base/databases/p/rows" -d \
+  '{"relation":"R00","tuples":[{"label":"zz","values":["zz1",null]}]}' \
+  >/dev/null 2>&1 &
+append_pid=$!
+kill -9 "$server_pid" 2>/dev/null || true
+wait "$server_pid" 2>/dev/null || true
+wait "$append_pid" 2>/dev/null || true
+
+"$bindir/fdserve" -addr "$addr" -data "$cdata" &
+server_pid=$!
+for _ in $(seq 1 50); do
+  curl -fsS "$base/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -fsS "$base/healthz" >/dev/null
+
+# The recovered database must be exactly the pre-append or the
+# post-append state — matching fingerprint AND matching paged count —
+# and nothing may have been quarantined by a clean crash.
+listing="$(curl -fsS "$base/databases")"
+fp3="$(sed -n 's/.*"name":"p"[^}]*"fingerprint":"\([0-9a-f]*\)".*/\1/p' <<<"$listing")"
+case "$fp3" in
+  "$fp_pre")  want_count="$count_pre"; state="pre-append" ;;
+  "$fp_post") want_count="$count_post"; state="post-append" ;;
+  *)
+    echo "FAIL: post-crash fingerprint '$fp3' is neither pre '$fp_pre' nor post '$fp_post' (listing: $listing)" >&2
+    exit 1 ;;
+esac
+qid="$(curl -fsS -X POST "$base/queries" -d '{"database":"p","mode":"exact"}' |
+  sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+count3="$(page_to_exhaustion "$qid")"
+if [ "$count3" != "$want_count" ]; then
+  echo "FAIL: post-crash ($state) paged $count3 results, want $want_count" >&2
+  exit 1
+fi
+stats="$(curl -fsS "$base/stats")"
+if grep -q '"quarantined_databases"' <<<"$stats"; then
+  echo "FAIL: a clean kill -9 quarantined a database: $stats" >&2
+  exit 1
+fi
+echo "post-crash: recovered the complete $state state ($fp3, $count3 results)"
 echo "PASS"
