@@ -6,7 +6,9 @@
 package fd_test
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	fd "repro"
@@ -414,4 +416,50 @@ func BenchmarkSubstrates(b *testing.B) {
 			_ = big.Key()
 		}
 	})
+}
+
+// BenchmarkObsOverhead quantifies the cost of this PR's observability
+// seams on the library hot path. The "off" case is the default one —
+// no trace, no task observer — where every instrumented site reduces
+// to a nil check (obs's contract), so its numbers should match the
+// pre-instrumentation baseline within noise. The "observed" case
+// attaches a task observer (the fdserve configuration) for the
+// comparison number.
+func BenchmarkObsOverhead(b *testing.B) {
+	db := chainDB(b, 4, 24)
+	drain := func(b *testing.B, q fd.Query) {
+		rs, err := fd.Open(context.Background(), db, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer rs.Close()
+		for {
+			if _, ok := rs.Next(); !ok {
+				break
+			}
+		}
+		if err := rs.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		base := fd.Query{Mode: fd.ModeExact,
+			Options: fd.QueryOptions{UseIndex: true, Workers: workers}}
+		b.Run(fmt.Sprintf("off/workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				drain(b, base)
+			}
+		})
+		b.Run(fmt.Sprintf("observed/workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var spans atomic.Int64
+			q := base
+			q.Options.TaskObserver = func(fd.TaskSpan) { spans.Add(1) }
+			for i := 0; i < b.N; i++ {
+				drain(b, q)
+			}
+			_ = spans.Load()
+		})
+	}
 }

@@ -30,6 +30,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -39,6 +40,7 @@ import (
 	"strings"
 
 	fd "repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -68,6 +70,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		strategy = fs.String("strategy", "", "init strategy: singletons (default), seeded or projected")
 		workers  = fs.Int("workers", 0, "parallel enumeration workers: 0 = GOMAXPROCS, 1 = sequential (exact restart and approx modes; ranked runs sequential)")
 		stats    = fs.Bool("stats", false, "print execution counters to stderr")
+		trace    = fs.Bool("trace", false, "print the execution trace (span-tree JSON, the GET /queries/{id}/trace schema) to stderr")
 		snapshot = fs.String("snapshot", "", "load the database from a binary snapshot instead of CSV files")
 		save     = fs.String("save", "", "write the loaded database to a binary snapshot file")
 	)
@@ -75,8 +78,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
+	// With -trace every step below records a span; without it the nil
+	// trace no-ops each call, so the hot path pays one nil check.
+	var tr *obs.Trace
+	if *trace {
+		tr = obs.NewTrace("fdcli", nil)
+	}
+
 	var db *fd.Database
 	var err error
+	loadSpan := tr.Root().Start("load")
 	switch {
 	case *snapshot != "":
 		if fs.NArg() > 0 {
@@ -106,6 +117,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	default:
 		return fmt.Errorf("need at least one CSV relation or -snapshot (see -h)")
 	}
+	loadSpan.End()
 
 	if *save != "" {
 		if err := fd.SaveSnapshot(db, *save); err != nil {
@@ -143,12 +155,25 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		q.Mode = fd.ModeExact
 	}
 
+	if tr != nil {
+		// Parallel tasks time themselves on their worker goroutines and
+		// report completion spans under the root.
+		q.Options.TaskObserver = func(ts fd.TaskSpan) {
+			tr.Root().Record("task", ts.Start, ts.End.Sub(ts.Start), ts.Stats.Map(),
+				"label", ts.Label)
+		}
+	}
+	openSpan := tr.Root().Start("open")
 	rs, err := fd.Open(ctx, db, q)
 	if err != nil {
 		return err
 	}
 	defer rs.Close()
+	openSpan.SetStats(rs.Stats().Map())
+	openSpan.End()
+	last := rs.Stats()
 
+	enumSpan := tr.Root().Start("enumerate")
 	var results []*fd.TupleSet
 	var ranks []float64
 	ranked := false
@@ -166,6 +191,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if err := rs.Err(); err != nil {
 		return err
 	}
+	enumSpan.SetStats(rs.Stats().Sub(last).Map())
+	enumSpan.End()
+	rs.Close()
+	tr.Root().End()
 
 	attrs, rows := fd.PadAll(db, results)
 	header := fmt.Sprintf("%-24s", "tuple set")
@@ -188,6 +217,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	if *stats {
 		fmt.Fprintf(stderr, "%s\n", rs.Stats())
+	}
+	if tr != nil {
+		doc, err := json.MarshalIndent(tr.Snapshot(), "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "%s\n", doc)
 	}
 	return nil
 }

@@ -3,12 +3,14 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	fd "repro"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -153,5 +155,37 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run(context.Background(), append([]string{"-rank", "fmax"}, paths...), &out, &out); err == nil {
 		t.Error("-rank without -k or -tau accepted")
+	}
+}
+
+// TestRunTrace: -trace prints the span-tree JSON to stderr with the
+// load/open/enumerate phases, and the span stats sum to the run's
+// final counters (open carries construction, enumerate the delta).
+func TestRunTrace(t *testing.T) {
+	paths := writeTouristCSVs(t)
+	var out, errBuf bytes.Buffer
+	if err := run(context.Background(), append([]string{"-trace"}, paths...), &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	var doc obs.TraceData
+	if err := json.Unmarshal(errBuf.Bytes(), &doc); err != nil {
+		t.Fatalf("-trace stderr is not a trace document: %v\n%s", err, errBuf.String())
+	}
+	if doc.ID != "fdcli" {
+		t.Errorf("trace id %q", doc.ID)
+	}
+	for _, want := range []string{"load", "open", "enumerate"} {
+		if len(doc.FindAll(want)) != 1 {
+			t.Errorf("trace missing %q span:\n%s", want, errBuf.String())
+		}
+	}
+	sum := map[string]int64{}
+	for _, name := range []string{"open", "enumerate"} {
+		for k, v := range doc.SumStats(name) {
+			sum[k] += v
+		}
+	}
+	if sum["emitted"] != 6 { // |FD| of the tourist database
+		t.Errorf("span stats sum emitted=%d, want 6", sum["emitted"])
 	}
 }

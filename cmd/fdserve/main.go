@@ -11,8 +11,10 @@
 //	POST   /databases/{name}/rows  append rows (durable via the row log)
 //	POST   /queries                open a query session (fd.Query JSON)
 //	GET    /queries/{id}/next?k=   pull the next page of results
+//	GET    /queries/{id}/trace     the session's execution trace (span tree)
 //	DELETE /queries/{id}           close a session early
 //	GET    /stats                  service counters (cache hits, engine stats)
+//	GET    /metrics                Prometheus text exposition (docs/OBSERVABILITY.md)
 //	GET    /healthz                liveness
 //
 // With -data <dir> the registry is durable: every registered database
@@ -38,8 +40,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime/debug"
@@ -49,6 +52,7 @@ import (
 	"time"
 
 	fd "repro"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/service"
 	"repro/internal/store"
@@ -67,6 +71,11 @@ func main() {
 		dataDir    = flag.String("data", "", "data directory for durable registration (empty = in-memory only)")
 		maxBody    = flag.Int64("max-body", defaultMaxBody, "maximum request body size in bytes (oversized uploads get 413)")
 		admitWait  = flag.Duration("admission-wait", 2*time.Second, "how long a request may wait for a worker slot before being shed with 503 (0 = wait forever)")
+		logFormat  = flag.String("log-format", "text", "log output format: text or json")
+		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn or error (debug logs every request)")
+		slowQuery  = flag.Duration("slow-query", 0, "log a warning with the trace summary for queries slower than this (0 disables)")
+		traceHist  = flag.Int("trace-history", 0, "finished query traces kept for GET /queries/{id}/trace (0 = default 64, negative disables)")
+		pprofOn    = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 	if *idle <= 0 {
@@ -75,14 +84,24 @@ func main() {
 		*idle = 5 * time.Minute
 	}
 
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	// Free functions (writeJSON) and anything else without a handle log
+	// through the default logger; route it to the same sink.
+	slog.SetDefault(logger)
+
 	var st *store.Store
 	if *dataDir != "" {
-		var err error
 		if st, err = store.Open(*dataDir); err != nil {
-			log.Fatalf("open data directory: %v", err)
+			logger.Error("open data directory", "dir", *dataDir, "error", err)
+			os.Exit(1)
 		}
 	}
 
+	reg := obs.NewRegistry()
 	svc := service.New(service.Config{
 		Workers:          *workers,
 		EngineWorkers:    *engineWk,
@@ -92,21 +111,26 @@ func main() {
 		MaxPageSize:      *pageMax,
 		AdmissionTimeout: *admitWait,
 		Store:            st,
+		Metrics:          reg,
+		Logger:           logger.With("component", "service"),
+		SlowQuery:        *slowQuery,
+		TraceHistory:     *traceHist,
 	})
 	if st != nil {
 		infos, err := svc.Recover()
 		if err != nil {
 			// Healthy databases recovered anyway; corrupt ones were
 			// quarantined on disk and the server serves without them.
-			log.Printf("recover: %v", err)
+			logger.Warn("recover", "error", err)
 		}
 		for _, q := range svc.QuarantinedDatabases() {
-			log.Printf("quarantined database %q (files moved to %s in %s); re-register to serve it again",
-				q.Name, q.Label, st.Dir())
+			logger.Warn("quarantined database; re-register to serve it again",
+				"database", q.Name, "quarantine", q.Label, "dir", st.Dir())
 		}
 		for _, info := range infos {
-			log.Printf("recovered database %q (%d relations, %d tuples, fingerprint %s)",
-				info.Name, info.Relations, info.Tuples, info.Fingerprint)
+			logger.Info("recovered database", "database", info.Name,
+				"relations", info.Relations, "tuples", info.Tuples,
+				"fingerprint", info.Fingerprint)
 		}
 	}
 	// Sessions carry this context: it outlives any single request and is
@@ -115,9 +139,13 @@ func main() {
 	// outside without cutting short a well-behaved drain.
 	sessionCtx, cancelSessions := context.WithCancel(context.Background())
 	defer cancelSessions()
+	hs := newServer(sessionCtx, svc, *maxBody)
+	hs.log = logger.With("component", "http")
+	hs.reg = reg
+	hs.pprof = *pprofOn
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: newServer(sessionCtx, svc, *maxBody).handler(),
+		Handler: hs.handler(),
 		// A client that stalls mid-headers, trickles a body forever, or
 		// never reads its response must not pin a connection goroutine
 		// indefinitely. WriteTimeout is generous: it covers the page
@@ -141,7 +169,7 @@ func main() {
 				return
 			case <-tick.C:
 				if n := svc.EvictIdle(); n > 0 {
-					log.Printf("evicted %d idle query session(s)", n)
+					logger.Info("evicted idle query sessions", "count", n)
 				}
 			}
 		}
@@ -149,22 +177,41 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("fdserve listening on %s", *addr)
+	logger.Info("fdserve listening", "addr", *addr, "pprof", *pprofOn)
 
 	select {
 	case <-ctx.Done():
-		log.Printf("shutting down")
+		logger.Info("shutting down")
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutCtx); err != nil {
-			log.Printf("shutdown: %v", err)
+			logger.Error("shutdown", "error", err)
 		}
 		cancelSessions()
 		svc.Close()
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("serve: %v", err)
+			logger.Error("serve", "error", err)
+			os.Exit(1)
 		}
+	}
+}
+
+// buildLogger resolves the -log-format and -log-level flags into a
+// slog.Logger writing to stderr.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("invalid -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("invalid -log-format %q (want text or json)", format)
 	}
 }
 
@@ -184,12 +231,16 @@ func newServer(ctx context.Context, svc *service.Service, maxBody int64) *server
 	if maxBody <= 0 {
 		maxBody = defaultMaxBody
 	}
-	return &server{ctx: ctx, svc: svc, maxBody: maxBody}
+	// Both observability hooks default to off: a nil registry no-ops
+	// every metric and the discard logger drops every record, so tests
+	// composing handlers directly pay nothing and configure nothing.
+	return &server{ctx: ctx, svc: svc, maxBody: maxBody,
+		log: slog.New(slog.DiscardHandler)}
 }
 
 // routes builds the raw route table; handler wraps it with the
-// panic-recovery middleware. Tests that need to inject a panicking
-// route compose the two themselves.
+// request-id and panic-recovery middleware. Tests that need to inject
+// a panicking route compose the pieces themselves.
 func (s *server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /databases", s.handleCreateDatabase)
@@ -198,13 +249,62 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("POST /databases/{name}/rows", s.handleAppendRows)
 	mux.HandleFunc("POST /queries", s.handleCreateQuery)
 	mux.HandleFunc("GET /queries/{id}/next", s.handleNext)
+	mux.HandleFunc("GET /queries/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /queries/{id}", s.handleDeleteQuery)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", obs.Handler(s.reg).ServeHTTP)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
-func (s *server) handler() http.Handler { return s.withRecovery(s.routes()) }
+func (s *server) handler() http.Handler {
+	return s.withRecovery(s.withRequestID(s.routes()))
+}
+
+// ctxKeyRequestID keys the per-request id in the request context.
+type ctxKeyRequestID struct{}
+
+// requestID returns the id withRequestID assigned, or "" outside the
+// middleware (tests composing handlers directly).
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKeyRequestID{}).(string)
+	return id
+}
+
+// statusWriter records the response status for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// withRequestID assigns each request a sequential id, echoes it as
+// X-Request-Id, threads it through the context for downstream log
+// records (panic reports), and emits a debug-level access log line.
+func (s *server) withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := strconv.FormatUint(s.reqSeq.Add(1), 10)
+		w.Header().Set("X-Request-Id", id)
+		r = r.WithContext(context.WithValue(r.Context(), ctxKeyRequestID{}, id))
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		s.log.Debug("request",
+			"id", id, "method", r.Method, "path", r.URL.Path,
+			"status", sw.status, "duration", time.Since(start))
+	})
+}
 
 // withRecovery turns a handler panic into a 500 plus a counted,
 // logged incident, so one bad request cannot take the server down
@@ -218,7 +318,11 @@ func (s *server) withRecovery(next http.Handler) http.Handler {
 					panic(rec)
 				}
 				s.panics.Add(1)
-				log.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				s.reg.Counter("fd_panics_recovered_total",
+					"Handler panics recovered by the HTTP middleware.").Inc()
+				s.log.Error("panic serving request",
+					"id", requestID(r.Context()), "method", r.Method,
+					"path", r.URL.Path, "panic", rec, "stack", string(debug.Stack()))
 				// Best effort: if the handler already wrote, this is a
 				// trailing fragment the client ignores.
 				writeError(w, http.StatusInternalServerError, fmt.Errorf("internal error"))
@@ -234,6 +338,15 @@ type server struct {
 	svc *service.Service
 	// maxBody caps request body bytes; oversized uploads get 413.
 	maxBody int64
+	// log receives the HTTP layer's records; never nil (newServer
+	// defaults it to a discard logger).
+	log *slog.Logger
+	// reg backs GET /metrics and the panic counter; nil no-ops both.
+	reg *obs.Registry
+	// pprof mounts net/http/pprof under /debug/pprof/ when set.
+	pprof bool
+	// reqSeq numbers requests for X-Request-Id and log correlation.
+	reqSeq atomic.Uint64
 	// panics counts handler panics recovered by withRecovery, surfaced
 	// as panics_recovered in GET /stats.
 	panics atomic.Int64
@@ -658,6 +771,20 @@ func (s *server) handleNext(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// handleTrace serves the span tree of a live or recently finished
+// query session — the EXPLAIN-ANALYZE view. Finished traces are kept
+// in a bounded history (service.Config.TraceHistory), so a trace may
+// age out with a 404 even if the id was once valid.
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.svc.QueryTrace(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("no trace for query %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, d)
+}
+
 func (s *server) handleDeleteQuery(w http.ResponseWriter, r *http.Request) {
 	q, ok := s.svc.Query(r.PathValue("id"))
 	if !ok {
@@ -690,7 +817,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("encode response: %v", err)
+		slog.Warn("encode response", "error", err)
 	}
 }
 

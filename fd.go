@@ -85,6 +85,12 @@ type (
 	Padded = tupleset.Padded
 	// Stats carries instrumentation counters of one execution.
 	Stats = core.Stats
+	// TaskSpan reports one finished parallel enumeration task (label,
+	// wall-clock extent, folded counters) to a TaskObserver.
+	TaskSpan = core.TaskSpan
+	// TaskObserver receives a TaskSpan per finished parallel task; set
+	// it via QueryOptions.TaskObserver to trace parallel execution.
+	TaskObserver = core.TaskObserver
 )
 
 // Null is the null value ⊥.

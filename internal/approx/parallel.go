@@ -38,11 +38,12 @@ func NewParallelCursor(ctx context.Context, db *relation.Database, a Join, tau f
 	for pass := range tasks {
 		pass := pass
 		tasks[pass] = core.Task{
+			Label: fmt.Sprintf("approx pass %d", pass),
 			Open: func() (core.TaskEnumerator, error) {
 				return NewEnumerator(db, pass, a, tau, opts)
 			},
 			Owns: func(t *tupleset.Set) bool { return minRel(t) == pass },
 		}
 	}
-	return core.NewTaskCursor(ctx, tasks, workers), nil
+	return core.NewTaskCursor(ctx, tasks, workers, opts.TaskObserver), nil
 }

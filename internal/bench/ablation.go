@@ -9,6 +9,7 @@ import (
 	"repro/internal/approx"
 	"repro/internal/core"
 	"repro/internal/join"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/storage"
 	"repro/internal/tupleset"
@@ -78,15 +79,41 @@ func E9Ablations() (*Table, error) {
 	return e9Table(nil)
 }
 
-// drainParallel runs the streaming executor to exhaustion and returns
-// the canonically-sorted batch, so parallel E9 rungs measure the same
-// deliverable as the sequential ones.
-func drainParallel(db *relation.Database, opts core.Options, workers int) ([]*tupleset.Set, core.Stats, error) {
-	c, err := core.NewParallelCursor(context.Background(), db, opts, workers)
-	if err != nil {
-		return nil, core.Stats{}, err
+// e9Cursor is the streaming surface both E9 drivers share, so one
+// phased drain covers the sequential cursor and the parallel executor.
+type e9Cursor interface {
+	Next() (*tupleset.Set, bool)
+	Stats() core.Stats
+	Err() error
+	Close()
+}
+
+// drainPhased runs one E9 rung to exhaustion under an execution trace:
+// "init" (cursor construction), "enumerate" (the Next loop) and
+// "drain" (error check, close, and — for parallel rungs — the
+// canonical sort that makes their deliverable comparable) are recorded
+// as spans, and the per-phase times are read back from the snapshot.
+// The -json phases therefore come from the same span machinery a
+// served query's GET /queries/{id}/trace uses, not a parallel set of
+// stopwatches.
+func drainPhased(db *relation.Database, v e9Variant) ([]*tupleset.Set, core.Stats, map[string]float64, error) {
+	tr := obs.NewTrace("e9", nil)
+	root := tr.Root()
+	sp := root.Start("init")
+	var (
+		c   e9Cursor
+		err error
+	)
+	if v.workers > 1 {
+		c, err = core.NewParallelCursor(context.Background(), db, v.opts, v.workers)
+	} else {
+		c, err = core.NewCursor(context.Background(), db, v.opts)
 	}
-	defer c.Close()
+	sp.End()
+	if err != nil {
+		return nil, core.Stats{}, nil, err
+	}
+	sp = root.Start("enumerate")
 	var out []*tupleset.Set
 	for {
 		t, ok := c.Next()
@@ -95,11 +122,31 @@ func drainParallel(db *relation.Database, opts core.Options, workers int) ([]*tu
 		}
 		out = append(out, t)
 	}
-	if err := c.Err(); err != nil {
-		return nil, c.Stats(), err
+	sp.End()
+	sp = root.Start("drain")
+	err = c.Err()
+	stats := c.Stats()
+	c.Close()
+	if err == nil && v.workers > 1 {
+		tupleset.SortSets(db, out)
 	}
-	tupleset.SortSets(db, out)
-	return out, c.Stats(), nil
+	sp.End()
+	root.End()
+	if err != nil {
+		return nil, stats, nil, err
+	}
+	return out, stats, phaseMillis(tr.Snapshot()), nil
+}
+
+// phaseMillis folds the trace's phase spans into name → milliseconds.
+func phaseMillis(d *obs.TraceData) map[string]float64 {
+	out := make(map[string]float64, 3)
+	for _, name := range []string{"init", "enumerate", "drain"} {
+		for _, sp := range d.FindAll(name) {
+			out[name] += float64(sp.DurationNanos) / 1e6
+		}
+	}
+	return out
 }
 
 // e9Table runs the E9 ablation ladder and the buffer-pool sweep,
@@ -120,12 +167,9 @@ func e9Table(rec *Record) (*Table, error) {
 	for i, v := range e9Variants() {
 		var sets []*tupleset.Set
 		var stats core.Stats
+		var phases map[string]float64
 		d, mallocs, bytes := measure(func() {
-			if v.workers > 1 {
-				sets, stats, err = drainParallel(db, v.opts, v.workers)
-			} else {
-				sets, stats, err = core.FullDisjunction(db, v.opts)
-			}
+			sets, stats, phases, err = drainPhased(db, v)
 		})
 		if err != nil {
 			return nil, err
@@ -155,6 +199,7 @@ func e9Table(rec *Record) (*Table, error) {
 				PageReads:     stats.PageReads,
 				Mallocs:       mallocs,
 				BytesAlloc:    bytes,
+				Phases:        phases,
 			})
 		}
 		t.Rows = append(t.Rows, []string{

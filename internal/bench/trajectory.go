@@ -31,6 +31,11 @@ type Metric struct {
 	PageReads     int64  `json:"page_reads"`
 	Mallocs       uint64 `json:"mallocs"`
 	BytesAlloc    uint64 `json:"bytes_alloc"`
+	// Phases breaks WallMillis into the trace-span phases of the run:
+	// init (cursor construction), enumerate (the Next loop) and drain
+	// (error check, close, canonical sort). Recorded from the same span
+	// machinery GET /queries/{id}/trace serves.
+	Phases map[string]float64 `json:"phase_ms,omitempty"`
 }
 
 // Record is one machine-readable benchmark trajectory: the per-variant

@@ -84,6 +84,12 @@ type Options struct {
 	// Trace, when non-nil, receives a snapshot after every
 	// GetNextResult call of a single-seed enumeration.
 	Trace TraceFunc
+	// TaskObserver, when non-nil, receives a TaskSpan each time a
+	// parallel enumeration task finishes (label, wall-clock extent,
+	// and the task's folded counters). Called from worker goroutines.
+	// Unlike Trace and Pool it is compatible with parallel execution —
+	// it exists to observe it — and is ignored on the sequential path.
+	TaskObserver TaskObserver
 }
 
 func (o Options) blockSize() int {

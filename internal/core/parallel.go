@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/relation"
 	"repro/internal/tupleset"
@@ -48,7 +49,26 @@ type Task struct {
 	// seeded outside its block); exactly one task owns each result, so
 	// the merged stream carries no duplicates.
 	Owns func(*tupleset.Set) bool
+	// Label names the task in observability output ("pass 2",
+	// "pass 0 block 1/4", "approx pass 3"…). Optional.
+	Label string
 }
+
+// TaskSpan reports one finished parallel task to a TaskObserver: its
+// label, wall-clock extent, and the enumerator's own counters (Emitted
+// here counts what the task's enumerator produced, before the
+// ownership filter — the merged cursor's Emitted counts deliveries).
+type TaskSpan struct {
+	Label      string
+	Start, End time.Time
+	Stats      Stats
+}
+
+// TaskObserver receives a TaskSpan each time a parallel task finishes.
+// It is invoked from worker goroutines, so implementations must be
+// safe for concurrent use and cheap — they sit between a task's last
+// result and the worker picking up its next task.
+type TaskObserver func(TaskSpan)
 
 // ParallelCursor merges the outputs of partitioned enumeration tasks,
 // run on a bounded worker pool, into one pull cursor with the same
@@ -87,8 +107,11 @@ type ParallelCursor struct {
 
 // NewTaskCursor starts tasks on a pool of at most workers goroutines
 // (≤0 selects GOMAXPROCS) and returns the merged cursor. A nil ctx
-// means context.Background().
-func NewTaskCursor(ctx context.Context, tasks []Task, workers int) *ParallelCursor {
+// means context.Background(). A non-nil obs receives one TaskSpan per
+// finished task, from the worker goroutine that ran it; the clock is
+// only read when obs is set, so the hook costs one nil check when
+// observability is off.
+func NewTaskCursor(ctx context.Context, tasks []Task, workers int, obs TaskObserver) *ParallelCursor {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -106,6 +129,10 @@ func NewTaskCursor(ctx context.Context, tasks []Task, workers int) *ParallelCurs
 		done:   make(chan struct{}),
 	}
 	run := func(cctx context.Context, t Task) error {
+		var start time.Time
+		if obs != nil {
+			start = time.Now()
+		}
 		e, err := t.Open()
 		if err != nil {
 			return err
@@ -114,6 +141,9 @@ func NewTaskCursor(ctx context.Context, tasks []Task, workers int) *ParallelCurs
 			// Fold once per finished task — the per-result path touches
 			// only the enumerator's own counters.
 			s := e.Stats()
+			if obs != nil {
+				obs(TaskSpan{Label: t.Label, Start: start, End: time.Now(), Stats: s})
+			}
 			s.Emitted = 0
 			c.mu.Lock()
 			c.folded.Add(s)
@@ -265,7 +295,12 @@ func exactTasks(u *tupleset.Universe, opts Options, workers int) []Task {
 		}
 		for b := 0; b < blocks; b++ {
 			lo, hi := b*length/blocks, (b+1)*length/blocks
+			label := fmt.Sprintf("pass %d", pass)
+			if blocks > 1 {
+				label = fmt.Sprintf("pass %d block %d/%d", pass, b+1, blocks)
+			}
 			tasks = append(tasks, Task{
+				Label: label,
 				Open: func() (TaskEnumerator, error) {
 					init := make([]*tupleset.Set, 0, hi-lo)
 					for i := lo; i < hi; i++ {
@@ -307,7 +342,7 @@ func NewParallelCursor(ctx context.Context, db *relation.Database, opts Options,
 		workers = runtime.GOMAXPROCS(0)
 	}
 	u := tupleset.NewUniverse(db)
-	return NewTaskCursor(ctx, exactTasks(u, opts, workers), workers), nil
+	return NewTaskCursor(ctx, exactTasks(u, opts, workers), workers, opts.TaskObserver), nil
 }
 
 // ParallelFullDisjunction computes FD(R) on a bounded worker pool and

@@ -37,7 +37,7 @@ func TestParallelBlockPartitionSetIdentity(t *testing.T) {
 		if workers > db.NumRelations() && len(tasks) <= db.NumRelations() {
 			t.Fatalf("workers=%d: expected block-split tasks, got %d", workers, len(tasks))
 		}
-		c := NewTaskCursor(context.Background(), tasks, workers)
+		c := NewTaskCursor(context.Background(), tasks, workers, nil)
 		got := make(map[string]bool)
 		for {
 			s, ok := c.Next()
@@ -112,7 +112,7 @@ func TestParallelWorkerPoolBound(t *testing.T) {
 			Owns: func(*tupleset.Set) bool { return true },
 		}
 	}
-	c := NewTaskCursor(context.Background(), tasks, workers)
+	c := NewTaskCursor(context.Background(), tasks, workers, nil)
 	n := 0
 	for {
 		_, ok := c.Next()
@@ -194,7 +194,7 @@ func TestParallelTaskOpenError(t *testing.T) {
 		Open: func() (TaskEnumerator, error) { return nil, boom },
 		Owns: func(*tupleset.Set) bool { return true },
 	}}
-	c := NewTaskCursor(context.Background(), tasks, 2)
+	c := NewTaskCursor(context.Background(), tasks, 2, nil)
 	if _, ok := c.Next(); ok {
 		t.Fatal("result from failing task")
 	}

@@ -67,6 +67,53 @@ func (s *Stats) Add(other Stats) {
 	}
 }
 
+// Sub returns the counter deltas s − prev for the additive fields —
+// the per-span attribution of work done between two Stats snapshots of
+// one cursor. MaxResident is a high-water mark, not additive: the
+// difference keeps s's value (the peak as of the later snapshot).
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Iterations:    s.Iterations - prev.Iterations,
+		Emitted:       s.Emitted - prev.Emitted,
+		JCCChecks:     s.JCCChecks - prev.JCCChecks,
+		TuplesScanned: s.TuplesScanned - prev.TuplesScanned,
+		ListScans:     s.ListScans - prev.ListScans,
+		PageReads:     s.PageReads - prev.PageReads,
+		IndexProbes:   s.IndexProbes - prev.IndexProbes,
+		TuplesSkipped: s.TuplesSkipped - prev.TuplesSkipped,
+		SigHits:       s.SigHits - prev.SigHits,
+		SigRebuilds:   s.SigRebuilds - prev.SigRebuilds,
+		MaxResident:   s.MaxResident,
+	}
+}
+
+// Map renders the counters by name — the span-stats form the
+// observability layer records (trace spans carry map[string]int64, so
+// internal/obs stays dependency-free). Zero counters are omitted to
+// keep serialised traces small; summing the maps of telescoping Sub
+// deltas therefore still reproduces every non-zero final counter,
+// except max_resident, which is a high-water mark and not additive.
+func (s Stats) Map() map[string]int64 {
+	m := make(map[string]int64, 11)
+	put := func(k string, v int64) {
+		if v != 0 {
+			m[k] = v
+		}
+	}
+	put("iterations", int64(s.Iterations))
+	put("emitted", int64(s.Emitted))
+	put("jcc_checks", s.JCCChecks)
+	put("tuples_scanned", s.TuplesScanned)
+	put("list_scans", s.ListScans)
+	put("page_reads", s.PageReads)
+	put("index_probes", s.IndexProbes)
+	put("tuples_skipped", s.TuplesSkipped)
+	put("sig_hits", s.SigHits)
+	put("sig_rebuilds", s.SigRebuilds)
+	put("max_resident", int64(s.MaxResident))
+	return m
+}
+
 // AddSig folds a tupleset signature counter block into s. Callers that
 // evaluate the Counted predicate variants with a local counter block
 // flush it here.

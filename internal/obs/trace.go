@@ -1,0 +1,311 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Trace is one query's execution trace: a span tree recorded while the
+// query runs and serialisable as JSON once (or while) it does — the
+// EXPLAIN-ANALYZE view behind GET /queries/{id}/trace and fdcli -trace.
+//
+// Recording is safe for concurrent use (parallel enumeration tasks
+// report spans from worker goroutines); a nil *Trace or *Span no-ops
+// every method, so tracing can be compiled into a hot path behind one
+// nil check.
+type Trace struct {
+	mu   sync.Mutex
+	id   string
+	now  func() time.Time
+	root *Span
+}
+
+// Span is one timed step of a trace. Spans form a tree: a query's root
+// span holds validate/cache/admission/open/page children, a page span
+// holds the parallel task spans that completed during it, and so on.
+// Stats carries the engine counter deltas attributed to the span (the
+// core.Stats fields, by name) — summing the "page" spans' deltas of a
+// drained query reproduces the cursor's final counters.
+type Span struct {
+	Name string `json:"name"`
+	// Attrs are small key=value annotations (page size, task label…).
+	Attrs map[string]string `json:"attrs,omitempty"`
+	// StartUnixNano anchors the span on the wall clock; DurationNanos
+	// is its measured extent (0 while still open).
+	StartUnixNano int64 `json:"start_unix_nano"`
+	DurationNanos int64 `json:"duration_nanos"`
+	// Stats holds the engine counter deltas attributed to this span.
+	Stats map[string]int64 `json:"stats,omitempty"`
+	// Children are the sub-spans, in completion-recording order.
+	Children []*Span `json:"children,omitempty"`
+
+	t      *Trace // nil after snapshotting
+	parent *Span
+}
+
+// NewTrace starts a trace identified by id. The clock defaults to
+// time.Now; pass now for deterministic tests (nil keeps the default).
+func NewTrace(id string, now func() time.Time) *Trace {
+	if now == nil {
+		now = time.Now
+	}
+	t := &Trace{id: id, now: now}
+	t.root = &Span{Name: "query", StartUnixNano: now().UnixNano(), t: t}
+	return t
+}
+
+// ID returns the trace id ("" on nil).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Root returns the root span (nil on nil), under which callers start
+// top-level steps.
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Start opens a child span under sp with alternating attr key, value
+// pairs. Nil-safe: starting under a nil span returns nil.
+func (sp *Span) Start(name string, attrs ...string) *Span {
+	if sp == nil || sp.t == nil {
+		return nil
+	}
+	t := sp.t
+	child := &Span{Name: name, t: t, parent: sp}
+	if len(attrs) > 0 {
+		child.Attrs = attrMap(attrs)
+	}
+	// The clock is read under the lock: injected test clocks need not be
+	// concurrency-safe themselves.
+	t.mu.Lock()
+	child.StartUnixNano = t.now().UnixNano()
+	sp.Children = append(sp.Children, child)
+	t.mu.Unlock()
+	return child
+}
+
+// End closes the span, fixing its duration. Idempotent (the first End
+// wins); no-op on nil.
+func (sp *Span) End() {
+	if sp == nil || sp.t == nil {
+		return
+	}
+	t := sp.t
+	t.mu.Lock()
+	if sp.DurationNanos == 0 {
+		sp.DurationNanos = t.now().UnixNano() - sp.StartUnixNano
+	}
+	t.mu.Unlock()
+}
+
+// Record appends an already-completed child span with an explicit
+// wall-clock extent — for steps measured elsewhere (a parallel task
+// times itself on its worker goroutine; a validate step runs before
+// the trace exists). Negative durations clamp to zero. Nil-safe.
+func (sp *Span) Record(name string, start time.Time, d time.Duration, stats map[string]int64, attrs ...string) *Span {
+	if sp == nil || sp.t == nil {
+		return nil
+	}
+	if d < 0 {
+		d = 0
+	}
+	child := &Span{
+		Name:          name,
+		StartUnixNano: start.UnixNano(),
+		DurationNanos: int64(d),
+		Stats:         stats,
+		t:             sp.t,
+		parent:        sp,
+	}
+	if len(attrs) > 0 {
+		child.Attrs = attrMap(attrs)
+	}
+	sp.t.mu.Lock()
+	sp.Children = append(sp.Children, child)
+	sp.t.mu.Unlock()
+	return child
+}
+
+// SetStats attributes the engine counter deltas to the span, replacing
+// any previous attribution. No-op on nil.
+func (sp *Span) SetStats(stats map[string]int64) {
+	if sp == nil || sp.t == nil {
+		return
+	}
+	sp.t.mu.Lock()
+	sp.Stats = stats
+	sp.t.mu.Unlock()
+}
+
+// SetAttr sets one annotation on the span. No-op on nil.
+func (sp *Span) SetAttr(key, value string) {
+	if sp == nil || sp.t == nil {
+		return
+	}
+	sp.t.mu.Lock()
+	if sp.Attrs == nil {
+		sp.Attrs = make(map[string]string, 1)
+	}
+	sp.Attrs[key] = value
+	sp.t.mu.Unlock()
+}
+
+func attrMap(attrs []string) map[string]string {
+	m := make(map[string]string, len(attrs)/2)
+	for i := 0; i+1 < len(attrs); i += 2 {
+		m[attrs[i]] = attrs[i+1]
+	}
+	return m
+}
+
+// TraceData is the immutable JSON form of a trace: what GET
+// /queries/{id}/trace returns and fdcli -trace prints.
+type TraceData struct {
+	ID string `json:"id"`
+	// Root is a deep copy of the span tree at snapshot time; open spans
+	// appear with DurationNanos 0.
+	Root *Span `json:"root"`
+}
+
+// Snapshot deep-copies the trace for serialisation. Safe to call while
+// spans are still being recorded; the copy is detached (its spans
+// cannot be extended). Nil-safe: a nil trace snapshots to nil.
+func (t *Trace) Snapshot() *TraceData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return &TraceData{ID: t.id, Root: copySpan(t.root)}
+}
+
+func copySpan(sp *Span) *Span {
+	out := &Span{
+		Name:          sp.Name,
+		StartUnixNano: sp.StartUnixNano,
+		DurationNanos: sp.DurationNanos,
+	}
+	if len(sp.Attrs) > 0 {
+		out.Attrs = make(map[string]string, len(sp.Attrs))
+		for k, v := range sp.Attrs {
+			out.Attrs[k] = v
+		}
+	}
+	if len(sp.Stats) > 0 {
+		out.Stats = make(map[string]int64, len(sp.Stats))
+		for k, v := range sp.Stats {
+			out.Stats[k] = v
+		}
+	}
+	if len(sp.Children) > 0 {
+		out.Children = make([]*Span, len(sp.Children))
+		for i, c := range sp.Children {
+			out.Children[i] = copySpan(c)
+		}
+	}
+	return out
+}
+
+// MarshalJSON renders the snapshot; a nil trace renders as null.
+func (t *Trace) MarshalJSON() ([]byte, error) {
+	if t == nil {
+		return []byte("null"), nil
+	}
+	return json.Marshal(t.Snapshot())
+}
+
+// Summary renders one line per span name aggregated across the tree —
+// count, total duration, and the summed stats — ordered by total
+// duration descending. The slow-query log emits it so a slow query is
+// diagnosable from the log line alone.
+func (d *TraceData) Summary() string {
+	if d == nil || d.Root == nil {
+		return ""
+	}
+	type agg struct {
+		name  string
+		count int
+		nanos int64
+	}
+	byName := map[string]*agg{}
+	var walk func(sp *Span)
+	var order []string
+	walk = func(sp *Span) {
+		a, ok := byName[sp.Name]
+		if !ok {
+			a = &agg{name: sp.Name}
+			byName[sp.Name] = a
+			order = append(order, sp.Name)
+		}
+		a.count++
+		a.nanos += sp.DurationNanos
+		for _, c := range sp.Children {
+			walk(c)
+		}
+	}
+	walk(d.Root)
+	aggs := make([]*agg, 0, len(order))
+	for _, n := range order {
+		aggs = append(aggs, byName[n])
+	}
+	sort.SliceStable(aggs, func(i, j int) bool { return aggs[i].nanos > aggs[j].nanos })
+	parts := make([]string, len(aggs))
+	for i, a := range aggs {
+		parts[i] = fmt.Sprintf("%s×%d=%s", a.name, a.count, time.Duration(a.nanos))
+	}
+	return strings.Join(parts, " ")
+}
+
+// SumStats sums the Stats deltas of every span with the given name
+// across the tree — the check that the per-page deltas of a drained
+// query reproduce the cursor's final counters.
+func (d *TraceData) SumStats(spanName string) map[string]int64 {
+	out := map[string]int64{}
+	if d == nil || d.Root == nil {
+		return out
+	}
+	var walk func(sp *Span)
+	walk = func(sp *Span) {
+		if sp.Name == spanName {
+			for k, v := range sp.Stats {
+				out[k] += v
+			}
+		}
+		for _, c := range sp.Children {
+			walk(c)
+		}
+	}
+	walk(d.Root)
+	return out
+}
+
+// FindAll returns every span with the given name, in tree
+// (depth-first) order.
+func (d *TraceData) FindAll(spanName string) []*Span {
+	var out []*Span
+	if d == nil || d.Root == nil {
+		return out
+	}
+	var walk func(sp *Span)
+	walk = func(sp *Span) {
+		if sp.Name == spanName {
+			out = append(out, sp)
+		}
+		for _, c := range sp.Children {
+			walk(c)
+		}
+	}
+	walk(d.Root)
+	return out
+}

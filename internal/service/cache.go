@@ -51,10 +51,10 @@ func (c *resultCache) get(key string) ([]Result, bool) {
 
 // put inserts (or refreshes) the result list for key, then evicts least
 // recently used entries until both the entry-count and byte bounds
-// hold.
-func (c *resultCache) put(key string, results []Result) {
+// hold, returning how many entries were evicted.
+func (c *resultCache) put(key string, results []Result) int {
 	if c.capacity <= 0 {
-		return
+		return 0
 	}
 	bytes := approxResultsBytes(results)
 	if el, ok := c.entries[key]; ok {
@@ -67,6 +67,7 @@ func (c *resultCache) put(key string, results []Result) {
 		c.entries[key] = el
 		c.total += bytes
 	}
+	evicted := 0
 	for c.ll.Len() > 0 &&
 		(c.ll.Len() > c.capacity || (c.maxBytes > 0 && c.total > c.maxBytes)) {
 		oldest := c.ll.Back()
@@ -74,7 +75,9 @@ func (c *resultCache) put(key string, results []Result) {
 		e := oldest.Value.(*cacheEntry)
 		delete(c.entries, e.key)
 		c.total -= e.bytes
+		evicted++
 	}
+	return evicted
 }
 
 // len returns the number of cached result lists.

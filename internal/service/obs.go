@@ -1,0 +1,97 @@
+package service
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// metrics pre-resolves the service's fixed metric handles from the
+// configured registry. With no registry every handle is nil and each
+// instrumented site pays exactly one nil check (the obs package's
+// nil-safety contract); per-database series are resolved per call
+// through reg, which is likewise nil-safe.
+type metrics struct {
+	reg *obs.Registry
+
+	admissionWait     *obs.Histogram
+	admissionTimeouts *obs.Counter
+	queriesRejected   *obs.Counter
+	queriesFinished   *obs.Counter
+	queriesEvicted    *obs.Counter
+	activeQueries     *obs.Gauge
+
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	cacheEvictions *obs.Counter
+	cacheEntries   *obs.Gauge
+	cacheBytes     *obs.Gauge
+
+	storeRetries *obs.Counter
+	quarantines  *obs.Counter
+	slowQueries  *obs.Counter
+}
+
+func newMetrics(reg *obs.Registry) metrics {
+	return metrics{
+		reg: reg,
+		admissionWait: reg.Histogram("fd_admission_wait_seconds",
+			"Time spent waiting for an admission worker slot."),
+		admissionTimeouts: reg.Counter("fd_admission_timeouts_total",
+			"Requests shed because no worker slot freed up within the admission timeout."),
+		queriesRejected: reg.Counter("fd_queries_rejected_total",
+			"Query specs rejected by validation."),
+		queriesFinished: reg.Counter("fd_queries_finished_total",
+			"Query sessions finished (drained or closed)."),
+		queriesEvicted: reg.Counter("fd_queries_evicted_total",
+			"Query sessions evicted after exceeding the idle timeout."),
+		activeQueries: reg.Gauge("fd_active_queries",
+			"Currently open query sessions."),
+		cacheHits: reg.Counter("fd_cache_hits_total",
+			"Queries served from the result cache."),
+		cacheMisses: reg.Counter("fd_cache_misses_total",
+			"Queries that had to open an enumeration cursor."),
+		cacheEvictions: reg.Counter("fd_cache_evictions_total",
+			"Result lists evicted from the cache by the entry or byte bound."),
+		cacheEntries: reg.Gauge("fd_cache_entries",
+			"Result lists currently cached."),
+		cacheBytes: reg.Gauge("fd_cache_bytes",
+			"Approximate heap bytes pinned by the result cache."),
+		storeRetries: reg.Counter("fd_store_retries_total",
+			"Transient store failures that were retried during persistence."),
+		quarantines: reg.Counter("fd_quarantines_total",
+			"Databases quarantined during recovery because their files failed to load."),
+		slowQueries: reg.Counter("fd_slow_queries_total",
+			"Completed queries whose wall time exceeded the slow-query threshold."),
+	}
+}
+
+// queries returns the per-database, per-mode query counter.
+func (m metrics) queries(db, mode string) *obs.Counter {
+	return m.reg.Counter("fd_queries_total",
+		"Query sessions started, by database and mode.", "db", db, "mode", mode)
+}
+
+// results returns the per-database served-result-rows counter.
+func (m metrics) results(db string) *obs.Counter {
+	return m.reg.Counter("fd_results_served_total",
+		"Result rows served to clients, by database.", "db", db)
+}
+
+// storeOp wires a Store's Instrument seam into the registry: one
+// latency histogram and one error counter per operation kind.
+func (m metrics) storeOp(op string, d time.Duration, err error) {
+	m.reg.Histogram("fd_store_op_seconds",
+		"Store operation latency, by operation.", "op", op).Observe(d.Seconds())
+	if err != nil {
+		m.reg.Counter("fd_store_op_errors_total",
+			"Store operations that returned an error, by operation.", "op", op).Inc()
+	}
+}
+
+// syncCache refreshes the cache occupancy gauges; callers hold the
+// service lock (cache state is guarded by it).
+func (m metrics) syncCache(c *resultCache) {
+	m.cacheEntries.Set(int64(c.len()))
+	m.cacheBytes.Set(c.bytes())
+}

@@ -16,14 +16,17 @@ import (
 	"errors"
 	"fmt"
 	iofs "io/fs"
+	"log/slog"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	fd "repro"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/store"
 	"repro/internal/tupleset"
@@ -90,6 +93,22 @@ type Config struct {
 	Now func() time.Time
 	// Sleep suspends between retries, for tests; nil selects time.Sleep.
 	Sleep func(time.Duration)
+	// Metrics, when non-nil, receives every service-level signal —
+	// admission waits and timeouts, cache traffic, store operation
+	// latencies, quarantines, per-database query and result counts —
+	// for exposition at GET /metrics. Nil turns every instrumented
+	// site into a single nil check.
+	Metrics *obs.Registry
+	// Logger receives the service's structured log output (recovery,
+	// quarantine, slow queries); nil discards it.
+	Logger *slog.Logger
+	// SlowQuery, when positive, logs a warning with the trace summary
+	// for every completed query whose wall time exceeded it.
+	SlowQuery time.Duration
+	// TraceHistory bounds how many finished query traces stay
+	// retrievable via QueryTrace after their session closed; 0 selects
+	// 64, negative retains none.
+	TraceHistory int
 }
 
 func (c Config) withDefaults() Config {
@@ -129,6 +148,12 @@ func (c Config) withDefaults() Config {
 	if c.Sleep == nil {
 		c.Sleep = time.Sleep
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
+	if c.TraceHistory == 0 {
+		c.TraceHistory = 64
+	}
 	return c
 }
 
@@ -144,6 +169,9 @@ type Stats struct {
 	CacheMisses    int64 `json:"cache_misses"`
 	CacheEntries   int   `json:"cache_entries"`
 	CacheBytes     int64 `json:"cache_bytes"`
+	// CacheEvictions counts result lists evicted by the cache's entry
+	// or byte bound.
+	CacheEvictions int64 `json:"cache_evictions"`
 	ResultsServed  int64 `json:"results_served"`
 	// StoreRetries counts transient store failures that were retried
 	// during persistence (whether or not the retry then succeeded).
@@ -227,30 +255,47 @@ type Service struct {
 	queriesEvicted    int64
 	cacheHits         int64
 	cacheMisses       int64
+	cacheEvictions    int64
 	resultsServed     int64
 	storeRetries      int64
 	admissionTimeouts int64
 	quarantined       []QuarantineInfo
 	engine            core.Stats
+
+	met metrics
+	// finishedTraces retains the execution traces of closed sessions
+	// (bounded FIFO of TraceHistory entries), so GET /queries/{id}/trace
+	// keeps answering after the session is gone.
+	finishedTraces map[string]*obs.TraceData
+	finishedOrder  []string
 }
 
 // New builds a Service.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
-	return &Service{
-		cfg:       cfg,
-		sem:       make(chan struct{}, cfg.Workers),
-		engineSem: make(chan struct{}, cfg.EngineWorkers-1),
-		dbs:       make(map[string]*dbEntry),
-		queries:   make(map[string]*Query),
-		cache:     newResultCache(cfg.CacheCapacity, cfg.CacheMaxBytes),
+	s := &Service{
+		cfg:            cfg,
+		sem:            make(chan struct{}, cfg.Workers),
+		engineSem:      make(chan struct{}, cfg.EngineWorkers-1),
+		dbs:            make(map[string]*dbEntry),
+		queries:        make(map[string]*Query),
+		cache:          newResultCache(cfg.CacheCapacity, cfg.CacheMaxBytes),
+		met:            newMetrics(cfg.Metrics),
+		finishedTraces: make(map[string]*obs.TraceData),
 	}
+	if cfg.Store != nil && cfg.Metrics != nil {
+		cfg.Store.Instrument(s.met.storeOp)
+	}
+	return s
 }
 
 // acquire takes one admission slot, waiting at most AdmissionTimeout
 // (forever when the timeout is zero). On timeout the request is shed
-// with ErrOverloaded instead of queueing without bound.
+// with ErrOverloaded instead of queueing without bound. The wait is
+// observed into the admission-wait histogram either way.
 func (s *Service) acquire() error {
+	start := time.Now()
+	defer func() { s.met.admissionWait.Observe(time.Since(start).Seconds()) }()
 	if s.cfg.AdmissionTimeout == 0 {
 		s.sem <- struct{}{}
 		return nil
@@ -277,6 +322,7 @@ func (s *Service) shed() error {
 	s.mu.Lock()
 	s.admissionTimeouts++
 	s.mu.Unlock()
+	s.met.admissionTimeouts.Inc()
 	return fmt.Errorf("service: %w: all %d workers busy for %v",
 		ErrOverloaded, s.cfg.Workers, s.cfg.AdmissionTimeout)
 }
@@ -298,6 +344,9 @@ func (s *Service) retryStore(op func() error) error {
 		s.mu.Lock()
 		s.storeRetries++
 		s.mu.Unlock()
+		s.met.storeRetries.Inc()
+		s.cfg.Logger.Warn("retrying store operation",
+			"attempt", attempt, "backoff", backoff, "error", err)
 		s.cfg.Sleep(backoff)
 		if backoff < s.cfg.RetryBackoff<<3 {
 			backoff *= 2
@@ -443,6 +492,9 @@ func (s *Service) Recover() ([]DatabaseInfo, error) {
 				info.Label = label
 				errs = append(errs, fmt.Errorf("service: recover: quarantined %q as %s: %w", name, label, err))
 			}
+			s.met.quarantines.Inc()
+			s.cfg.Logger.Warn("quarantined database during recovery",
+				"db", name, "label", info.Label, "error", err)
 			quarantined = append(quarantined, info)
 			continue
 		}
@@ -451,8 +503,10 @@ func (s *Service) Recover() ([]DatabaseInfo, error) {
 			// restart loads one flat file with no replay.
 			if err := s.retryStore(func() error { return s.cfg.Store.Save(name, db) }); err != nil {
 				errs = append(errs, fmt.Errorf("service: compacting %q: %w", name, err))
+				s.cfg.Logger.Error("compacting replayed row log failed", "db", name, "error", err)
 				continue
 			}
+			s.cfg.Logger.Info("compacted row log into snapshot", "db", name)
 		}
 		info, err := s.addDatabase(name, db, false)
 		if err != nil {
@@ -622,9 +676,12 @@ func (s *Service) StartQuery(ctx context.Context, dbName string, spec fd.Query) 
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	vStart := s.cfg.Now()
 	if err := spec.Validate(); err != nil {
+		s.met.queriesRejected.Inc()
 		return nil, err
 	}
+	vEnd := s.cfg.Now()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -650,15 +707,24 @@ func (s *Service) StartQuery(ctx context.Context, dbName string, spec fd.Query) 
 	id := fmt.Sprintf("q%d", s.seq)
 	qctx, cancel := context.WithCancel(ctx)
 	q := &Query{id: id, svc: s, spec: spec, dbName: dbName, key: key, db: entry,
-		cancel: cancel, uncacheable: s.cfg.CacheCapacity < 0}
+		cancel: cancel, uncacheable: s.cfg.CacheCapacity < 0,
+		trace: obs.NewTrace(id, s.cfg.Now), started: s.cfg.Now()}
+	q.trace.Root().Record("validate", vStart, vEnd.Sub(vStart), nil)
 	q.touch(s.cfg.Now())
 
-	if cached, ok := s.cache.get(key); ok {
+	cStart := s.cfg.Now()
+	cached, hit := s.cache.get(key)
+	q.trace.Root().Record("cache", cStart, s.cfg.Now().Sub(cStart), nil,
+		"hit", strconv.FormatBool(hit))
+	if hit {
 		s.cacheHits++
 		s.queriesStarted++
 		q.cached, q.fromCache = cached, true
 		s.queries[id] = q
+		s.met.activeQueries.Set(int64(len(s.queries)))
 		s.mu.Unlock()
+		s.met.cacheHits.Inc()
+		s.met.queries(dbName, q.mode()).Inc()
 		return q, nil
 	}
 	s.mu.Unlock()
@@ -669,6 +735,7 @@ func (s *Service) StartQuery(ctx context.Context, dbName string, spec fd.Query) 
 	// granted count overrides the spec handed to the executor only; the
 	// cache key above keeps the client's requested spec.
 	run := spec
+	grantedWorkers := 1
 	if want := spec.ParallelWorkers(); want > 1 {
 		granted := 1
 		for granted < want {
@@ -682,13 +749,29 @@ func (s *Service) StartQuery(ctx context.Context, dbName string, spec fd.Query) 
 		}
 		run.Options.Workers = granted
 		q.engineSlots = granted - 1
+		grantedWorkers = granted
+	}
+	// Parallel tasks report completion spans from worker goroutines;
+	// attach them under the page span being computed (or the root, for
+	// tasks outliving their page) without taking the session lock —
+	// Close holds it while waiting for those very workers.
+	run.Options.TaskObserver = func(ts fd.TaskSpan) {
+		sp := q.pageSpan.Load()
+		if sp == nil {
+			sp = q.trace.Root()
+		}
+		sp.Record("task", ts.Start, ts.End.Sub(ts.Start), ts.Stats.Map(),
+			"label", ts.Label)
 	}
 
+	adStart := s.cfg.Now()
 	if err := s.acquire(); err != nil {
 		q.releaseEngine()
 		cancel()
 		return nil, err
 	}
+	q.trace.Root().Record("admission", adStart, s.cfg.Now().Sub(adStart), nil)
+	oStart := s.cfg.Now()
 	cur, err := fd.Open(qctx, entry.db, run)
 	s.release()
 	if err != nil {
@@ -696,6 +779,13 @@ func (s *Service) StartQuery(ctx context.Context, dbName string, spec fd.Query) 
 		cancel()
 		return nil, err
 	}
+	// The open span carries the cursor's construction-time counters
+	// (ranked modes pay their preprocessing inside Open); page spans
+	// then carry telescoping deltas, so the trace's span stats sum to
+	// the cursor's final Stats().
+	q.lastStats = cur.Stats()
+	q.trace.Root().Record("open", oStart, s.cfg.Now().Sub(oStart), q.lastStats.Map(),
+		"workers", strconv.Itoa(grantedWorkers))
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -708,7 +798,43 @@ func (s *Service) StartQuery(ctx context.Context, dbName string, spec fd.Query) 
 	s.queriesStarted++
 	q.cur = cur
 	s.queries[id] = q
+	s.met.activeQueries.Set(int64(len(s.queries)))
+	s.met.cacheMisses.Inc()
+	s.met.queries(dbName, q.mode()).Inc()
 	return q, nil
+}
+
+// QueryTrace returns the execution trace of the session with that id:
+// a live snapshot while the session is open, the final trace from the
+// bounded finished history after it closed.
+func (s *Service) QueryTrace(id string) (*obs.TraceData, bool) {
+	s.mu.Lock()
+	q, live := s.queries[id]
+	d, ok := s.finishedTraces[id]
+	s.mu.Unlock()
+	if live {
+		return q.trace.Snapshot(), true
+	}
+	return d, ok
+}
+
+// retainTrace adds a closed session's final trace to the bounded FIFO
+// history QueryTrace serves from.
+func (s *Service) retainTrace(d *obs.TraceData) {
+	if d == nil || s.cfg.TraceHistory < 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.finishedTraces[d.ID]; !ok {
+		s.finishedOrder = append(s.finishedOrder, d.ID)
+	}
+	s.finishedTraces[d.ID] = d
+	for len(s.finishedOrder) > s.cfg.TraceHistory {
+		old := s.finishedOrder[0]
+		s.finishedOrder = s.finishedOrder[1:]
+		delete(s.finishedTraces, old)
+	}
 }
 
 // Query returns the open session with the given id.
@@ -736,9 +862,12 @@ func (s *Service) EvictIdle() int {
 		}
 	}
 	s.queriesEvicted += int64(len(expired))
+	s.met.activeQueries.Set(int64(len(s.queries)))
 	s.mu.Unlock()
+	s.met.queriesEvicted.Add(int64(len(expired)))
 	for _, q := range expired {
 		q.shut()
+		s.cfg.Logger.Info("evicted idle query session", "id", q.id, "db", q.dbName)
 	}
 	return len(expired)
 }
@@ -755,6 +884,7 @@ func (s *Service) Stats() Stats {
 		QueriesEvicted:       s.queriesEvicted,
 		CacheHits:            s.cacheHits,
 		CacheMisses:          s.cacheMisses,
+		CacheEvictions:       s.cacheEvictions,
 		CacheEntries:         s.cache.len(),
 		CacheBytes:           s.cache.bytes(),
 		ResultsServed:        s.resultsServed,
@@ -779,10 +909,12 @@ func (s *Service) Close() {
 		open = append(open, q)
 		delete(s.queries, id)
 	}
+	s.met.activeQueries.Set(0)
 	s.mu.Unlock()
 	for _, q := range open {
 		q.shut()
 	}
+	s.cfg.Logger.Info("service closed", "sessions_closed", len(open))
 }
 
 // Query is one open query session: a suspended enumeration paged with
@@ -808,6 +940,17 @@ type Query struct {
 	// idle timeout is in use, not idle).
 	busy atomic.Int32
 
+	// trace records the session's execution spans; started anchors the
+	// slow-query wall time.
+	trace   *obs.Trace
+	started time.Time
+	// pageSpan points at the page span currently being computed, so
+	// the parallel executor's TaskObserver (running on worker
+	// goroutines) attaches task spans to the right page without taking
+	// the session lock — shut holds it while Close waits for those
+	// very workers.
+	pageSpan atomic.Pointer[obs.Span]
+
 	mu        sync.Mutex
 	cur       fd.Results // nil when serving from cache
 	cached    []Result   // cache-hit source (shared, read-only)
@@ -819,9 +962,37 @@ type Query struct {
 	// engineSlots counts extra intra-query workers held from the
 	// service's shared engine budget, returned when the cursor ends.
 	engineSlots int
-	served      int
-	done        bool
-	closed      bool
+	// lastStats is the previous cursor Stats() snapshot; page spans
+	// carry the telescoping difference from it, so the trace's span
+	// stats sum to the final counters.
+	lastStats fd.Stats
+	served    int
+	done      bool
+	closed    bool
+}
+
+// mode names the session's evaluation mode for metric labels (the
+// spec's mode with the zero value resolved).
+func (q *Query) mode() string {
+	if q.spec.Mode == "" {
+		return string(fd.ModeExact)
+	}
+	return string(q.spec.Mode)
+}
+
+// finish accounts one completed (drained) enumeration: the finished
+// counter, and the slow-query log when the session's wall time
+// exceeded the configured threshold — the warning carries the trace
+// summary, so a slow query is diagnosable from the log line alone.
+func (q *Query) finish(dur time.Duration) {
+	q.svc.met.queriesFinished.Inc()
+	if sq := q.svc.cfg.SlowQuery; sq > 0 && dur >= sq {
+		q.svc.met.slowQueries.Inc()
+		q.svc.cfg.Logger.Warn("slow query",
+			"id", q.id, "db", q.dbName, "mode", q.mode(),
+			"duration", dur, "served", q.served,
+			"trace", q.trace.Snapshot().Summary())
+	}
 }
 
 // releaseEngine returns the session's extra intra-query workers to the
@@ -851,6 +1022,9 @@ func (q *Query) Universe() *tupleset.Universe { return q.db.u }
 
 // FromCache reports whether the session serves from the result cache.
 func (q *Query) FromCache() bool { return q.fromCache }
+
+// Trace snapshots the session's execution trace so far.
+func (q *Query) Trace() *obs.TraceData { return q.trace.Snapshot() }
 
 // Served returns how many results the session has handed out.
 func (q *Query) Served() int {
@@ -883,6 +1057,7 @@ func (q *Query) Next(k int) ([]Result, bool, error) {
 	defer func() { q.touch(q.svc.cfg.Now()) }()
 
 	if q.fromCache {
+		pStart := q.svc.cfg.Now()
 		end := q.served + k
 		if end > len(q.cached) {
 			end = len(q.cached)
@@ -900,21 +1075,35 @@ func (q *Query) Next(k int) ([]Result, bool, error) {
 			// on drain, as the cursor path does, so long-lived servers
 			// don't accumulate one registration per cache hit.
 			q.cancel()
+			q.finish(q.svc.cfg.Now().Sub(q.started))
 		}
 		q.svc.mu.Lock()
 		q.svc.resultsServed += int64(len(out))
 		q.svc.mu.Unlock()
+		q.svc.met.results(q.dbName).Add(int64(len(out)))
+		// Cached pages do no engine work; the span carries only the
+		// emission count.
+		q.trace.Root().Record("next", pStart, q.svc.cfg.Now().Sub(pStart),
+			map[string]int64{"emitted": int64(len(out))},
+			"k", strconv.Itoa(k), "cached", "true")
 		return out, done, nil
 	}
 	if q.done {
 		return nil, true, nil
 	}
 
+	page := q.trace.Root().Start("next", "k", strconv.Itoa(k))
+	q.pageSpan.Store(page)
+	adStart := q.svc.cfg.Now()
 	if err := q.svc.acquire(); err != nil {
 		// Shed, not failed: the session stays usable and the client may
 		// retry the identical Next.
+		q.pageSpan.Store(nil)
+		page.SetAttr("outcome", "shed")
+		page.End()
 		return nil, false, err
 	}
+	page.Record("admission", adStart, q.svc.cfg.Now().Sub(adStart), nil)
 	out := make([]Result, 0, k)
 	for len(out) < k {
 		r, ok := q.cur.Next()
@@ -936,34 +1125,52 @@ func (q *Query) Next(k int) ([]Result, bool, error) {
 	q.served += len(out)
 
 	if len(out) == k {
+		stats := q.cur.Stats()
+		q.pageSpan.Store(nil)
+		page.SetStats(stats.Sub(q.lastStats).Map())
+		page.End()
+		q.lastStats = stats
 		q.svc.mu.Lock()
 		q.svc.resultsServed += int64(len(out))
 		q.svc.mu.Unlock()
+		q.svc.met.results(q.dbName).Add(int64(len(out)))
 		return out, false, nil
 	}
 
 	// Exhausted (or failed/cancelled): fold engine stats, and on clean
 	// exhaustion publish the drained list to the result cache. Close
 	// before the stats snapshot — a parallel cursor folds its last
-	// in-flight workers' counters as Close waits for them.
+	// in-flight workers' counters as Close waits for them (their task
+	// spans attach to this page, which is why pageSpan clears only
+	// after the Close).
 	err := q.cur.Err()
 	q.done = true
 	q.cur.Close()
 	stats := q.cur.Stats()
+	q.pageSpan.Store(nil)
+	page.SetStats(stats.Sub(q.lastStats).Map())
+	page.End()
+	q.lastStats = stats
 	q.releaseEngine()
+	evicted := 0
 	q.svc.mu.Lock()
 	q.svc.resultsServed += int64(len(out))
 	q.svc.engine.Add(stats)
 	q.svc.queriesDone++
 	if err == nil && !q.uncacheable && !q.svc.closed {
-		q.svc.cache.put(q.key, q.gathered)
+		evicted = q.svc.cache.put(q.key, q.gathered)
+		q.svc.cacheEvictions += int64(evicted)
 	}
+	q.svc.met.syncCache(q.svc.cache)
 	q.svc.mu.Unlock()
+	q.svc.met.cacheEvictions.Add(int64(evicted))
+	q.svc.met.results(q.dbName).Add(int64(len(out)))
 	q.cur = nil
 	q.gathered = nil
 	// The enumeration is over; release the session's derived context
 	// now instead of waiting for Close or eviction.
 	q.cancel()
+	q.finish(q.svc.cfg.Now().Sub(q.started))
 	return out, true, err
 }
 
@@ -972,12 +1179,16 @@ func (q *Query) Next(k int) ([]Result, bool, error) {
 func (q *Query) Close() {
 	q.svc.mu.Lock()
 	delete(q.svc.queries, q.id)
+	q.svc.met.activeQueries.Set(int64(len(q.svc.queries)))
 	q.svc.mu.Unlock()
 	q.shut()
 }
 
 // shut closes the session state without touching the registry (the
-// caller has already removed it).
+// caller has already removed it). The session's final trace — with a
+// terminal "close" span carrying any engine counters not yet
+// attributed to a page — moves to the finished-trace history, so
+// QueryTrace keeps answering for recently closed sessions.
 func (q *Query) shut() {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -990,9 +1201,15 @@ func (q *Query) shut() {
 	}
 	if q.cur != nil {
 		// Close before the stats snapshot: a parallel cursor folds its
-		// in-flight workers' counters as Close waits for them to exit.
+		// in-flight workers' counters as Close waits for them to exit
+		// (their task spans record while pageSpan is still current).
+		cStart := q.svc.cfg.Now()
 		q.cur.Close()
 		stats := q.cur.Stats()
+		q.pageSpan.Store(nil)
+		q.trace.Root().Record("close", cStart, q.svc.cfg.Now().Sub(cStart),
+			stats.Sub(q.lastStats).Map())
+		q.lastStats = stats
 		q.cur = nil
 		q.svc.mu.Lock()
 		q.svc.engine.Add(stats)
@@ -1000,10 +1217,16 @@ func (q *Query) shut() {
 			q.svc.queriesDone++
 		}
 		q.svc.mu.Unlock()
+		if !q.done {
+			q.svc.met.queriesFinished.Inc()
+		}
 		q.releaseEngine()
 	} else if !q.done && q.cached != nil {
 		q.svc.mu.Lock()
 		q.svc.queriesDone++
 		q.svc.mu.Unlock()
+		q.svc.met.queriesFinished.Inc()
 	}
+	q.trace.Root().End()
+	q.svc.retainTrace(q.trace.Snapshot())
 }

@@ -23,6 +23,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/relation"
 )
@@ -55,6 +56,28 @@ type Store struct {
 	// tmpSeq names temporary files uniquely within this store; only
 	// touched under mu.
 	tmpSeq uint64
+	// obs, when set, observes each public operation's latency and
+	// outcome; read and written under mu.
+	obs func(op string, d time.Duration, err error)
+}
+
+// Instrument installs an observer invoked once per public mutating or
+// loading operation (op is "save", "load", "append", "compact" or
+// "delete") with the operation's wall-clock duration and outcome. One
+// observer at most; nil uninstalls. The observer runs with the store's
+// lock held — keep it cheap and never call back into the store.
+func (s *Store) Instrument(obs func(op string, d time.Duration, err error)) {
+	s.mu.Lock()
+	s.obs = obs
+	s.mu.Unlock()
+}
+
+// observe reports one finished operation to the installed observer.
+// Called via defer with mu held; start is captured at defer time.
+func (s *Store) observe(op string, start time.Time, errp *error) {
+	if s.obs != nil {
+		s.obs(op, time.Since(start), *errp)
+	}
 }
 
 // Open opens (creating if necessary) a store rooted at dir on the
@@ -126,9 +149,10 @@ func (s *Store) List() ([]string, error) {
 // Save writes a full snapshot of db under name, atomically replacing
 // any previous snapshot, and truncates the row log (the snapshot now
 // holds everything the log held).
-func (s *Store) Save(name string, db *relation.Database) error {
+func (s *Store) Save(name string, db *relation.Database) (err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.observe("save", time.Now(), &err)
 	return s.save(name, db)
 }
 
@@ -235,9 +259,10 @@ func (s *Store) syncDir() { _ = s.fs.SyncDir(s.dir) }
 // were replayed — a true return means the caller should Compact (or
 // Save) to fold the log back into the snapshot. Corrupt or truncated
 // snapshots and logs fail loudly.
-func (s *Store) Load(name string) (*relation.Database, bool, error) {
+func (s *Store) Load(name string) (db *relation.Database, replayed bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.observe("load", time.Now(), &err)
 	return s.load(name)
 }
 
@@ -306,12 +331,13 @@ func (s *Store) load(name string) (*relation.Database, bool, error) {
 // dropped and re-registered under this name while the append was in
 // flight" into an error instead of rows durably logged against the
 // wrong snapshot.
-func (s *Store) Append(name, relName string, tuples []relation.Tuple, expectFP uint64) error {
+func (s *Store) Append(name, relName string, tuples []relation.Tuple, expectFP uint64) (err error) {
 	if len(tuples) == 0 {
 		return nil
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.observe("append", time.Now(), &err)
 
 	sf, err := s.fs.Open(s.snapshotPath(name))
 	if err != nil {
@@ -351,9 +377,10 @@ func (s *Store) Append(name, relName string, tuples []relation.Tuple, expectFP u
 // the database is loaded (snapshot + replay) and saved as one fresh
 // snapshot, and the log is truncated. It reports whether anything was
 // compacted.
-func (s *Store) Compact(name string) (bool, error) {
+func (s *Store) Compact(name string) (compacted bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.observe("compact", time.Now(), &err)
 	if _, err := s.fs.Stat(s.logPath(name)); notExist(err) {
 		return false, nil
 	}
@@ -376,9 +403,10 @@ func (s *Store) Compact(name string) (bool, error) {
 
 // Delete removes the stored snapshot, log and compaction marker of
 // that name. Deleting a name that was never stored is not an error.
-func (s *Store) Delete(name string) error {
+func (s *Store) Delete(name string) (err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.observe("delete", time.Now(), &err)
 	// The snapshot goes first: it is the file that makes the name
 	// exist (List keys on it), so a crash mid-delete leaves either the
 	// full database or orphaned log/marker files a later Save of the

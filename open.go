@@ -79,7 +79,7 @@ func Open(ctx context.Context, db *Database, q Query) (Results, error) {
 	}
 	// normalize strips the runtime-only hooks (they must not reach the
 	// canonical form); they still have to reach execution.
-	opts.Pool, opts.Trace = q.Options.Pool, q.Options.Trace
+	opts.Pool, opts.Trace, opts.TaskObserver = q.Options.Pool, q.Options.Trace, q.Options.TaskObserver
 
 	// The parallelisable modes route through the streaming executor
 	// when the query's effective worker count exceeds one (Workers 0

@@ -70,6 +70,12 @@ type QueryOptions struct {
 	// Trace, when non-nil, snapshots enumerator state per iteration.
 	// Runtime-only: never serialised, never keyed.
 	Trace TraceFunc `json:"-"`
+	// TaskObserver, when non-nil, receives a TaskSpan each time a
+	// parallel enumeration task finishes — the observability hook the
+	// service layer uses to attach per-task spans to a query trace.
+	// Runtime-only like Pool and Trace, but unlike them it does not
+	// force the sequential path: it exists to observe the parallel one.
+	TaskObserver TaskObserver `json:"-"`
 }
 
 // engine renders the options as core.Options; the strategy name must
@@ -86,6 +92,7 @@ func (o QueryOptions) engine() (core.Options, error) {
 		Strategy:     strat,
 		Pool:         o.Pool,
 		Trace:        o.Trace,
+		TaskObserver: o.TaskObserver,
 	}, nil
 }
 
@@ -186,7 +193,7 @@ func (q Query) normalize() Query {
 		// so spellings that cannot differ share one canonical key.
 		q.Options.Workers = 0
 	}
-	q.Options.Pool, q.Options.Trace = nil, nil
+	q.Options.Pool, q.Options.Trace, q.Options.TaskObserver = nil, nil, nil
 	return q
 }
 
@@ -288,8 +295,8 @@ func (q Query) Validate() error {
 // caches together with a database content fingerprint: engine knobs are
 // included because they may change the emission order a cached list
 // replays, the mode parameters because they change the result sequence
-// itself. Runtime-only options (Pool, Trace) affect neither and are
-// excluded.
+// itself. Runtime-only options (Pool, Trace, TaskObserver) affect
+// neither and are excluded.
 func (q Query) Canonical() string {
 	n := q.normalize()
 	return fmt.Sprintf("fdq2|mode=%s|rank=%s|k=%d|tau=%g|ranktau=%g|sim=%s|idx=%t|jidx=%t|blk=%d|strat=%s|wrk=%d",

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Fails if any non-test Go file still logs through the legacy log
+# package (log.Printf / log.Println / log.Fatal*). Production code logs
+# through log/slog with levels and key=value attributes (see
+# docs/OBSERVABILITY.md). Tests may use whatever they like, and the
+# runnable snippets under examples/ keep the idiomatic `log.Fatal(err)`
+# of Go documentation.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# --include keeps the sweep to Go sources; test files and examples are
+# exempt.
+hits="$(grep -rn --include='*.go' --exclude='*_test.go' \
+  --exclude-dir=examples \
+  -E '\blog\.(Printf|Println|Print|Fatalf|Fatalln|Fatal|Panicf|Panicln|Panic)\(' \
+  . || true)"
+
+if [ -n "$hits" ]; then
+  echo "legacy log package calls in non-test code (use log/slog):" >&2
+  echo "$hits" >&2
+  exit 1
+fi
+echo "OK: no legacy log calls outside tests"

@@ -4,12 +4,15 @@
 # the same workload (same generator spec and seed, hence the same
 # database) into a running fdserve, page one query to exhaustion, and
 # compare the counts. Then repeat the query and check that /stats
-# reports a cache hit. Finally exercise persistence: register a
+# reports a cache hit and that the /metrics Prometheus exposition moved
+# the query and cache-hit counters, and fetch the query's span tree
+# from /queries/{id}/trace. Finally exercise persistence: register a
 # database against -data, SIGTERM the server, restart it over the same
 # directory, and assert the recovered database lists the same
 # fingerprint and pages the same result count with zero
-# re-registration. Uses only curl + grep/sed so it runs in minimal
-# containers. Usage: smoke_fdserve.sh [bindir]
+# re-registration — and that /metrics and the trace endpoint still
+# answer after a kill -9 restart. Uses only curl + grep/sed so it runs
+# in minimal containers. Usage: smoke_fdserve.sh [bindir]
 set -euo pipefail
 
 bindir="${1:-./bin}"
@@ -41,6 +44,19 @@ new_query() {
   curl -fsS -X POST "$base/queries" -d '{"database":"w","mode":"exact"}' |
     sed -n 's/.*"id":"\([^"]*\)".*/\1/p'
 }
+
+# counter_value <exposition> <series> prints the sample value of one
+# Prometheus series (exact match on name + label set), or 0 if absent.
+counter_value() {
+  local v
+  v="$(grep -F "$2 " <<<"$1" | sed -n 's/.* \([0-9][0-9]*\)$/\1/p')"
+  echo "${v:-0}"
+}
+
+# Baseline /metrics scrape before any query has run.
+metrics0="$(curl -fsS "$base/metrics")"
+q0="$(counter_value "$metrics0" 'fd_queries_total{db="w",mode="exact"}')"
+h0="$(counter_value "$metrics0" 'fd_cache_hits_total')"
 
 page_to_exhaustion() {
   local qid="$1" total=0 page
@@ -74,6 +90,34 @@ if [ -z "$hits" ] || [ "$hits" -lt 1 ]; then
   exit 1
 fi
 echo "cache hits: $hits"
+
+# --- observability: /metrics counters moved, trace served ------------
+metrics1="$(curl -fsS "$base/metrics")"
+if ! grep -q '^# TYPE fd_queries_total counter$' <<<"$metrics1"; then
+  echo "FAIL: /metrics exposition has no fd_queries_total TYPE line" >&2
+  exit 1
+fi
+q1="$(counter_value "$metrics1" 'fd_queries_total{db="w",mode="exact"}')"
+h1="$(counter_value "$metrics1" 'fd_cache_hits_total')"
+if [ "$q1" -le "$q0" ]; then
+  echo "FAIL: fd_queries_total{db=\"w\"} did not move ($q0 -> $q1)" >&2
+  exit 1
+fi
+if [ "$h1" -le "$h0" ]; then
+  echo "FAIL: fd_cache_hits_total did not move ($h0 -> $h1)" >&2
+  exit 1
+fi
+echo "metrics: fd_queries_total $q0 -> $q1, fd_cache_hits_total $h0 -> $h1"
+
+# The span tree of the drained (finished, history-retained) session.
+trace="$(curl -fsS "$base/queries/$qid/trace")"
+for span in '"name":"query"' '"name":"open"' '"name":"next"'; do
+  if ! grep -q "$span" <<<"$trace"; then
+    echo "FAIL: trace of $qid missing $span: $trace" >&2
+    exit 1
+  fi
+done
+echo "trace: span tree served for $qid"
 
 # --- parallel execution over the wire (options.workers) --------------
 # A workers:4 spec runs the parallel streaming executor behind the same
@@ -252,4 +296,27 @@ if grep -q '"quarantined_databases"' <<<"$stats"; then
   exit 1
 fi
 echo "post-crash: recovered the complete $state state ($fp3, $count3 results)"
+
+# --- observability survives the kill -9 restart ----------------------
+# The fresh process must serve a well-formed exposition whose query
+# counter reflects the post-crash query, and the trace endpoint must
+# serve that query's span tree.
+metrics2="$(curl -fsS "$base/metrics")"
+if ! grep -q '^# TYPE fd_queries_total counter$' <<<"$metrics2"; then
+  echo "FAIL: post-crash /metrics exposition has no fd_queries_total TYPE line" >&2
+  exit 1
+fi
+qp="$(counter_value "$metrics2" 'fd_queries_total{db="p",mode="exact"}')"
+if [ "$qp" -lt 1 ]; then
+  echo "FAIL: post-crash fd_queries_total{db=\"p\"} = $qp, want >= 1" >&2
+  exit 1
+fi
+trace="$(curl -fsS "$base/queries/$qid/trace")"
+for span in '"name":"query"' '"name":"open"' '"name":"next"'; do
+  if ! grep -q "$span" <<<"$trace"; then
+    echo "FAIL: post-crash trace of $qid missing $span: $trace" >&2
+    exit 1
+  fi
+done
+echo "post-crash observability: metrics (fd_queries_total{db=\"p\"}=$qp) and trace served"
 echo "PASS"
