@@ -38,6 +38,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"time"
 
 	fd "repro"
 	"repro/internal/obs"
@@ -71,6 +72,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		workers  = fs.Int("workers", 0, "parallel enumeration workers: 0 = GOMAXPROCS, 1 = sequential (exact restart and approx modes; ranked runs sequential)")
 		stats    = fs.Bool("stats", false, "print execution counters to stderr")
 		trace    = fs.Bool("trace", false, "print the execution trace (span-tree JSON, the GET /queries/{id}/trace schema) to stderr")
+		explain  = fs.Bool("explain", false, "print the query plan (the POST /explain schema) to stdout instead of executing")
+		progress = fs.Bool("progress", false, "render a live progress line on stderr while draining")
 		snapshot = fs.String("snapshot", "", "load the database from a binary snapshot instead of CSV files")
 		save     = fs.String("save", "", "write the loaded database to a binary snapshot file")
 	)
@@ -163,6 +166,44 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 				"label", ts.Label)
 		}
 	}
+
+	if *explain {
+		plan, err := fd.Explain(db, q)
+		if err != nil {
+			return err
+		}
+		doc, err := json.MarshalIndent(plan, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s\n", doc)
+		return nil
+	}
+
+	var prog *fd.Progress
+	if *progress {
+		prog = &fd.Progress{}
+		q.Options.Progress = prog
+		ticker := time.NewTicker(200 * time.Millisecond)
+		done := make(chan struct{})
+		defer func() {
+			ticker.Stop()
+			close(done)
+			// One final line so even a sub-tick run shows its totals.
+			fmt.Fprintf(stderr, "%s\n", progressLine(prog))
+		}()
+		go func() {
+			for {
+				select {
+				case <-ticker.C:
+					fmt.Fprintf(stderr, "%s\n", progressLine(prog))
+				case <-done:
+					return
+				}
+			}
+		}()
+	}
+
 	openSpan := tr.Root().Start("open")
 	rs, err := fd.Open(ctx, db, q)
 	if err != nil {
@@ -226,4 +267,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "%s\n", doc)
 	}
 	return nil
+}
+
+// progressLine renders one -progress status line from a live snapshot.
+func progressLine(p *fd.Progress) string {
+	d := p.Snapshot()
+	line := fmt.Sprintf("progress: phase=%s results=%d scanned=%d",
+		d.Phase, d.ResultsEmitted, d.TuplesScanned)
+	if d.TasksTotal > 0 {
+		line += fmt.Sprintf(" tasks=%d/%d", d.TasksDone, d.TasksTotal)
+	}
+	return line
 }

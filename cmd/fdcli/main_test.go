@@ -189,3 +189,53 @@ func TestRunTrace(t *testing.T) {
 		t.Errorf("span stats sum emitted=%d, want 6", sum["emitted"])
 	}
 }
+
+func TestRunExplain(t *testing.T) {
+	paths := writeTouristCSVs(t)
+	var out, errBuf bytes.Buffer
+	if err := run(context.Background(), append([]string{"-explain", "-workers", "4"}, paths...), &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	var plan fd.Plan
+	if err := json.Unmarshal(out.Bytes(), &plan); err != nil {
+		t.Fatalf("-explain stdout is not a plan document: %v\n%s", err, out.String())
+	}
+	if len(plan.Database.Relations) != 3 {
+		t.Errorf("plan lists %d relations, want 3", len(plan.Database.Relations))
+	}
+	if plan.Strategy.Execution != "parallel" || len(plan.Strategy.Tasks) == 0 {
+		t.Errorf("workers=4 strategy %+v, want parallel with tasks", plan.Strategy)
+	}
+	// -explain plans without executing: no result rows on stdout.
+	if strings.Contains(out.String(), "tuple set") {
+		t.Error("-explain also executed the query")
+	}
+
+	var seqOut bytes.Buffer
+	if err := run(context.Background(), append([]string{"-explain", "-rank", "fmax", "-k", "2"}, paths...), &seqOut, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(seqOut.Bytes(), &plan); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Strategy.Execution != "sequential" || plan.Strategy.Reason == "" {
+		t.Errorf("ranked strategy %+v, want sequential with reason", plan.Strategy)
+	}
+}
+
+func TestRunProgress(t *testing.T) {
+	paths := writeTouristCSVs(t)
+	var out, errBuf bytes.Buffer
+	if err := run(context.Background(), append([]string{"-progress"}, paths...), &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	// The run is far shorter than a ticker period, but the final line
+	// always reports the completed state.
+	text := errBuf.String()
+	if !strings.Contains(text, "progress: phase=done results=6") {
+		t.Errorf("-progress final line missing:\n%s", text)
+	}
+	if !strings.Contains(out.String(), "{c1, a1}") {
+		t.Errorf("-progress suppressed results:\n%s", out.String())
+	}
+}

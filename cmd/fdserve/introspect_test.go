@@ -1,0 +1,105 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+
+	"repro/internal/service"
+)
+
+// TestExplainEndpoint checks POST /explain over the wire: same body as
+// POST /queries, a plan naming the strategy, and a cache-hit prediction
+// that flips after an identical drain.
+func TestExplainEndpoint(t *testing.T) {
+	ts, _ := startServer(t)
+	call(t, "POST", ts.URL+"/databases",
+		map[string]any{"name": "w", "workload": chainSpec}, http.StatusCreated, nil)
+
+	body := map[string]any{"database": "w", "mode": "exact",
+		"options": map[string]any{"workers": 4}}
+	var plan map[string]any
+	call(t, "POST", ts.URL+"/explain", body, http.StatusOK, &plan)
+	strategy, _ := plan["strategy"].(map[string]any)
+	if strategy["execution"] != "parallel" {
+		t.Fatalf("workers=4 planned as %v", strategy["execution"])
+	}
+	if tasks, _ := strategy["tasks"].([]any); len(tasks) == 0 {
+		t.Error("parallel plan lists no tasks")
+	}
+	if plan["cache_key"] == "" || plan["cache_hit_predicted"] != false {
+		t.Errorf("cold plan: key=%v hit=%v", plan["cache_key"], plan["cache_hit_predicted"])
+	}
+
+	// Workers=1 plans sequential, with a reason.
+	seq := map[string]any{"database": "w", "mode": "exact",
+		"options": map[string]any{"workers": 1}}
+	call(t, "POST", ts.URL+"/explain", seq, http.StatusOK, &plan)
+	strategy, _ = plan["strategy"].(map[string]any)
+	if strategy["execution"] != "sequential" || strategy["reason"] == "" {
+		t.Errorf("workers=1 strategy %v", strategy)
+	}
+
+	// Drain the workers=4 query, then the prediction flips.
+	var q createQueryResponse
+	call(t, "POST", ts.URL+"/queries", body, http.StatusCreated, &q)
+	for {
+		var page pageResponse
+		call(t, "GET", fmt.Sprintf("%s/queries/%s/next?k=1000", ts.URL, q.ID), nil, http.StatusOK, &page)
+		if page.Done {
+			break
+		}
+	}
+	call(t, "POST", ts.URL+"/explain", body, http.StatusOK, &plan)
+	if plan["cache_hit_predicted"] != true {
+		t.Error("no cache hit predicted after identical drain")
+	}
+
+	// Unknown database and invalid spec fail with the query statuses.
+	call(t, "POST", ts.URL+"/explain",
+		map[string]any{"database": "nope"}, http.StatusNotFound, nil)
+	call(t, "POST", ts.URL+"/explain",
+		map[string]any{"database": "w", "mode": "bogus"}, http.StatusBadRequest, nil)
+}
+
+// TestProgressEndpoint polls GET /queries/{id}/progress between pages:
+// counters must be monotone, the phase honest, and the drained session
+// must report every result.
+func TestProgressEndpoint(t *testing.T) {
+	ts, _ := startServer(t)
+	call(t, "POST", ts.URL+"/databases",
+		map[string]any{"name": "w", "workload": chainSpec}, http.StatusCreated, nil)
+	var q createQueryResponse
+	call(t, "POST", ts.URL+"/queries",
+		map[string]any{"database": "w", "mode": "exact"}, http.StatusCreated, &q)
+
+	var rep service.ProgressReport
+	call(t, "GET", fmt.Sprintf("%s/queries/%s/progress", ts.URL, q.ID), nil, http.StatusOK, &rep)
+	if rep.ID != q.ID || rep.DB != "w" || rep.Mode != "exact" || rep.FromCache {
+		t.Fatalf("initial report wrong: %+v", rep)
+	}
+
+	var last int64
+	total := 0
+	for {
+		var page pageResponse
+		call(t, "GET", fmt.Sprintf("%s/queries/%s/next?k=5", ts.URL, q.ID), nil, http.StatusOK, &page)
+		total += len(page.Results)
+		call(t, "GET", fmt.Sprintf("%s/queries/%s/progress", ts.URL, q.ID), nil, http.StatusOK, &rep)
+		if rep.ResultsEmitted < last {
+			t.Fatalf("results_emitted went backwards: %d after %d", rep.ResultsEmitted, last)
+		}
+		last = rep.ResultsEmitted
+		if page.Done {
+			break
+		}
+	}
+	if rep.Phase != "done" || rep.ResultsEmitted != int64(total) {
+		t.Errorf("final report %+v, want done with %d results", rep, total)
+	}
+	if rep.Delay.Count != int64(total) {
+		t.Errorf("delay count %d for %d results", rep.Delay.Count, total)
+	}
+
+	call(t, "GET", ts.URL+"/queries/nope/progress", nil, http.StatusNotFound, nil)
+}

@@ -74,6 +74,7 @@ func main() {
 		logFormat  = flag.String("log-format", "text", "log output format: text or json")
 		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn or error (debug logs every request)")
 		slowQuery  = flag.Duration("slow-query", 0, "log a warning with the trace summary for queries slower than this (0 disables)")
+		delaySLO   = flag.Duration("delay-slo", 0, "per-result delay envelope: count every inter-result gap above this in fd_delay_slo_breaches_total and log the first breach per session (0 disables)")
 		traceHist  = flag.Int("trace-history", 0, "finished query traces kept for GET /queries/{id}/trace (0 = default 64, negative disables)")
 		pprofOn    = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	)
@@ -114,6 +115,7 @@ func main() {
 		Metrics:          reg,
 		Logger:           logger.With("component", "service"),
 		SlowQuery:        *slowQuery,
+		DelaySLO:         *delaySLO,
 		TraceHistory:     *traceHist,
 	})
 	if st != nil {
@@ -248,7 +250,9 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("DELETE /databases/{name}", s.handleDropDatabase)
 	mux.HandleFunc("POST /databases/{name}/rows", s.handleAppendRows)
 	mux.HandleFunc("POST /queries", s.handleCreateQuery)
+	mux.HandleFunc("POST /explain", s.handleExplain)
 	mux.HandleFunc("GET /queries/{id}/next", s.handleNext)
+	mux.HandleFunc("GET /queries/{id}/progress", s.handleProgress)
 	mux.HandleFunc("GET /queries/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /queries/{id}", s.handleDeleteQuery)
 	mux.HandleFunc("GET /stats", s.handleStats)
@@ -439,6 +443,7 @@ type queryOptionsRequest struct {
 	UseJoinIndex *bool  `json:"use_join_index"`
 	BlockSize    int    `json:"block_size"`
 	Strategy     string `json:"strategy"`
+	Workers      int    `json:"workers"`
 }
 
 // resolve renders the request options as library options, applying the
@@ -449,6 +454,7 @@ func (o queryOptionsRequest) resolve() fd.QueryOptions {
 		UseJoinIndex: true,
 		BlockSize:    o.BlockSize,
 		Strategy:     o.Strategy,
+		Workers:      o.Workers,
 	}
 	if o.UseIndex != nil {
 		opts.UseIndex = *o.UseIndex
@@ -716,6 +722,43 @@ func (s *server) handleCreateQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusCreated, createQueryResponse{ID: q.ID(), Cached: q.FromCache()})
+}
+
+// handleExplain reports the engine's plan for a query spec — join
+// graph, index engagement, execution strategy with the parallel task
+// layout, cache key and hit prediction — without opening a session. It
+// takes the same body as POST /queries, resolved the same way, so the
+// plan describes exactly the session that body would start.
+func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req createQueryRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	spec := req.Query
+	spec.Options = req.Options.resolve()
+	rep, err := s.svc.Explain(req.Database, spec)
+	if err != nil {
+		if errors.Is(err, service.ErrUnknownDatabase) {
+			writeError(w, http.StatusNotFound, err)
+		} else {
+			writeError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// handleProgress serves the session's live counters: phase, task
+// completion, tuples scanned, results emitted, and the delay summary.
+// It reads atomics only — a progress poll never waits on the page
+// currently computing.
+func (s *server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	q, ok := s.svc.Query(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown query %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, q.Progress())
 }
 
 func (s *server) handleNext(w http.ResponseWriter, r *http.Request) {

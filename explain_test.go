@@ -1,0 +1,252 @@
+package fd_test
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	fd "repro"
+	"repro/internal/workload"
+)
+
+// explainDB builds one of the workload shapes used across the Explain
+// tests: large enough that parallel layouts have real block splits.
+func explainDB(t *testing.T, shape string) *fd.Database {
+	t.Helper()
+	cfg := workload.Config{
+		Relations: 4, TuplesPerRelation: 24, Domain: 4, NullRate: 0.1, ImpMax: 10, Seed: 41}
+	var (
+		db  *fd.Database
+		err error
+	)
+	switch shape {
+	case "chain":
+		db, err = workload.Chain(cfg)
+	case "star":
+		db, err = workload.Star(cfg)
+	case "clique":
+		cfg.TuplesPerRelation = 6
+		db, err = workload.Clique(cfg)
+	default:
+		t.Fatalf("unknown shape %q", shape)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestExplainJSONRoundTrip is the serialisation acceptance criterion:
+// a plan marshals to JSON and unmarshals back to an identical value.
+func TestExplainJSONRoundTrip(t *testing.T) {
+	db := explainDB(t, "chain")
+	for _, q := range []fd.Query{
+		{Mode: fd.ModeExact, Options: fd.QueryOptions{UseIndex: true, UseJoinIndex: true, Workers: 4}},
+		{Mode: fd.ModeRanked, Rank: "fmax", K: 5, Options: fd.QueryOptions{UseIndex: true}},
+		{Mode: fd.ModeApprox, Tau: 0.7, Options: fd.QueryOptions{UseIndex: true, Workers: 4}},
+	} {
+		plan, err := fd.Explain(db, q)
+		if err != nil {
+			t.Fatalf("Explain(%+v): %v", q, err)
+		}
+		doc, err := json.Marshal(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back fd.Plan
+		if err := json.Unmarshal(doc, &back); err != nil {
+			t.Fatalf("unmarshal plan: %v", err)
+		}
+		if !reflect.DeepEqual(*plan, back) {
+			t.Errorf("mode %s: plan did not survive the JSON round trip:\n%+v\nvs\n%+v",
+				q.Mode, *plan, back)
+		}
+	}
+}
+
+// TestExplainStrategyPrediction checks the plan's strategy section
+// against the execution it predicts, across the three workload shapes
+// and Workers ∈ {1, 4}: a sequential plan carries a reason, a parallel
+// plan's task list matches — task for task — the spans an actual run
+// reports through the TaskObserver.
+func TestExplainStrategyPrediction(t *testing.T) {
+	for _, shape := range []string{"chain", "star", "clique"} {
+		db := explainDB(t, shape)
+		for _, workers := range []int{1, 4} {
+			q := fd.Query{Mode: fd.ModeExact, Options: fd.QueryOptions{
+				UseIndex: true, Workers: workers}}
+			plan, err := fd.Explain(db, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if workers == 1 {
+				if plan.Strategy.Execution != "sequential" || plan.Strategy.Workers != 1 {
+					t.Fatalf("%s workers=1: strategy %+v, want sequential", shape, plan.Strategy)
+				}
+				if plan.Strategy.Reason == "" {
+					t.Errorf("%s: sequential plan gives no reason", shape)
+				}
+				if len(plan.Strategy.Tasks) != 0 {
+					t.Errorf("%s: sequential plan lists %d tasks", shape, len(plan.Strategy.Tasks))
+				}
+				continue
+			}
+			if plan.Strategy.Execution != "parallel" {
+				t.Fatalf("%s workers=4: execution %q, want parallel", shape, plan.Strategy.Execution)
+			}
+			if plan.Strategy.Workers < 2 || plan.Strategy.Workers > workers {
+				t.Errorf("%s: effective workers %d outside [2, %d]", shape, plan.Strategy.Workers, workers)
+			}
+			if len(plan.Strategy.Tasks) < plan.Strategy.Passes {
+				t.Errorf("%s: %d tasks for %d passes", shape, len(plan.Strategy.Tasks), plan.Strategy.Passes)
+			}
+			seeds := 0
+			for _, task := range plan.Strategy.Tasks {
+				if task.Seeds != task.SeedHi-task.SeedLo || task.Seeds <= 0 {
+					t.Errorf("%s: task %q has seed range [%d, %d) but Seeds=%d",
+						shape, task.Label, task.SeedLo, task.SeedHi, task.Seeds)
+				}
+				seeds += task.Seeds
+			}
+			if seeds != plan.Database.Tuples {
+				t.Errorf("%s: task seed counts sum to %d, want every tuple once (%d)",
+					shape, seeds, plan.Database.Tuples)
+			}
+
+			// The plan is the execution: a real run reports exactly the
+			// planned tasks, label for label.
+			var ran atomic.Int64
+			planned := make(map[string]bool, len(plan.Strategy.Tasks))
+			for _, task := range plan.Strategy.Tasks {
+				planned[task.Label] = true
+			}
+			var unplanned atomic.Int64
+			run := q
+			run.Options.TaskObserver = func(ts fd.TaskSpan) {
+				ran.Add(1)
+				if !planned[ts.Label] {
+					unplanned.Add(1)
+				}
+			}
+			rs, err := fd.Open(context.Background(), db, run)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ok := rs.Next(); ok; _, ok = rs.Next() {
+			}
+			if err := rs.Err(); err != nil {
+				t.Fatal(err)
+			}
+			rs.Close()
+			if int(ran.Load()) != len(plan.Strategy.Tasks) {
+				t.Errorf("%s: plan promised %d tasks, execution ran %d",
+					shape, len(plan.Strategy.Tasks), ran.Load())
+			}
+			if unplanned.Load() != 0 {
+				t.Errorf("%s: %d executed tasks missing from the plan", shape, unplanned.Load())
+			}
+		}
+	}
+}
+
+// TestExplainSequentialReasons checks the plan explains each forced
+// sequential path: ranked modes, non-singleton initialisations and the
+// per-iteration hooks all override a parallel worker request.
+func TestExplainSequentialReasons(t *testing.T) {
+	db := explainDB(t, "chain")
+	cases := []struct {
+		name string
+		q    fd.Query
+		want string
+	}{
+		{"ranked", fd.Query{Mode: fd.ModeRanked, Rank: "fmax", K: 3,
+			Options: fd.QueryOptions{UseIndex: true, Workers: 4}}, "serial"},
+		{"seeded", fd.Query{Mode: fd.ModeExact,
+			Options: fd.QueryOptions{UseIndex: true, Strategy: "seeded", Workers: 4}}, "seeded"},
+		{"trace-hook", fd.Query{Mode: fd.ModeExact,
+			Options: fd.QueryOptions{UseIndex: true, Workers: 4,
+				Trace: func(int, *fd.TupleSet, []*fd.TupleSet, []*fd.TupleSet) {}}}, "sequential path"},
+		{"one-worker", fd.Query{Mode: fd.ModeExact,
+			Options: fd.QueryOptions{UseIndex: true, Workers: 1}}, "one worker"},
+	}
+	for _, c := range cases {
+		plan, err := fd.Explain(db, c.q)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if plan.Strategy.Execution != "sequential" {
+			t.Errorf("%s: execution %q, want sequential", c.name, plan.Strategy.Execution)
+		}
+		if !strings.Contains(plan.Strategy.Reason, c.want) {
+			t.Errorf("%s: reason %q does not mention %q", c.name, plan.Strategy.Reason, c.want)
+		}
+	}
+}
+
+// TestExplainIndexAndGraph checks the index gating mirrors execution
+// (the join index engages for exact equi-joins, never under a graded
+// similarity) and the join-graph classification matches the workload
+// shape.
+func TestExplainIndexAndGraph(t *testing.T) {
+	db := explainDB(t, "chain")
+
+	plan, err := fd.Explain(db, fd.Query{Mode: fd.ModeExact,
+		Options: fd.QueryOptions{UseIndex: true, UseJoinIndex: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Index.JoinIndex || plan.Index.PostingLists == 0 || plan.Index.PostingEntries == 0 {
+		t.Errorf("exact + joinindex: index section %+v, want engaged with posting stats", plan.Index)
+	}
+	if !plan.JoinGraph.Connected || !plan.JoinGraph.Chain || !plan.JoinGraph.Tree {
+		t.Errorf("chain workload classified %+v", plan.JoinGraph)
+	}
+	if len(plan.JoinGraph.Components) != 1 || len(plan.JoinGraph.Components[0]) != db.NumRelations() {
+		t.Errorf("chain components %v", plan.JoinGraph.Components)
+	}
+
+	plan, err = fd.Explain(db, fd.Query{Mode: fd.ModeExact,
+		Options: fd.QueryOptions{UseIndex: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Index.JoinIndex || !strings.Contains(plan.Index.JoinIndexReason, "not requested") {
+		t.Errorf("join index off: %+v", plan.Index)
+	}
+
+	// A graded similarity must not engage the join index even when
+	// requested — candidate-only scans would lose non-equi matches.
+	plan, err = fd.Explain(db, fd.Query{Mode: fd.ModeApprox, Tau: 0.7,
+		Options: fd.QueryOptions{UseIndex: true, UseJoinIndex: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Index.JoinIndex || !strings.Contains(plan.Index.JoinIndexReason, "graded") {
+		t.Errorf("approx levenshtein: %+v, want graded-similarity refusal", plan.Index)
+	}
+
+	// The same query under an exact similarity engages it.
+	plan, err = fd.Explain(db, fd.Query{Mode: fd.ModeApprox, Tau: 0.7, Sim: "exact",
+		Options: fd.QueryOptions{UseIndex: true, UseJoinIndex: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Index.JoinIndex {
+		t.Errorf("approx exact-sim: %+v, want join index engaged", plan.Index)
+	}
+}
+
+// TestExplainValidates checks invalid specs are rejected before any
+// planning happens.
+func TestExplainValidates(t *testing.T) {
+	db := explainDB(t, "chain")
+	if _, err := fd.Explain(db, fd.Query{Mode: "nonsense"}); err == nil {
+		t.Error("invalid mode accepted")
+	}
+	if _, err := fd.Explain(nil, fd.Query{}); err == nil {
+		t.Error("nil database accepted")
+	}
+}

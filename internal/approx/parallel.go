@@ -34,11 +34,14 @@ func NewParallelCursor(ctx context.Context, db *relation.Database, a Join, tau f
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	tasks := make([]core.Task, db.NumRelations())
-	for pass := range tasks {
-		pass := pass
-		tasks[pass] = core.Task{
-			Label: fmt.Sprintf("approx pass %d", pass),
+	// The partition comes from the same layout fd.Explain reports, so
+	// the plan's task list matches what actually runs.
+	layout := core.ApproxLayout(db)
+	tasks := make([]core.Task, len(layout))
+	for i, m := range layout {
+		pass := m.Pass
+		tasks[i] = core.Task{
+			Label: m.Label,
 			Open: func() (core.TaskEnumerator, error) {
 				return NewEnumerator(db, pass, a, tau, opts)
 			},

@@ -3,6 +3,7 @@ package bench
 import (
 	"context"
 	"fmt"
+	"time"
 
 	fd "repro"
 
@@ -95,8 +96,9 @@ type e9Cursor interface {
 // as spans, and the per-phase times are read back from the snapshot.
 // The -json phases therefore come from the same span machinery a
 // served query's GET /queries/{id}/trace uses, not a parallel set of
-// stopwatches.
-func drainPhased(db *relation.Database, v e9Variant) ([]*tupleset.Set, core.Stats, map[string]float64, error) {
+// stopwatches. The enumerate loop also feeds an obs.Delay tracker, so
+// each rung carries its measured inter-result delay profile.
+func drainPhased(db *relation.Database, v e9Variant) ([]*tupleset.Set, core.Stats, map[string]float64, obs.DelaySummary, error) {
 	tr := obs.NewTrace("e9", nil)
 	root := tr.Root()
 	sp := root.Start("init")
@@ -111,15 +113,20 @@ func drainPhased(db *relation.Database, v e9Variant) ([]*tupleset.Set, core.Stat
 	}
 	sp.End()
 	if err != nil {
-		return nil, core.Stats{}, nil, err
+		return nil, core.Stats{}, nil, obs.DelaySummary{}, err
 	}
+	delay := obs.NewDelay(0)
 	sp = root.Start("enumerate")
 	var out []*tupleset.Set
+	last := time.Now()
 	for {
 		t, ok := c.Next()
 		if !ok {
 			break
 		}
+		now := time.Now()
+		delay.Observe(now.Sub(last))
+		last = now
 		out = append(out, t)
 	}
 	sp.End()
@@ -133,9 +140,9 @@ func drainPhased(db *relation.Database, v e9Variant) ([]*tupleset.Set, core.Stat
 	sp.End()
 	root.End()
 	if err != nil {
-		return nil, stats, nil, err
+		return nil, stats, nil, obs.DelaySummary{}, err
 	}
-	return out, stats, phaseMillis(tr.Snapshot()), nil
+	return out, stats, phaseMillis(tr.Snapshot()), delay.Snapshot(), nil
 }
 
 // phaseMillis folds the trace's phase spans into name → milliseconds.
@@ -168,8 +175,9 @@ func e9Table(rec *Record) (*Table, error) {
 		var sets []*tupleset.Set
 		var stats core.Stats
 		var phases map[string]float64
+		var delays obs.DelaySummary
 		d, mallocs, bytes := measure(func() {
-			sets, stats, phases, err = drainPhased(db, v)
+			sets, stats, phases, delays, err = drainPhased(db, v)
 		})
 		if err != nil {
 			return nil, err
@@ -185,21 +193,23 @@ func e9Table(rec *Record) (*Table, error) {
 		}
 		if rec != nil {
 			rec.Variants = append(rec.Variants, Metric{
-				Name:          v.name,
-				WallMillis:    float64(d.Microseconds()) / 1000,
-				Results:       len(sets),
-				Workers:       workers,
-				JCCChecks:     stats.JCCChecks,
-				SigHits:       stats.SigHits,
-				SigRebuilds:   stats.SigRebuilds,
-				TuplesScanned: stats.TuplesScanned,
-				TuplesSkipped: stats.TuplesSkipped,
-				IndexProbes:   stats.IndexProbes,
-				ListScans:     stats.ListScans,
-				PageReads:     stats.PageReads,
-				Mallocs:       mallocs,
-				BytesAlloc:    bytes,
-				Phases:        phases,
+				Name:           v.name,
+				WallMillis:     float64(d.Microseconds()) / 1000,
+				Results:        len(sets),
+				Workers:        workers,
+				JCCChecks:      stats.JCCChecks,
+				SigHits:        stats.SigHits,
+				SigRebuilds:    stats.SigRebuilds,
+				TuplesScanned:  stats.TuplesScanned,
+				TuplesSkipped:  stats.TuplesSkipped,
+				IndexProbes:    stats.IndexProbes,
+				ListScans:      stats.ListScans,
+				PageReads:      stats.PageReads,
+				Mallocs:        mallocs,
+				BytesAlloc:     bytes,
+				DelayMaxMillis: delays.MaxMillis,
+				DelayP99Millis: delays.P99Millis,
+				Phases:         phases,
 			})
 		}
 		t.Rows = append(t.Rows, []string{

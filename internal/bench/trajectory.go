@@ -31,6 +31,12 @@ type Metric struct {
 	PageReads     int64  `json:"page_reads"`
 	Mallocs       uint64 `json:"mallocs"`
 	BytesAlloc    uint64 `json:"bytes_alloc"`
+	// DelayMaxMillis and DelayP99Millis summarise the inter-result gaps
+	// of the enumerate phase — the measured form of the paper's
+	// polynomial-delay guarantee, from the same obs.Delay tracker the
+	// service exports as fd_result_delay_seconds.
+	DelayMaxMillis float64 `json:"delay_max_ms"`
+	DelayP99Millis float64 `json:"delay_p99_ms"`
 	// Phases breaks WallMillis into the trace-span phases of the run:
 	// init (cursor construction), enumerate (the Next loop) and drain
 	// (error check, close, canonical sort). Recorded from the same span

@@ -272,51 +272,31 @@ const minTaskSeeds = 8
 // exactTasks partitions the restart-strategy enumeration of FD(R):
 // one task per per-relation pass and, when workers exceed the number
 // of relations, per block of seed singletons within a pass, so one
-// skewed relation doesn't serialise the run.
+// skewed relation doesn't serialise the run. The partition itself
+// comes from ExactLayout — the same layout fd.Explain reports — and
+// this function only attaches the executable Open/Owns closures.
 func exactTasks(u *tupleset.Universe, opts Options, workers int) []Task {
-	n := u.DB.NumRelations()
-	blocksPerPass := 1
-	if n > 0 && workers > n {
-		blocksPerPass = (workers + n - 1) / n
-	}
-	var tasks []Task
-	for pass := 0; pass < n; pass++ {
-		pass := pass
-		length := u.DB.Relation(pass).Len()
-		if length == 0 {
-			continue // no seeds, no results owned by this pass
-		}
-		blocks := blocksPerPass
-		if most := length / minTaskSeeds; blocks > most {
-			blocks = most
-		}
-		if blocks < 1 {
-			blocks = 1
-		}
-		for b := 0; b < blocks; b++ {
-			lo, hi := b*length/blocks, (b+1)*length/blocks
-			label := fmt.Sprintf("pass %d", pass)
-			if blocks > 1 {
-				label = fmt.Sprintf("pass %d block %d/%d", pass, b+1, blocks)
-			}
-			tasks = append(tasks, Task{
-				Label: label,
-				Open: func() (TaskEnumerator, error) {
-					init := make([]*tupleset.Set, 0, hi-lo)
-					for i := lo; i < hi; i++ {
-						init = append(init, u.Singleton(relation.Ref{Rel: int32(pass), Idx: int32(i)}))
-					}
-					return NewSeededEnumerator(u, pass, opts, init, 0)
-				},
-				Owns: func(t *tupleset.Set) bool {
-					if minRelation(t) != pass {
-						return false
-					}
-					m, ok := t.Member(pass)
-					return ok && int(m.Idx) >= lo && int(m.Idx) < hi
-				},
-			})
-		}
+	layout := ExactLayout(u.DB, workers)
+	tasks := make([]Task, 0, len(layout))
+	for _, m := range layout {
+		m := m
+		tasks = append(tasks, Task{
+			Label: m.Label,
+			Open: func() (TaskEnumerator, error) {
+				init := make([]*tupleset.Set, 0, m.Seeds())
+				for i := m.SeedLo; i < m.SeedHi; i++ {
+					init = append(init, u.Singleton(relation.Ref{Rel: int32(m.Pass), Idx: int32(i)}))
+				}
+				return NewSeededEnumerator(u, m.Pass, opts, init, 0)
+			},
+			Owns: func(t *tupleset.Set) bool {
+				if minRelation(t) != m.Pass {
+					return false
+				}
+				mem, ok := t.Member(m.Pass)
+				return ok && int(mem.Idx) >= m.SeedLo && int(mem.Idx) < m.SeedHi
+			},
+		})
 	}
 	return tasks
 }

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultDelayRing is the last-N window a Delay keeps when the caller
+// does not choose one.
+const DefaultDelayRing = 32
+
+// Delay tracks the inter-result gaps of one enumeration — the measured
+// form of the paper's polynomial-delay guarantee. Each Observe records
+// the gap between two consecutive results into a log-ladder histogram
+// (the LatencyBuckets bounds shared with the metrics registry), a
+// running maximum and sum, and a bounded ring of the most recent gaps,
+// so a snapshot answers "how far apart are results arriving right now,
+// at worst, and at the 99th percentile" without retaining the full
+// series.
+//
+// A Delay is safe for concurrent use: the enumeration observes while
+// other goroutines snapshot. All methods no-op on a nil receiver, so an
+// uninstrumented cursor pays one nil check.
+type Delay struct {
+	mu      sync.Mutex
+	sink    func(seconds float64)
+	count   int64
+	sum     float64 // seconds
+	max     float64 // seconds
+	buckets []int64 // len(LatencyBuckets)+1; last = +Inf
+	ring    []float64
+	next    int
+	full    bool
+}
+
+// NewDelay creates a tracker keeping the last ring gaps (≤0 selects
+// DefaultDelayRing).
+func NewDelay(ring int) *Delay {
+	if ring <= 0 {
+		ring = DefaultDelayRing
+	}
+	return &Delay{
+		buckets: make([]int64, len(LatencyBuckets)+1),
+		ring:    make([]float64, 0, ring),
+	}
+}
+
+// SetSink installs a callback invoked with every observed gap, in
+// seconds, after it is recorded — the seam the service layer uses to
+// feed a registry histogram and the delay-SLO watchdog. The sink runs
+// on the observing goroutine, outside the tracker's lock; it must be
+// set before the first Observe.
+func (d *Delay) SetSink(fn func(seconds float64)) {
+	if d == nil {
+		return
+	}
+	d.sink = fn
+}
+
+// Observe records one inter-result gap.
+func (d *Delay) Observe(gap time.Duration) {
+	if d == nil {
+		return
+	}
+	sec := gap.Seconds()
+	if sec < 0 {
+		sec = 0
+	}
+	d.mu.Lock()
+	d.count++
+	d.sum += sec
+	if sec > d.max {
+		d.max = sec
+	}
+	d.buckets[sort.SearchFloat64s(LatencyBuckets, sec)]++
+	if len(d.ring) < cap(d.ring) {
+		d.ring = append(d.ring, sec)
+	} else {
+		d.ring[d.next] = sec
+		d.full = true
+	}
+	d.next = (d.next + 1) % cap(d.ring)
+	d.mu.Unlock()
+	if d.sink != nil {
+		d.sink(sec)
+	}
+}
+
+// DelaySummary is a point-in-time view of a Delay, in milliseconds —
+// the unit trace attributes, progress reports and bench records share.
+type DelaySummary struct {
+	// Count is the number of gaps observed.
+	Count int64 `json:"count"`
+	// MaxMillis is the largest gap seen — the empirical delay bound.
+	MaxMillis float64 `json:"max_ms"`
+	// P99Millis is the 99th-percentile gap, read off the log ladder
+	// (the upper bound of the bucket holding the quantile, so it is
+	// conservative within one ladder step).
+	P99Millis float64 `json:"p99_ms"`
+	// MeanMillis is the average gap.
+	MeanMillis float64 `json:"mean_ms"`
+	// SumMillis is the total of all gaps — for a drained tight loop it
+	// approximates the enumeration's wall time.
+	SumMillis float64 `json:"sum_ms"`
+	// LastMillis holds the most recent gaps, oldest first.
+	LastMillis []float64 `json:"last_ms,omitempty"`
+}
+
+// Snapshot returns the tracker's current summary. Safe to call
+// mid-enumeration from any goroutine; nil yields the zero summary.
+func (d *Delay) Snapshot() DelaySummary {
+	if d == nil {
+		return DelaySummary{}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := DelaySummary{
+		Count:     d.count,
+		MaxMillis: d.max * 1e3,
+		SumMillis: d.sum * 1e3,
+	}
+	if d.count > 0 {
+		s.MeanMillis = d.sum / float64(d.count) * 1e3
+		s.P99Millis = d.quantileLocked(0.99) * 1e3
+	}
+	if n := len(d.ring); n > 0 {
+		s.LastMillis = make([]float64, 0, n)
+		start := 0
+		if d.full {
+			start = d.next
+		}
+		for i := 0; i < n; i++ {
+			s.LastMillis = append(s.LastMillis, d.ring[(start+i)%n]*1e3)
+		}
+	}
+	return s
+}
+
+// quantileLocked reads quantile q off the ladder: the upper bound of
+// the first bucket whose cumulative count reaches q·count. The +Inf
+// bucket reports the running max (the only finite bound available).
+func (d *Delay) quantileLocked(q float64) float64 {
+	target := int64(q * float64(d.count))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range d.buckets {
+		cum += c
+		if cum >= target {
+			if i < len(LatencyBuckets) {
+				return LatencyBuckets[i]
+			}
+			return d.max
+		}
+	}
+	return d.max
+}

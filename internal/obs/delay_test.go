@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDelayObserve checks the tracker's arithmetic on known gaps:
+// count, max, mean, sum, the conservative ladder quantile and the
+// oldest-first ring.
+func TestDelayObserve(t *testing.T) {
+	d := NewDelay(4)
+	gaps := []time.Duration{
+		2 * time.Millisecond, 1 * time.Millisecond, 8 * time.Millisecond,
+		3 * time.Millisecond, 5 * time.Millisecond,
+	}
+	for _, g := range gaps {
+		d.Observe(g)
+	}
+	s := d.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("Count = %d, want 5", s.Count)
+	}
+	if s.MaxMillis != 8 {
+		t.Errorf("MaxMillis = %v, want 8", s.MaxMillis)
+	}
+	if s.SumMillis != 19 {
+		t.Errorf("SumMillis = %v, want 19", s.SumMillis)
+	}
+	if want := 19.0 / 5; s.MeanMillis != want {
+		t.Errorf("MeanMillis = %v, want %v", s.MeanMillis, want)
+	}
+	// The ladder quantile is the upper bound of the bucket holding the
+	// quantile: conservative, so at least the true p99 (= max here) and
+	// no more than one ladder step (×4) above it.
+	if s.P99Millis < s.MaxMillis || s.P99Millis > 4*s.MaxMillis {
+		t.Errorf("P99Millis = %v outside [max, 4·max] = [%v, %v]",
+			s.P99Millis, s.MaxMillis, 4*s.MaxMillis)
+	}
+	// Ring of 4: the first gap fell off; the rest arrive oldest first.
+	want := []float64{1, 8, 3, 5}
+	if len(s.LastMillis) != len(want) {
+		t.Fatalf("LastMillis = %v, want %v", s.LastMillis, want)
+	}
+	for i := range want {
+		if s.LastMillis[i] != want[i] {
+			t.Fatalf("LastMillis = %v, want %v", s.LastMillis, want)
+		}
+	}
+}
+
+// TestDelayNegativeClamped: a clock step backwards must not poison the
+// summary with negative gaps.
+func TestDelayNegativeClamped(t *testing.T) {
+	d := NewDelay(0)
+	d.Observe(-5 * time.Millisecond)
+	s := d.Snapshot()
+	if s.Count != 1 || s.SumMillis != 0 || s.MaxMillis != 0 {
+		t.Errorf("negative gap recorded as %+v, want clamped to zero", s)
+	}
+}
+
+// TestDelaySink checks every observation reaches the sink, in seconds,
+// in order.
+func TestDelaySink(t *testing.T) {
+	d := NewDelay(0)
+	var got []float64
+	d.SetSink(func(sec float64) { got = append(got, sec) })
+	d.Observe(10 * time.Millisecond)
+	d.Observe(20 * time.Millisecond)
+	if len(got) != 2 || got[0] != 0.01 || got[1] != 0.02 {
+		t.Errorf("sink saw %v, want [0.01 0.02]", got)
+	}
+}
+
+// TestDelayNil: the nil-receiver contract of the package.
+func TestDelayNil(t *testing.T) {
+	var d *Delay
+	d.SetSink(func(float64) { t.Error("sink on nil tracker") })
+	d.Observe(time.Millisecond)
+	if s := d.Snapshot(); s.Count != 0 || s.SumMillis != 0 || s.LastMillis != nil {
+		t.Errorf("nil Snapshot = %+v", s)
+	}
+}
+
+// TestDelayConcurrent hammers Observe and Snapshot from separate
+// goroutines; meaningful under -race.
+func TestDelayConcurrent(t *testing.T) {
+	d := NewDelay(8)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = d.Snapshot()
+			}
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		d.Observe(time.Duration(i) * time.Microsecond)
+	}
+	close(stop)
+	wg.Wait()
+	if s := d.Snapshot(); s.Count != 1000 {
+		t.Errorf("Count = %d, want 1000", s.Count)
+	}
+}
+
+// TestProgressCounters checks phases and counters read back, and that
+// the nil receiver no-ops.
+func TestProgressCounters(t *testing.T) {
+	var p *Progress
+	p.SetPhase(PhaseEnumerate) // must not panic
+	p.TaskDone()
+	if s := p.Snapshot(); s != (ProgressData{Phase: "idle"}) {
+		t.Errorf("nil Snapshot = %+v", s)
+	}
+
+	p = &Progress{}
+	if got := p.Snapshot().Phase; got != "idle" {
+		t.Errorf("zero phase = %q, want idle", got)
+	}
+	p.SetPhase(PhaseOpen)
+	p.SetTasksTotal(4)
+	p.TaskDone()
+	p.TaskDone()
+	p.SetScanned(128)
+	p.AddEmitted(3)
+	p.SetPhase(PhaseEnumerate)
+	s := p.Snapshot()
+	want := ProgressData{Phase: "enumerate", TasksDone: 2, TasksTotal: 4,
+		TuplesScanned: 128, ResultsEmitted: 3}
+	if s != want {
+		t.Errorf("Snapshot = %+v, want %+v", s, want)
+	}
+	for ph, name := range map[Phase]string{
+		PhaseIdle: "idle", PhaseOpen: "open", PhaseEnumerate: "enumerate",
+		PhaseDone: "done", PhaseCached: "cached", Phase(99): "idle",
+	} {
+		if ph.String() != name {
+			t.Errorf("Phase(%d).String() = %q, want %q", ph, ph.String(), name)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package obs
+
+import "sync/atomic"
+
+// Phase names the execution stage a live enumeration is in.
+type Phase int32
+
+// Execution phases, in their usual order. A cache-served query skips
+// straight to PhaseCached: no cursor ever exists.
+const (
+	// PhaseIdle is the zero phase: no work has started.
+	PhaseIdle Phase = iota
+	// PhaseOpen covers cursor construction — where the ranked modes pay
+	// their Fig 3 preprocessing.
+	PhaseOpen
+	// PhaseEnumerate covers result production.
+	PhaseEnumerate
+	// PhaseDone means the enumeration is exhausted or closed.
+	PhaseDone
+	// PhaseCached means results replay from a cache; the counters only
+	// move as cached results are served.
+	PhaseCached
+)
+
+// String returns the phase's wire name.
+func (p Phase) String() string {
+	switch p {
+	case PhaseOpen:
+		return "open"
+	case PhaseEnumerate:
+		return "enumerate"
+	case PhaseDone:
+		return "done"
+	case PhaseCached:
+		return "cached"
+	default:
+		return "idle"
+	}
+}
+
+// Progress is the set of atomic counters a running enumeration keeps
+// current: any goroutine can read a consistent-enough snapshot
+// mid-flight without locking the step loop. Writers pay one atomic
+// store per update, on the per-result path only — never per scanned
+// tuple. All methods no-op on a nil receiver.
+type Progress struct {
+	phase      atomic.Int32
+	tasksTotal atomic.Int64
+	tasksDone  atomic.Int64
+	scanned    atomic.Int64
+	emitted    atomic.Int64
+}
+
+// SetPhase records the current execution phase.
+func (p *Progress) SetPhase(ph Phase) {
+	if p == nil {
+		return
+	}
+	p.phase.Store(int32(ph))
+}
+
+// SetTasksTotal records how many partitioned tasks the run consists of
+// (0 for unpartitioned, sequential execution).
+func (p *Progress) SetTasksTotal(n int) {
+	if p == nil {
+		return
+	}
+	p.tasksTotal.Store(int64(n))
+}
+
+// TaskDone counts one finished parallel task.
+func (p *Progress) TaskDone() {
+	if p == nil {
+		return
+	}
+	p.tasksDone.Add(1)
+}
+
+// SetScanned records the absolute tuples-scanned total so far.
+func (p *Progress) SetScanned(n int64) {
+	if p == nil {
+		return
+	}
+	p.scanned.Store(n)
+}
+
+// AddEmitted counts n more results produced.
+func (p *Progress) AddEmitted(n int64) {
+	if p == nil {
+		return
+	}
+	p.emitted.Add(n)
+}
+
+// ProgressData is a point-in-time view of a Progress — the
+// GET /queries/{id}/progress payload core.
+type ProgressData struct {
+	// Phase is the current execution phase ("idle", "open",
+	// "enumerate", "done", "cached").
+	Phase string `json:"phase"`
+	// TasksDone / TasksTotal report partitioned-task completion;
+	// both 0 when the run is not partitioned.
+	TasksDone  int64 `json:"tasks_done"`
+	TasksTotal int64 `json:"tasks_total"`
+	// TuplesScanned is the engine's tuples-scanned counter, refreshed
+	// per emitted result.
+	TuplesScanned int64 `json:"tuples_scanned"`
+	// ResultsEmitted counts results produced so far.
+	ResultsEmitted int64 `json:"results_emitted"`
+}
+
+// Snapshot reads the counters. Each field is individually atomic; the
+// set is not a single linearisation point, which live progress display
+// does not need. Nil yields the zero snapshot.
+func (p *Progress) Snapshot() ProgressData {
+	if p == nil {
+		return ProgressData{Phase: PhaseIdle.String()}
+	}
+	return ProgressData{
+		Phase:          Phase(p.phase.Load()).String(),
+		TasksDone:      p.tasksDone.Load(),
+		TasksTotal:     p.tasksTotal.Load(),
+		TuplesScanned:  p.scanned.Load(),
+		ResultsEmitted: p.emitted.Load(),
+	}
+}

@@ -34,6 +34,22 @@ func buildJoinIndex(cols [][][]int32) *JoinIndex {
 	return ix
 }
 
+// Counts reports the index's size: the number of posting lists (one
+// per distinct non-null code per column) and the total tuple
+// references posted across all of them — the statistics fd.Explain
+// reports for an engaged join index.
+func (ix *JoinIndex) Counts() (lists, entries int) {
+	for _, rel := range ix.postings {
+		for _, m := range rel {
+			lists += len(m)
+			for _, refs := range m {
+				entries += len(refs)
+			}
+		}
+	}
+	return lists, entries
+}
+
 // Postings returns the tuple indices of relation rel whose value at
 // schema position pos has the given code, in ascending order. The
 // returned slice is shared and must not be modified. NullCode and codes

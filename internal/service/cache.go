@@ -80,6 +80,14 @@ func (c *resultCache) put(key string, results []Result) int {
 	return evicted
 }
 
+// peek reports whether key is cached, without promoting it — the
+// prediction probe of Service.Explain must not disturb the LRU order
+// an actual query would see.
+func (c *resultCache) peek(key string) bool {
+	_, ok := c.entries[key]
+	return ok
+}
+
 // len returns the number of cached result lists.
 func (c *resultCache) len() int { return c.ll.Len() }
 

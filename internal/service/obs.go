@@ -27,9 +27,10 @@ type metrics struct {
 	cacheEntries   *obs.Gauge
 	cacheBytes     *obs.Gauge
 
-	storeRetries *obs.Counter
-	quarantines  *obs.Counter
-	slowQueries  *obs.Counter
+	storeRetries  *obs.Counter
+	quarantines   *obs.Counter
+	slowQueries   *obs.Counter
+	delayBreaches *obs.Counter
 }
 
 func newMetrics(reg *obs.Registry) metrics {
@@ -63,7 +64,19 @@ func newMetrics(reg *obs.Registry) metrics {
 			"Databases quarantined during recovery because their files failed to load."),
 		slowQueries: reg.Counter("fd_slow_queries_total",
 			"Completed queries whose wall time exceeded the slow-query threshold."),
+		delayBreaches: reg.Counter("fd_delay_slo_breaches_total",
+			"Inter-result gaps that exceeded the configured delay SLO."),
 	}
+}
+
+// resultDelay returns the per-database, per-mode inter-result delay
+// histogram — the measured form of the paper's polynomial-delay
+// guarantee. Sessions resolve their series once at start; the
+// per-result path only observes.
+func (m metrics) resultDelay(db, mode string) *obs.Histogram {
+	return m.reg.Histogram("fd_result_delay_seconds",
+		"Gap between consecutive results of one enumeration, by database and mode.",
+		"db", db, "mode", mode)
 }
 
 // queries returns the per-database, per-mode query counter.

@@ -105,6 +105,13 @@ type Config struct {
 	// SlowQuery, when positive, logs a warning with the trace summary
 	// for every completed query whose wall time exceeded it.
 	SlowQuery time.Duration
+	// DelaySLO, when positive, is the per-result delay envelope: the
+	// gap between consecutive results a healthy enumeration must stay
+	// under (the operational form of the paper's polynomial-delay
+	// guarantee). Every breach increments fd_delay_slo_breaches_total;
+	// the first breach of a session also logs a warning carrying the
+	// trace summary. Zero disables the watchdog.
+	DelaySLO time.Duration
 	// TraceHistory bounds how many finished query traces stay
 	// retrievable via QueryTrace after their session closed; 0 selects
 	// 64, negative retains none.
@@ -657,6 +664,43 @@ func (s *Service) Database(name string) (*relation.Database, bool) {
 	return e.db, true
 }
 
+// ExplainReport is POST /explain's payload: the engine's plan plus the
+// service's cache-hit prediction for it.
+type ExplainReport struct {
+	*fd.Plan
+	// CacheHitPredicted reports whether a session started now would
+	// serve from the result cache: a previous session drained the same
+	// canonical query over an identically-fingerprinted database and
+	// its result list is still resident.
+	CacheHitPredicted bool `json:"cache_hit_predicted"`
+}
+
+// Explain reports the plan of spec against the registered database
+// dbName without opening a session: fd.Explain's engine plan plus a
+// cache-hit prediction against the live result cache. The probe does
+// not promote the cache entry — predicting a hit must not manufacture
+// one's LRU standing.
+func (s *Service) Explain(dbName string, spec fd.Query) (*ExplainReport, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("service: closed")
+	}
+	entry, ok := s.dbs[dbName]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("service: %w %q", ErrUnknownDatabase, dbName)
+	}
+	plan, err := fd.Explain(entry.db, spec)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	hit := s.cache.peek(plan.CacheKey)
+	s.mu.Unlock()
+	return &ExplainReport{Plan: plan, CacheHitPredicted: hit}, nil
+}
+
 // StartQuery opens a query session for the declarative spec q against
 // the registered database dbName. When an identical query (by
 // fd.Query.Canonical) on an identically-fingerprinted database has
@@ -708,7 +752,10 @@ func (s *Service) StartQuery(ctx context.Context, dbName string, spec fd.Query) 
 	qctx, cancel := context.WithCancel(ctx)
 	q := &Query{id: id, svc: s, spec: spec, dbName: dbName, key: key, db: entry,
 		cancel: cancel, uncacheable: s.cfg.CacheCapacity < 0,
-		trace: obs.NewTrace(id, s.cfg.Now), started: s.cfg.Now()}
+		trace: obs.NewTrace(id, s.cfg.Now), started: s.cfg.Now(),
+		progress: &obs.Progress{}, delay: obs.NewDelay(0)}
+	q.delayHist = s.met.resultDelay(dbName, q.mode())
+	q.delay.SetSink(q.observeDelay)
 	q.trace.Root().Record("validate", vStart, vEnd.Sub(vStart), nil)
 	q.touch(s.cfg.Now())
 
@@ -720,6 +767,7 @@ func (s *Service) StartQuery(ctx context.Context, dbName string, spec fd.Query) 
 		s.cacheHits++
 		s.queriesStarted++
 		q.cached, q.fromCache = cached, true
+		q.progress.SetPhase(obs.PhaseCached)
 		s.queries[id] = q
 		s.met.activeQueries.Set(int64(len(s.queries)))
 		s.mu.Unlock()
@@ -763,6 +811,10 @@ func (s *Service) StartQuery(ctx context.Context, dbName string, spec fd.Query) 
 		sp.Record("task", ts.Start, ts.End.Sub(ts.Start), ts.Stats.Map(),
 			"label", ts.Label)
 	}
+	// Live introspection: fd.Open keeps the progress counters current
+	// and routes every inter-result gap through the delay tracker (whose
+	// sink feeds the metrics histogram and the SLO watchdog).
+	run.Options.Progress, run.Options.Delay = q.progress, q.delay
 
 	adStart := s.cfg.Now()
 	if err := s.acquire(); err != nil {
@@ -950,6 +1002,20 @@ type Query struct {
 	// the session lock — shut holds it while Close waits for those
 	// very workers.
 	pageSpan atomic.Pointer[obs.Span]
+	// progress and delay are the session's live-introspection trackers:
+	// progress carries the atomic counters GET /queries/{id}/progress
+	// reads mid-flight, delay the inter-result gaps feeding
+	// fd_result_delay_seconds and the delay-SLO watchdog. Both are set
+	// once at StartQuery, before the session is published.
+	progress *obs.Progress
+	delay    *obs.Delay
+	// delayHist is the pre-resolved fd_result_delay_seconds series for
+	// this session's (db, mode), so the per-result sink does no registry
+	// lookups; nil without a registry.
+	delayHist *obs.Histogram
+	// sloLogged makes the delay-SLO warning once-per-session (every
+	// breach still counts in fd_delay_slo_breaches_total).
+	sloLogged atomic.Bool
 
 	mu        sync.Mutex
 	cur       fd.Results // nil when serving from cache
@@ -981,17 +1047,79 @@ func (q *Query) mode() string {
 }
 
 // finish accounts one completed (drained) enumeration: the finished
-// counter, and the slow-query log when the session's wall time
-// exceeded the configured threshold — the warning carries the trace
-// summary, so a slow query is diagnosable from the log line alone.
+// counter, the delay figures stamped onto the trace, and the
+// slow-query log when the session's wall time exceeded the configured
+// threshold — the warning carries the trace summary and the delay
+// figures, so a slow query is diagnosable from the log line alone.
 func (q *Query) finish(dur time.Duration) {
 	q.svc.met.queriesFinished.Inc()
+	d := q.stampDelay()
 	if sq := q.svc.cfg.SlowQuery; sq > 0 && dur >= sq {
 		q.svc.met.slowQueries.Inc()
 		q.svc.cfg.Logger.Warn("slow query",
 			"id", q.id, "db", q.dbName, "mode", q.mode(),
 			"duration", dur, "served", q.served,
+			"delay_max_ms", d.MaxMillis, "delay_p99_ms", d.P99Millis,
 			"trace", q.trace.Snapshot().Summary())
+	}
+}
+
+// stampDelay writes the session's delay summary onto the trace root as
+// delay_max_ms / delay_p99_ms attributes (once observations exist), so
+// trace consumers see the measured delay bound next to the span tree.
+func (q *Query) stampDelay() obs.DelaySummary {
+	d := q.delay.Snapshot()
+	if d.Count > 0 {
+		q.trace.Root().SetAttr("delay_max_ms", strconv.FormatFloat(d.MaxMillis, 'g', 6, 64))
+		q.trace.Root().SetAttr("delay_p99_ms", strconv.FormatFloat(d.P99Millis, 'g', 6, 64))
+	}
+	return d
+}
+
+// observeDelay is the session's delay-tracker sink, invoked once per
+// produced result with the inter-result gap: it feeds the
+// fd_result_delay_seconds histogram and enforces the delay SLO —
+// every breach counts, the first one per session also logs a warning
+// with the trace summary.
+func (q *Query) observeDelay(sec float64) {
+	q.delayHist.Observe(sec)
+	slo := q.svc.cfg.DelaySLO
+	if slo <= 0 || sec <= slo.Seconds() {
+		return
+	}
+	q.svc.met.delayBreaches.Inc()
+	if q.sloLogged.CompareAndSwap(false, true) {
+		q.svc.cfg.Logger.Warn("delay SLO breach",
+			"id", q.id, "db", q.dbName, "mode", q.mode(),
+			"slo", slo, "gap", time.Duration(sec*float64(time.Second)).Round(time.Microsecond),
+			"trace", q.trace.Snapshot().Summary())
+	}
+}
+
+// ProgressReport is the live view of one session: the enumeration's
+// atomic progress counters plus the delay summary, readable mid-page
+// without taking the session lock. fdserve serves it at
+// GET /queries/{id}/progress.
+type ProgressReport struct {
+	ID        string `json:"id"`
+	DB        string `json:"db"`
+	Mode      string `json:"mode"`
+	FromCache bool   `json:"from_cache"`
+	obs.ProgressData
+	Delay obs.DelaySummary `json:"delay"`
+}
+
+// Progress snapshots the session's live counters. It never blocks on
+// the session lock, so it answers truthfully mid-page — the point of
+// the endpoint.
+func (q *Query) Progress() ProgressReport {
+	return ProgressReport{
+		ID:           q.id,
+		DB:           q.dbName,
+		Mode:         q.mode(),
+		FromCache:    q.fromCache,
+		ProgressData: q.progress.Snapshot(),
+		Delay:        q.delay.Snapshot(),
 	}
 }
 
@@ -1064,9 +1192,11 @@ func (q *Query) Next(k int) ([]Result, bool, error) {
 		}
 		out := q.cached[q.served:end]
 		q.served = end
+		q.progress.AddEmitted(int64(len(out)))
 		done := q.served == len(q.cached)
 		if done && !q.done {
 			q.done = true
+			q.progress.SetPhase(obs.PhaseDone)
 			q.svc.mu.Lock()
 			q.svc.queriesDone++
 			q.svc.mu.Unlock()
@@ -1226,6 +1356,11 @@ func (q *Query) shut() {
 		q.svc.queriesDone++
 		q.svc.mu.Unlock()
 		q.svc.met.queriesFinished.Inc()
+	}
+	if !q.done {
+		// Early close: the drain path stamped already (via finish).
+		q.stampDelay()
+		q.progress.SetPhase(obs.PhaseDone)
 	}
 	q.trace.Root().End()
 	q.svc.retainTrace(q.trace.Snapshot())

@@ -76,6 +76,17 @@ type QueryOptions struct {
 	// Runtime-only like Pool and Trace, but unlike them it does not
 	// force the sequential path: it exists to observe the parallel one.
 	TaskObserver TaskObserver `json:"-"`
+	// Delay, when non-nil, receives the gap between consecutive results
+	// of the opened cursor — the measured form of the paper's
+	// polynomial-delay guarantee. Runtime-only, and like TaskObserver it
+	// observes whichever path runs rather than forcing the sequential
+	// one.
+	Delay *Delay `json:"-"`
+	// Progress, when non-nil, is kept current with the enumeration's
+	// live counters (phase, task completion, tuples scanned, results
+	// emitted); any goroutine may snapshot it mid-flight. Runtime-only
+	// like Delay.
+	Progress *Progress `json:"-"`
 }
 
 // engine renders the options as core.Options; the strategy name must
@@ -194,6 +205,7 @@ func (q Query) normalize() Query {
 		q.Options.Workers = 0
 	}
 	q.Options.Pool, q.Options.Trace, q.Options.TaskObserver = nil, nil, nil
+	q.Options.Delay, q.Options.Progress = nil, nil
 	return q
 }
 

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Guards the metrics catalogue of docs/OBSERVABILITY.md: every metric
+# name the code can register (the fd_* string literals in internal/obs,
+# internal/service and cmd/fdserve, non-test sources) must appear in
+# the catalogue table. A metric that ships without documentation is an
+# operational trap — dashboards and alerts are written from the doc.
+# Run from the repository root (CI does); exits non-zero listing any
+# undocumented metric.
+set -euo pipefail
+
+doc="docs/OBSERVABILITY.md"
+fail=0
+emitted="$(grep -rhoE '"fd_[a-z0-9_]+"' \
+  internal/obs internal/service cmd/fdserve \
+  --include='*.go' --exclude='*_test.go' |
+  tr -d '"' | sort -u)"
+
+if [ -z "$emitted" ]; then
+  echo "FAIL: found no fd_* metric names in the sources (pattern drift?)" >&2
+  exit 1
+fi
+
+for name in $emitted; do
+  if ! grep -q "\`$name\`" "$doc"; then
+    echo "FAIL: metric $name is emitted but not documented in $doc" >&2
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "PASS: all $(wc -w <<<"$emitted") emitted metrics are documented in $doc"

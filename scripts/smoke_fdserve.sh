@@ -136,6 +136,58 @@ if [ "$par_count" != "$cli_count" ]; then
   exit 1
 fi
 
+# --- introspection: POST /explain, progress polling, delay metric ----
+# The plan for the same workers:4 body must name the parallel strategy
+# with a task partition.
+plan="$(curl -fsS -X POST "$base/explain" \
+  -d '{"database":"w","mode":"exact","options":{"workers":4}}')"
+if ! grep -q '"execution":"parallel"' <<<"$plan"; then
+  echo "FAIL: workers:4 plan does not name the parallel strategy: $plan" >&2
+  exit 1
+fi
+if ! grep -q '"label":"pass ' <<<"$plan"; then
+  echo "FAIL: parallel plan lists no tasks: $plan" >&2
+  exit 1
+fi
+echo "explain: parallel strategy planned for workers:4"
+
+# Progress polled mid-page must be well-formed and monotone in
+# results_emitted across pages, ending in phase "done".
+iqid="$(curl -fsS -X POST "$base/queries" \
+  -d '{"database":"w","mode":"exact","options":{"workers":4}}' |
+  sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+prev_emitted=-1
+while :; do
+  page="$(curl -fsS "$base/queries/$iqid/next?k=7")"
+  prog="$(curl -fsS "$base/queries/$iqid/progress")"
+  emitted="$(sed -n 's/.*"results_emitted":\([0-9]*\).*/\1/p' <<<"$prog")"
+  if [ -z "$emitted" ]; then
+    echo "FAIL: progress report has no results_emitted: $prog" >&2
+    exit 1
+  fi
+  if [ "$emitted" -lt "$prev_emitted" ]; then
+    echo "FAIL: results_emitted went backwards ($prev_emitted -> $emitted): $prog" >&2
+    exit 1
+  fi
+  prev_emitted="$emitted"
+  grep -q '"done":true' <<<"$page" && break
+done
+prog="$(curl -fsS "$base/queries/$iqid/progress")"
+if ! grep -q '"phase":"done"' <<<"$prog"; then
+  echo "FAIL: drained query not in phase done: $prog" >&2
+  exit 1
+fi
+echo "progress: monotone results_emitted up to $prev_emitted, phase done"
+
+# The per-result delay histogram of the served enumerations is in the
+# exposition.
+metrics_delay="$(curl -fsS "$base/metrics")"
+if ! grep -q '^fd_result_delay_seconds_count{db="w",mode="exact"' <<<"$metrics_delay"; then
+  echo "FAIL: /metrics has no fd_result_delay_seconds series for db w" >&2
+  exit 1
+fi
+echo "metrics: fd_result_delay_seconds series present"
+
 # --- approx-ranked over the wire (fd.Query JSON: mode/tau/rank/k) ----
 curl -fsS -X POST "$base/databases" -d \
   '{"name":"d","workload":{"kind":"dirty","relations":3,"tuples":8,"domain":3,"error_rate":0.3,"seed":5}}' \
