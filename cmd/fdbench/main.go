@@ -1,4 +1,4 @@
-// Command fdbench runs the experiment suite E1–E11 that reproduces the
+// Command fdbench runs the experiment suite E1–E12 that reproduces the
 // paper's tables, worked examples and complexity claims, printing
 // markdown tables (the source of EXPERIMENTS.md).
 //
@@ -28,9 +28,10 @@ import (
 
 func main() {
 	var (
-		exps     = flag.String("e", "", "comma-separated experiment ids (default: all)")
-		list     = flag.Bool("list", false, "list experiments and exit")
-		jsonPath = flag.String("json", "", "write machine-readable trajectory records of the selected experiments to this file")
+		exps      = flag.String("e", "", "comma-separated experiment ids (default: all)")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		jsonPath  = flag.String("json", "", "write machine-readable trajectory records of the selected experiments to this file")
+		appendSel = flag.Bool("append", false, "run the append-maintenance benchmark (delta vs rebuild per append batch); shorthand for -e E12 -json BENCH_append.json")
 	)
 	flag.Parse()
 
@@ -45,6 +46,12 @@ func main() {
 	ids := bench.IDs()
 	if *exps != "" {
 		ids = strings.Split(*exps, ",")
+	}
+	if *appendSel {
+		ids = []string{"E12"}
+		if *jsonPath == "" {
+			*jsonPath = "BENCH_append.json"
+		}
 	}
 	trajectories := bench.Trajectories()
 	var records []*bench.Record

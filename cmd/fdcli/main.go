@@ -16,6 +16,7 @@
 //	fdcli -approx 0.8 -rank fmax -k 5 ... # approx-ranked: top-5 of the approximate FD
 //	fdcli -save db.fdb a.csv b.csv        # also save a binary snapshot
 //	fdcli -snapshot db.fdb                # query a snapshot (no CSV parsing)
+//	fdcli -append b=more.csv a.csv b.csv  # append rows, maintain the FD incrementally
 //
 // A snapshot (the format of fd.WriteSnapshot, also emitted by
 // fdgen -snapshot and fdserve -data) loads without re-parsing or
@@ -41,6 +42,7 @@ import (
 	"time"
 
 	fd "repro"
+	"repro/internal/core"
 	"repro/internal/obs"
 )
 
@@ -76,6 +78,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		progress = fs.Bool("progress", false, "render a live progress line on stderr while draining")
 		snapshot = fs.String("snapshot", "", "load the database from a binary snapshot instead of CSV files")
 		save     = fs.String("save", "", "write the loaded database to a binary snapshot file")
+		appendTo = fs.String("append", "", "relation=file.csv: append the file's rows to that relation and maintain the full disjunction incrementally (extend + delta + patch) instead of recomputing it")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -127,6 +130,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stderr, "saved snapshot %s (fingerprint %016x)\n", *save, db.Fingerprint())
+	}
+
+	if *appendTo != "" {
+		if *approxT > 0 || *rankName != "" {
+			return fmt.Errorf("-append maintains the exact full disjunction (drop -approx/-rank)")
+		}
+		return runAppend(db, *appendTo, core.Options{
+			UseIndex: *index, UseJoinIndex: *joinIdx, BlockSize: *block,
+		}, stdout, stderr)
 	}
 
 	// Flags → the declarative query spec.

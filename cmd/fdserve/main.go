@@ -11,6 +11,8 @@
 //	POST   /databases/{name}/rows  append rows (durable via the row log)
 //	POST   /queries                open a query session (fd.Query JSON)
 //	GET    /queries/{id}/next?k=   pull the next page of results
+//	GET    /queries/{id}/follow    stream a follow session: base results,
+//	                               then live deltas as appends land (NDJSON)
 //	GET    /queries/{id}/trace     the session's execution trace (span tree)
 //	DELETE /queries/{id}           close a session early
 //	GET    /stats                  service counters (cache hits, engine stats)
@@ -56,6 +58,7 @@ import (
 	"repro/internal/relation"
 	"repro/internal/service"
 	"repro/internal/store"
+	"repro/internal/tupleset"
 	"repro/internal/workload"
 )
 
@@ -252,6 +255,7 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("POST /queries", s.handleCreateQuery)
 	mux.HandleFunc("POST /explain", s.handleExplain)
 	mux.HandleFunc("GET /queries/{id}/next", s.handleNext)
+	mux.HandleFunc("GET /queries/{id}/follow", s.handleFollow)
 	mux.HandleFunc("GET /queries/{id}/progress", s.handleProgress)
 	mux.HandleFunc("GET /queries/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /queries/{id}", s.handleDeleteQuery)
@@ -292,6 +296,11 @@ func (w *statusWriter) WriteHeader(status int) {
 	w.status = status
 	w.ResponseWriter.WriteHeader(status)
 }
+
+// Unwrap exposes the underlying writer to http.NewResponseController,
+// so streaming handlers (GET /queries/{id}/follow) can flush and
+// adjust deadlines through the middleware wrapper.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // withRequestID assigns each request a sequential id, echoes it as
 // X-Request-Id, threads it through the context for downstream log
@@ -681,7 +690,19 @@ func (s *server) handleAppendRows(w http.ResponseWriter, r *http.Request) {
 	}
 	info, err := s.svc.AppendRows(name, req.Relation, tuples)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		// Classify on the returned error, not the pre-check above: the
+		// database can be dropped between the schema lookup and the
+		// append, and a durable-log failure after retry exhaustion is
+		// the server's fault, not the client's.
+		switch {
+		case errors.Is(err, service.ErrUnknownDatabase),
+			errors.Is(err, service.ErrUnknownRelation):
+			writeError(w, http.StatusNotFound, err)
+		case errors.Is(err, service.ErrStorage):
+			writeError(w, http.StatusInternalServerError, err)
+		default:
+			writeError(w, http.StatusBadRequest, err)
+		}
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
@@ -792,26 +813,34 @@ func (s *server) handleNext(w http.ResponseWriter, r *http.Request) {
 	attrs := u.AllAttributes()
 	out := pageResponse{Results: make([]resultJSON, len(page)), Done: done, Served: q.Served()}
 	for i, res := range page {
-		rj := resultJSON{
-			Set:    res.Set.Format(db),
-			Values: make(map[string]*string, len(attrs)),
-		}
-		if res.Ranked {
-			rank := res.Rank
-			rj.Rank = &rank
-		}
-		padded := u.PadOver(res.Set, attrs)
-		for j, a := range padded.Attrs {
-			if padded.Values[j].IsNull() {
-				rj.Values[string(a)] = nil
-				continue
-			}
-			datum := padded.Values[j].Datum()
-			rj.Values[string(a)] = &datum
-		}
-		out.Results[i] = rj
+		out.Results[i] = renderResult(db, u, attrs, res)
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// renderResult renders one result over the database and universe it is
+// bound to — the session's own for base pages, the extended database's
+// for delta results arriving on a follow stream (whose sets reference
+// appended tuples the base universe cannot format).
+func renderResult(db *relation.Database, u *tupleset.Universe, attrs []relation.Attribute, res service.Result) resultJSON {
+	rj := resultJSON{
+		Set:    res.Set.Format(db),
+		Values: make(map[string]*string, len(attrs)),
+	}
+	if res.Ranked {
+		rank := res.Rank
+		rj.Rank = &rank
+	}
+	padded := u.PadOver(res.Set, attrs)
+	for j, a := range padded.Attrs {
+		if padded.Values[j].IsNull() {
+			rj.Values[string(a)] = nil
+			continue
+		}
+		datum := padded.Values[j].Datum()
+		rj.Values[string(a)] = &datum
+	}
+	return rj
 }
 
 // handleTrace serves the span tree of a live or recently finished

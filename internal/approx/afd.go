@@ -53,6 +53,11 @@ type Enumerator struct {
 	scan       *core.Scanner
 	incomplete []*tupleset.Set
 	complete   *core.CompleteStore
+	// minIdx is the delta-mode anchor floor (see core.Enumerator):
+	// NewDeltaEnumerator restricts the enumeration to results whose
+	// seed-relation member is an appended tuple. Zero enumerates all of
+	// AFDi(R, A, τ).
+	minIdx int32
 }
 
 // NewEnumerator prepares the enumeration. Incomplete is initialised
@@ -88,6 +93,45 @@ func NewEnumerator(db *relation.Database, seed int, a Join, tau float64, opts co
 	return e, nil
 }
 
+// NewDeltaEnumerator prepares the delta enumeration of an append under
+// an approximate join: db is the extended database, whose relation
+// seed received appended tuples at indices firstNew..Len-1, and the
+// enumeration produces exactly the members of AFD(R, A, τ) that
+// contain an appended tuple. The argument mirrors core's
+// NewDeltaEnumerator: a qualifying set holds at most one seed-relation
+// tuple, its anchor is invariant under extension and TryAbsorb merges
+// (two seed-relation tuples always conflict), so seeding with the
+// qualifying appended singletons and flooring discovered anchors at
+// firstNew restricts Fig 5/6 to the new anchors without disturbing
+// their maximality or uniqueness guarantees.
+func NewDeltaEnumerator(db *relation.Database, seed, firstNew int, a Join, tau float64, opts core.Options) (*Enumerator, error) {
+	if seed < 0 || seed >= db.NumRelations() {
+		return nil, fmt.Errorf("approx: seed relation %d out of range [0,%d)", seed, db.NumRelations())
+	}
+	if a == nil {
+		return nil, fmt.Errorf("approx: nil approximate join function")
+	}
+	if tau <= 0 || tau > 1 {
+		return nil, fmt.Errorf("approx: threshold %v outside (0,1]", tau)
+	}
+	rel := db.Relation(seed)
+	if firstNew < 0 || firstNew > rel.Len() {
+		return nil, fmt.Errorf("approx: delta first-new index %d out of range [0,%d]", firstNew, rel.Len())
+	}
+	u := tupleset.NewUniverse(db)
+	e := &Enumerator{u: u, seed: seed, a: a, tau: tau, minIdx: int32(firstNew),
+		complete: core.NewCompleteStore(u, true)}
+	e.scan = core.NewScanner(db, ScanOptions(a, opts), 0, &e.stats)
+	for i := firstNew; i < rel.Len(); i++ {
+		s := u.Singleton(relation.Ref{Rel: int32(seed), Idx: int32(i)})
+		e.stats.JCCChecks++
+		if a.Score(u, s) >= tau {
+			e.incomplete = append(e.incomplete, s)
+		}
+	}
+	return e, nil
+}
+
 // Stats returns the accumulated counters.
 func (e *Enumerator) Stats() core.Stats { return e.stats }
 
@@ -102,7 +146,7 @@ func (e *Enumerator) Next() (*tupleset.Set, bool) {
 	e.incomplete = e.incomplete[1:]
 	e.stats.Iterations++
 
-	result := getNextResult(e.u, e.seed, e.a, e.tau, e.scan, T, (*fifoPool)(e), e.complete, &e.stats)
+	result := getNextResult(e.u, e.seed, e.a, e.tau, e.scan, e.minIdx, T, (*fifoPool)(e), e.complete, &e.stats)
 
 	e.complete.Add(result)
 	e.stats.Emitted++
@@ -167,11 +211,15 @@ func TryMerge(u *tupleset.Universe, a Join, tau float64, s, t *tupleset.Set, sta
 func GetNextResult(u *tupleset.Universe, seed int, a Join, tau float64, opts core.Options,
 	T *tupleset.Set, pool Pool, complete *core.CompleteStore, stats *core.Stats) *tupleset.Set {
 	scan := core.NewScanner(u.DB, ScanOptions(a, opts), 0, stats)
-	return getNextResult(u, seed, a, tau, scan, T, pool, complete, stats)
+	return getNextResult(u, seed, a, tau, scan, 0, T, pool, complete, stats)
 }
 
+// getNextResult additionally takes minIdx, the delta-mode anchor floor:
+// a discovered candidate whose seed-relation tuple has index < minIdx
+// is dropped at line 9 exactly as one with no seed tuple is. With
+// minIdx = 0 this is APPROXGETNEXTRESULT verbatim.
 func getNextResult(u *tupleset.Universe, seed int, a Join, tau float64, scan *core.Scanner,
-	T *tupleset.Set, pool Pool, complete *core.CompleteStore, stats *core.Stats) *tupleset.Set {
+	minIdx int32, T *tupleset.Set, pool Pool, complete *core.CompleteStore, stats *core.Stats) *tupleset.Set {
 
 	// Lines 2–6 (starred): extend T maximally under A(T ∪ {tg}) ≥ τ.
 	// With the join index (equi-compatible a only) each sweep visits the
@@ -206,8 +254,8 @@ func getNextResult(u *tupleset.Universe, seed int, a Join, tau float64, scan *co
 		for _, tPrime := range a.MaximalSubsets(u, T, tb, tau) {
 			stats.JCCChecks++
 			anchor, hasSeed := tPrime.Member(seed)
-			if !hasSeed {
-				continue // line 9: T' lacks a tuple of Ri
+			if !hasSeed || anchor.Idx < minIdx {
+				continue // line 9: T' lacks a (delta-mode: new) tuple of Ri
 			}
 			if complete.ContainsSuperset(tPrime, anchor, stats) {
 				continue // line 11

@@ -1,5 +1,5 @@
 // Package bench is the experiment harness behind EXPERIMENTS.md and
-// cmd/fdbench: each experiment E1–E11 regenerates one artifact of the
+// cmd/fdbench: each experiment E1–E12 regenerates one artifact of the
 // paper (a table, a worked example, or a complexity/behaviour claim)
 // and reports it as a formatted table. Wall-clock numbers are
 // laptop-scale; the claims under test are shapes (who wins, how costs
@@ -91,6 +91,7 @@ func Registry() map[string]Experiment {
 		"E9":  E9Ablations,
 		"E10": E10Outerjoin,
 		"E11": E11Threshold,
+		"E12": E12Append,
 	}
 }
 

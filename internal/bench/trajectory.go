@@ -66,7 +66,8 @@ type Record struct {
 // Experiments without a structured form are simply absent.
 func Trajectories() map[string]func() (*Table, *Record, error) {
 	return map[string]func() (*Table, *Record, error){
-		"E9": E9Both,
+		"E9":  E9Both,
+		"E12": E12Both,
 	}
 }
 

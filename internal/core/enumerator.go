@@ -24,6 +24,13 @@ type Enumerator struct {
 	incomplete *IncompleteQueue
 	complete   *CompleteStore
 	scan       Scanner
+	// minIdx restricts the enumeration to results anchored at a
+	// seed-relation tuple with index ≥ minIdx. Zero enumerates all of
+	// FDi(R); NewDeltaEnumerator sets it to the first appended index so
+	// candidates whose seed-relation member predates the append are
+	// discarded instead of enqueued (their results exist in the old
+	// full disjunction already).
+	minIdx int32
 }
 
 // NewEnumerator prepares an enumeration of FDi(R) with the textbook
@@ -97,7 +104,7 @@ func (e *Enumerator) Next() (*tupleset.Set, bool) {
 	if !ok {
 		return nil, false
 	}
-	result := getNextResult(e.u, e.seed, &e.scan, T, e.incomplete, e.complete, &e.stats)
+	result := getNextResult(e.u, e.seed, &e.scan, e.minIdx, T, e.incomplete, e.complete, &e.stats)
 	e.complete.Add(result)
 	e.stats.Iterations++
 	e.stats.Emitted++
@@ -157,10 +164,14 @@ func GetNextResult(u *tupleset.Universe, seed int, opts Options, minRel int, T *
 	incomplete Pool, complete *CompleteStore, stats *Stats) *tupleset.Set {
 	scan := Scanner{db: u.DB, block: opts.blockSize(), minRel: minRel, stats: stats,
 		pool: opts.Pool, useJoinIndex: opts.UseJoinIndex}
-	return getNextResult(u, seed, &scan, T, incomplete, complete, stats)
+	return getNextResult(u, seed, &scan, 0, T, incomplete, complete, stats)
 }
 
-func getNextResult(u *tupleset.Universe, seed int, scan *Scanner, T *tupleset.Set,
+// getNextResult additionally takes minIdx, the delta-mode anchor floor:
+// a discovered candidate whose seed-relation tuple has index < minIdx
+// is dropped at line 9, exactly as a candidate with no seed tuple is.
+// With minIdx = 0 this is GETNEXTRESULT verbatim.
+func getNextResult(u *tupleset.Universe, seed int, scan *Scanner, minIdx int32, T *tupleset.Set,
 	incomplete Pool, complete *CompleteStore, stats *Stats) *tupleset.Set {
 
 	var sig tupleset.SigCounters
@@ -200,8 +211,8 @@ func getNextResult(u *tupleset.Universe, seed int, scan *Scanner, T *tupleset.Se
 		u.MaximalSubsetInto(tPrime, T, tb, &sig)
 		stats.JCCChecks++
 		anchor, hasSeed := tPrime.Member(seed)
-		if !hasSeed {
-			return true // line 9: T' has no tuple of Ri
+		if !hasSeed || anchor.Idx < minIdx {
+			return true // line 9: T' has no (delta-mode: no new) tuple of Ri
 		}
 		if complete.ContainsSuperset(tPrime, anchor, stats) {
 			return true // line 11: already represented in Complete

@@ -1,0 +1,126 @@
+// Package delta implements incremental full-disjunction maintenance:
+// given a frozen database that has been extended in place by an
+// appended tuple batch (relation.Database.Extend), it computes the
+// delta result set — the maximal join-consistent-and-connected tuple
+// sets the batch created — and patches old result lists across the
+// transition instead of recomputing them.
+//
+// The algebra of an append. Appending tuples to relation r never
+// invalidates the join consistency of an existing set and never makes
+// an existing maximal set larger without involving a new tuple, so
+//
+//	FD(R') = { T ∈ FD(R) : no D ∈ Δ strictly contains T } ∪ Δ
+//
+// where Δ is the set of maximal JCC sets of R' containing an appended
+// tuple. Δ is enumerated directly by the seeded delta enumerators
+// (core.NewDeltaEnumerator, approx.NewDeltaEnumerator): Incomplete is
+// seeded with the appended singletons only, and discovered candidates
+// whose relation-r member predates the append are discarded, so the
+// enumeration does O(Δ-neighbourhood) work rather than O(FD). The same
+// identity holds for the (A,τ)-approximate full disjunction with any
+// acceptable monotone join function: a qualifying superset of an old
+// maximal T must contain an appended tuple (T was maximal before), and
+// its maximal qualifying superset is a member of Δ.
+//
+// Subsumption (the "no D strictly contains T" filter) is the existing
+// signature/bitset containment check, Set.ContainsAll, which walks
+// members and relation bits only — it is universe-independent, so old
+// result sets bound to the pre-append universe compare correctly
+// against delta sets bound to the extended one. Strictness needs no
+// extra check: a delta set contains an appended tuple, an old result
+// cannot, so D ⊇ T implies D ≠ T.
+package delta
+
+import (
+	"repro/internal/approx"
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/tupleset"
+)
+
+// Delta is the result-set delta of one appended batch for one query
+// family (exact, or one (A,τ) approximate family): the new maximal
+// sets the batch created. Old results subsumed by the batch are not
+// stored — they are exactly the sets an Added member strictly
+// contains, and Patch removes them from any old result list.
+type Delta struct {
+	// Added holds the maximal sets of the extended database that
+	// contain an appended tuple, in enumeration order. The sets are
+	// bound to the extended database's universe.
+	Added []*tupleset.Set
+	// Stats accumulates the enumeration counters of the delta run.
+	Stats core.Stats
+}
+
+// Exact computes the exact-mode delta: u is a universe over the
+// extended database whose relation relIdx received appended tuples at
+// indices firstNew..Len-1.
+func Exact(u *tupleset.Universe, relIdx, firstNew int, opts core.Options) (*Delta, error) {
+	e, err := core.NewDeltaEnumerator(u, relIdx, firstNew, opts)
+	if err != nil {
+		return nil, err
+	}
+	d := &Delta{Added: e.All()}
+	d.Stats = e.Stats()
+	return d, nil
+}
+
+// Approx computes the delta of an (a,tau)-approximate family over the
+// extended database db.
+func Approx(db *relation.Database, relIdx, firstNew int, a approx.Join, tau float64, opts core.Options) (*Delta, error) {
+	e, err := approx.NewDeltaEnumerator(db, relIdx, firstNew, a, tau, opts)
+	if err != nil {
+		return nil, err
+	}
+	d := &Delta{Added: e.All()}
+	d.Stats = e.Stats()
+	return d, nil
+}
+
+// Append is the one-call library form: it extends db in place at
+// relation relIdx (sharing memory with db, which stays valid and
+// untouched) and computes the exact-mode delta of the batch. It
+// returns the extended database and the delta.
+func Append(db *relation.Database, relIdx int, tuples []relation.Tuple, opts core.Options) (*relation.Database, *Delta, error) {
+	firstNew := db.Relation(relIdx).Len()
+	ext, err := db.Extend(relIdx, tuples)
+	if err != nil {
+		return nil, nil, err
+	}
+	d, err := Exact(tupleset.NewUniverse(ext), relIdx, firstNew, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ext, d, nil
+}
+
+// Subsumes reports whether t — a result of the pre-append full
+// disjunction — is strictly contained in a delta set and therefore no
+// longer maximal in the extended database.
+func (d *Delta) Subsumes(t *tupleset.Set) bool {
+	for _, a := range d.Added {
+		if a.ContainsAll(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// Patch rewrites an old full-disjunction result list into the
+// post-append one: old results a delta set subsumes are dropped, the
+// delta sets are appended. The input slice is never mutated — callers
+// share drained result lists across sessions — and the returned slice
+// is freshly allocated. removed reports how many old results were
+// dropped.
+func (d *Delta) Patch(old []*tupleset.Set) (patched []*tupleset.Set, removed int) {
+	patched = make([]*tupleset.Set, 0, len(old)+len(d.Added))
+	for _, t := range old {
+		if d.Subsumes(t) {
+			removed++
+			continue
+		}
+		patched = append(patched, t)
+	}
+	patched = append(patched, d.Added...)
+	return patched, removed
+}

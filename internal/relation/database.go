@@ -71,9 +71,13 @@ type Database struct {
 	index *JoinIndex
 
 	// fpOnce/fp cache the content fingerprint of the frozen database
-	// (see Fingerprint); Refresh resets them with the mirror.
+	// (see Fingerprint); Refresh resets them with the mirror. relFPs
+	// holds the per-relation fingerprint chain states the combined fp
+	// is derived from — Extend rolls one chain forward over an appended
+	// batch instead of rehashing the database.
 	fpOnce sync.Once
 	fp     uint64
+	relFPs []uint64
 }
 
 // NewDatabase builds a database over the given relations. Relation
@@ -232,6 +236,7 @@ func (db *Database) Refresh() {
 	db.index = nil
 	db.fpOnce = sync.Once{}
 	db.fp = 0
+	db.relFPs = nil
 	db.size, db.tuples = 0, 0
 	for _, rel := range db.rels {
 		db.size += rel.Size()

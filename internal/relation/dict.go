@@ -20,6 +20,14 @@ const NullCode int32 = 0
 type Dict struct {
 	codes  map[string]int32
 	datums []string // datums[c-1] is the datum of code c ≥ 1
+
+	// The overlay of a derived dictionary (Database.Extend): datums
+	// first seen in appended tuples take codes above len(datums) and
+	// live here, so the base maps — shared by pointer with the parent
+	// database — are never written and every base code keeps its
+	// meaning. extraCodes is non-nil iff the dictionary is derived.
+	extraCodes  map[string]int32
+	extraDatums []string // extraDatums[c-len(datums)-1] for derived codes
 }
 
 // newDictBuilder returns an empty mutable dictionary, used only while a
@@ -29,12 +37,22 @@ func newDictBuilder() *Dict {
 }
 
 // intern returns the code of v, assigning a fresh one on first sight.
-// The null value always maps to NullCode.
+// The null value always maps to NullCode. A derived dictionary assigns
+// fresh codes into its overlay and leaves the shared base untouched.
 func (d *Dict) intern(v Value) int32 {
 	if v.IsNull() {
 		return NullCode
 	}
 	if c, ok := d.codes[v.datum]; ok {
+		return c
+	}
+	if d.extraCodes != nil {
+		if c, ok := d.extraCodes[v.datum]; ok {
+			return c
+		}
+		d.extraDatums = append(d.extraDatums, v.datum)
+		c := int32(len(d.datums) + len(d.extraDatums))
+		d.extraCodes[v.datum] = c
 		return c
 	}
 	d.datums = append(d.datums, v.datum)
@@ -43,14 +61,36 @@ func (d *Dict) intern(v Value) int32 {
 	return c
 }
 
+// derive returns a mutable overlay over a frozen dictionary: the base
+// maps are shared (and must no longer be written), an existing overlay
+// is copied so the parent's derived codes stay stable, and fresh
+// interns land in the copy. Database.Extend uses this to intern a batch
+// of appended tuples without perturbing any code the parent database —
+// or a tuple-set binding computed against it — already holds.
+func (d *Dict) derive() *Dict {
+	nd := &Dict{
+		codes:       d.codes,
+		datums:      d.datums,
+		extraCodes:  make(map[string]int32, len(d.extraCodes)),
+		extraDatums: append([]string(nil), d.extraDatums...),
+	}
+	for s, c := range d.extraCodes {
+		nd.extraCodes[s] = c
+	}
+	return nd
+}
+
 // Len returns the number of distinct non-null datums interned.
-func (d *Dict) Len() int { return len(d.datums) }
+func (d *Dict) Len() int { return len(d.datums) + len(d.extraDatums) }
 
 // Code returns the code of datum s and whether s occurs in the
 // database. The empty string is an ordinary datum (V("") is non-null)
 // and receives a regular positive code; ⊥ is not addressable by string.
 func (d *Dict) Code(s string) (int32, bool) {
-	c, ok := d.codes[s]
+	if c, ok := d.codes[s]; ok {
+		return c, true
+	}
+	c, ok := d.extraCodes[s]
 	return c, ok
 }
 
@@ -59,7 +99,7 @@ func (d *Dict) Lookup(c int32) Value {
 	if c == NullCode {
 		return Null
 	}
-	return V(d.datums[c-1])
+	return V(d.Datum(c))
 }
 
 // Datum returns the string carried by code c; it returns the empty
@@ -68,7 +108,10 @@ func (d *Dict) Datum(c int32) string {
 	if c == NullCode {
 		return ""
 	}
-	return d.datums[c-1]
+	if int(c) <= len(d.datums) {
+		return d.datums[c-1]
+	}
+	return d.extraDatums[int(c)-len(d.datums)-1]
 }
 
 // CodeKey encodes a code row as a compact binary string, 4 bytes per

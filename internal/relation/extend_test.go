@@ -1,0 +1,184 @@
+package relation_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// extendBase builds a small two-relation database and the tuple batch
+// the tests append to R: one tuple reusing an interned datum and one
+// introducing fresh datums (exercising the dictionary overlay), plus a
+// null.
+func extendBase(t *testing.T) (*relation.Database, []relation.Tuple) {
+	t.Helper()
+	r := relation.MustRelation("R", relation.MustSchema("A", "B"))
+	r.MustAppend("r1", map[relation.Attribute]relation.Value{
+		"A": relation.V("x"), "B": relation.V("y")})
+	r.MustAppend("r2", map[relation.Attribute]relation.Value{
+		"A": relation.V("x2")})
+	s := relation.MustRelation("S", relation.MustSchema("B", "C"))
+	s.MustAppend("s1", map[relation.Attribute]relation.Value{
+		"B": relation.V("y"), "C": relation.V("z")})
+	s.MustAppend("s2", map[relation.Attribute]relation.Value{
+		"B": relation.V("w"), "C": relation.V("z2")})
+	batch := []relation.Tuple{
+		{Label: "r3", Values: []relation.Value{relation.V("x"), relation.V("w")}, Imp: 1, Prob: 1},
+		{Label: "r4", Values: []relation.Value{relation.V("fresh"), relation.Null}, Imp: 0.5, Prob: 0.5},
+	}
+	return relation.MustDatabase(r, s), batch
+}
+
+// rebuiltEquivalent constructs from scratch the database Extend should
+// be equal to.
+func rebuiltEquivalent(t *testing.T, db *relation.Database, relIdx int, batch []relation.Tuple) *relation.Database {
+	t.Helper()
+	rels := make([]*relation.Relation, db.NumRelations())
+	for i := range rels {
+		src := db.Relation(i)
+		dst := relation.MustRelation(src.Name(), src.Schema())
+		for j := 0; j < src.Len(); j++ {
+			if err := dst.AppendTuple(*src.Tuple(j)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i == relIdx {
+			for _, tu := range batch {
+				if err := dst.AppendTuple(tu); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		rels[i] = dst
+	}
+	return relation.MustDatabase(rels...)
+}
+
+// TestExtendMatchesRebuild: an extended database is indistinguishable
+// from a from-scratch build of the same content — same fingerprint
+// (the rolled chain meets the full rehash), same decoded values, same
+// join-consistency relation, same snapshot bytes.
+func TestExtendMatchesRebuild(t *testing.T) {
+	db, batch := extendBase(t)
+	fpBefore := db.Fingerprint()
+	ext, err := db.Extend(0, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt := rebuiltEquivalent(t, db, 0, batch)
+
+	if got, want := ext.Fingerprint(), rebuilt.Fingerprint(); got != want {
+		t.Fatalf("rolled fingerprint %016x != rebuilt %016x", got, want)
+	}
+	if ext.Fingerprint() == fpBefore {
+		t.Fatal("extension did not change the fingerprint")
+	}
+	if got, want := ext.NumTuples(), rebuilt.NumTuples(); got != want {
+		t.Fatalf("NumTuples = %d, want %d", got, want)
+	}
+	if got, want := ext.Size(), rebuilt.Size(); got != want {
+		t.Fatalf("Size = %d, want %d", got, want)
+	}
+
+	// Every cell decodes to the same datum, even though the overlay
+	// dictionary assigns different codes than a from-scratch intern.
+	for r := 0; r < ext.NumRelations(); r++ {
+		rel := ext.Relation(r)
+		for p := 0; p < rel.Schema().Len(); p++ {
+			for i := 0; i < rel.Len(); i++ {
+				ref := relation.Ref{Rel: int32(r), Idx: int32(i)}
+				got := ext.Dict().Lookup(ext.Code(ref, p))
+				want := rebuilt.Dict().Lookup(rebuilt.Code(ref, p))
+				if got != want {
+					t.Fatalf("rel %d tuple %d pos %d: decoded %v, want %v", r, i, p, got, want)
+				}
+			}
+		}
+	}
+
+	// Join consistency agrees across every tuple pair.
+	ext.ForEachRef(func(a relation.Ref) bool {
+		ext.ForEachRef(func(b relation.Ref) bool {
+			if got, want := ext.JoinConsistent(a, b), rebuilt.JoinConsistent(a, b); got != want {
+				t.Fatalf("JoinConsistent(%v,%v) = %v, rebuilt says %v", a, b, got, want)
+			}
+			return true
+		})
+		return true
+	})
+
+	// The base database is untouched: same fingerprint, same length.
+	if db.Fingerprint() != fpBefore {
+		t.Fatal("Extend mutated the base database's fingerprint")
+	}
+	if db.Relation(0).Len() != 2 {
+		t.Fatalf("Extend grew the base relation to %d tuples", db.Relation(0).Len())
+	}
+
+	// Snapshot round-trip: the extended database serialises and loads
+	// (the writer reads the dictionary through the overlay).
+	var buf bytes.Buffer
+	if err := ext.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := relation.ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Fingerprint() != ext.Fingerprint() {
+		t.Fatalf("snapshot of extended db fingerprints %016x, want %016x",
+			back.Fingerprint(), ext.Fingerprint())
+	}
+}
+
+// TestExtendChained: extending an extended database (a second overlay
+// derivation) still matches the rebuild.
+func TestExtendChained(t *testing.T) {
+	db, batch := extendBase(t)
+	ext1, err := db.Extend(0, batch[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext2, err := ext1.Extend(0, batch[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second extension of ext1 on another relation must not disturb
+	// ext2 (the overlay is copied, not shared, between siblings).
+	sib, err := ext1.Extend(1, []relation.Tuple{
+		{Values: []relation.Value{relation.V("sib"), relation.V("fresh2")}, Prob: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt := rebuiltEquivalent(t, db, 0, batch)
+	if got, want := ext2.Fingerprint(), rebuilt.Fingerprint(); got != want {
+		t.Fatalf("chained fingerprint %016x != rebuilt %016x", got, want)
+	}
+	if got := sib.Relation(0).Len(); got != 3 {
+		t.Fatalf("sibling extension sees %d tuples in R, want 3", got)
+	}
+	if got, ok := sib.Dict().Code("sib"); !ok || got == relation.NullCode {
+		t.Fatalf("sibling overlay lost its datum (code %d, ok %v)", got, ok)
+	}
+}
+
+// TestExtendValidation: bad batches are rejected without freezing or
+// deriving anything.
+func TestExtendValidation(t *testing.T) {
+	db, _ := extendBase(t)
+	if _, err := db.Extend(0, nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, err := db.Extend(5, []relation.Tuple{{}}); err == nil {
+		t.Fatal("out-of-range relation accepted")
+	}
+	if _, err := db.Extend(0, []relation.Tuple{
+		{Values: []relation.Value{relation.V("a")}}}); err == nil {
+		t.Fatal("width-mismatched tuple accepted")
+	}
+	if _, err := db.Extend(0, []relation.Tuple{
+		{Values: []relation.Value{relation.V("a"), relation.V("b")}, Prob: 2}}); err == nil {
+		t.Fatal("out-of-range probability accepted")
+	}
+}

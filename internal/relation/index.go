@@ -34,6 +34,40 @@ func buildJoinIndex(cols [][][]int32) *JoinIndex {
 	return ix
 }
 
+// extend derives the index of a database whose relation relIdx grew by
+// appended tuples (Database.Extend): every other relation's posting
+// maps are shared by pointer with the base index, and relIdx's maps are
+// rebuilt with the new tuples' codes posted. Appended tuples take the
+// highest indices, so posting lists stay ascending by construction.
+// Posting slices that gain entries are reallocated rather than appended
+// in place — the base index's slices may have spare capacity, and a
+// shared-array write would corrupt the parent database under readers.
+func (ix *JoinIndex) extend(relIdx int, relCols [][]int32, firstNew int) *JoinIndex {
+	nd := &JoinIndex{postings: make([][]map[int32][]int32, len(ix.postings))}
+	copy(nd.postings, ix.postings)
+	maps := make([]map[int32][]int32, len(relCols))
+	for p, col := range relCols {
+		old := ix.postings[relIdx][p]
+		m := make(map[int32][]int32, len(old)+1)
+		for code, refs := range old {
+			m[code] = refs
+		}
+		for idx := firstNew; idx < len(col); idx++ {
+			code := col[idx]
+			if code == NullCode {
+				continue
+			}
+			refs := m[code]
+			grown := make([]int32, len(refs), len(refs)+1)
+			copy(grown, refs)
+			m[code] = append(grown, int32(idx))
+		}
+		maps[p] = m
+	}
+	nd.postings[relIdx] = maps
+	return nd
+}
+
 // Counts reports the index's size: the number of posting lists (one
 // per distinct non-null code per column) and the total tuple
 // references posted across all of them — the statistics fd.Explain

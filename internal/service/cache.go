@@ -1,6 +1,11 @@
 package service
 
-import "container/list"
+import (
+	"container/list"
+	"strings"
+
+	fd "repro"
+)
 
 // resultCache is an LRU cache of fully-materialised result lists, keyed
 // by database fingerprint + canonical query spec. Only queries drained
@@ -27,6 +32,11 @@ type cacheEntry struct {
 	key     string
 	results []Result
 	bytes   int64
+	// spec is the query spec the list was drained under; the append
+	// path uses it to tell which delta family (exact, or one (τ, sim)
+	// approximate family) can patch the entry across a fingerprint
+	// transition.
+	spec fd.Query
 }
 
 func newResultCache(capacity int, maxBytes int64) *resultCache {
@@ -52,7 +62,7 @@ func (c *resultCache) get(key string) ([]Result, bool) {
 // put inserts (or refreshes) the result list for key, then evicts least
 // recently used entries until both the entry-count and byte bounds
 // hold, returning how many entries were evicted.
-func (c *resultCache) put(key string, results []Result) int {
+func (c *resultCache) put(key string, spec fd.Query, results []Result) int {
 	if c.capacity <= 0 {
 		return 0
 	}
@@ -61,9 +71,9 @@ func (c *resultCache) put(key string, results []Result) int {
 		c.ll.MoveToFront(el)
 		e := el.Value.(*cacheEntry)
 		c.total += bytes - e.bytes
-		e.results, e.bytes = results, bytes
+		e.results, e.bytes, e.spec = results, bytes, spec
 	} else {
-		el := c.ll.PushFront(&cacheEntry{key: key, results: results, bytes: bytes})
+		el := c.ll.PushFront(&cacheEntry{key: key, results: results, bytes: bytes, spec: spec})
 		c.entries[key] = el
 		c.total += bytes
 	}
@@ -78,6 +88,33 @@ func (c *resultCache) put(key string, results []Result) int {
 		evicted++
 	}
 	return evicted
+}
+
+// withPrefix snapshots the entries whose key starts with prefix (the
+// fingerprint half of a cache key), without promoting them. The append
+// path iterates the snapshot while removing and re-inserting entries.
+func (c *resultCache) withPrefix(prefix string) []*cacheEntry {
+	var out []*cacheEntry
+	for key, el := range c.entries {
+		if strings.HasPrefix(key, prefix) {
+			out = append(out, el.Value.(*cacheEntry))
+		}
+	}
+	return out
+}
+
+// remove drops the entry for key, adjusting the byte accounting;
+// reports whether an entry was present.
+func (c *resultCache) remove(key string) bool {
+	el, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	c.ll.Remove(el)
+	e := el.Value.(*cacheEntry)
+	delete(c.entries, key)
+	c.total -= e.bytes
+	return true
 }
 
 // peek reports whether key is cached, without promoting it — the

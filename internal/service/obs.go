@@ -31,6 +31,9 @@ type metrics struct {
 	quarantines   *obs.Counter
 	slowQueries   *obs.Counter
 	delayBreaches *obs.Counter
+
+	appendLatency *obs.Histogram
+	cachePatches  *obs.Counter
 }
 
 func newMetrics(reg *obs.Registry) metrics {
@@ -66,7 +69,24 @@ func newMetrics(reg *obs.Registry) metrics {
 			"Completed queries whose wall time exceeded the slow-query threshold."),
 		delayBreaches: reg.Counter("fd_delay_slo_breaches_total",
 			"Inter-result gaps that exceeded the configured delay SLO."),
+		appendLatency: reg.Histogram("fd_append_seconds",
+			"Append maintenance latency: extend, durable log, delta enumeration, cache patch, registry swap."),
+		cachePatches: reg.Counter("fd_cache_patches_total",
+			"Cached result lists patched in place across an append instead of invalidated."),
 	}
+}
+
+// appends returns the per-database applied-append-batch counter.
+func (m metrics) appends(db string) *obs.Counter {
+	return m.reg.Counter("fd_appends_total",
+		"Append batches applied through incremental maintenance, by database.", "db", db)
+}
+
+// appendDeltaResults returns the per-database delta-result counter: the
+// new maximal sets append maintenance produced.
+func (m metrics) appendDeltaResults(db string) *obs.Counter {
+	return m.reg.Counter("fd_append_delta_results_total",
+		"Delta results produced by incremental append maintenance, by database.", "db", db)
 }
 
 // resultDelay returns the per-database, per-mode inter-result delay

@@ -254,8 +254,12 @@ type Service struct {
 	dbs     map[string]*dbEntry
 	queries map[string]*Query
 	cache   *resultCache
-	seq     uint64
-	closed  bool
+	// subs holds the live follow subscriptions, by database name then
+	// session id; AppendRows pushes each append's delta batch to every
+	// family-matched subscription of the appended database.
+	subs   map[string]map[string]*subscription
+	seq    uint64
+	closed bool
 
 	queriesStarted    int64
 	queriesDone       int64
@@ -286,6 +290,7 @@ func New(cfg Config) *Service {
 		engineSem:      make(chan struct{}, cfg.EngineWorkers-1),
 		dbs:            make(map[string]*dbEntry),
 		queries:        make(map[string]*Query),
+		subs:           make(map[string]map[string]*subscription),
 		cache:          newResultCache(cfg.CacheCapacity, cfg.CacheMaxBytes),
 		met:            newMetrics(cfg.Metrics),
 		finishedTraces: make(map[string]*obs.TraceData),
@@ -456,6 +461,9 @@ func (s *Service) DropDatabase(name string) error {
 	}
 	s.mu.Lock()
 	delete(s.dbs, name)
+	// Follow subscriptions watch a name; the name is gone, so end the
+	// streams (the base sessions keep paging — they hold the entry).
+	s.closeSubsLocked(name)
 	s.mu.Unlock()
 	return nil
 }
@@ -559,98 +567,6 @@ func (s *Service) ListDatabases() []DatabaseInfo {
 	}
 	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
 	return infos
-}
-
-// AppendRows appends tuples to relation relName of the registered
-// database dbName. The registered database is immutable (open sessions
-// page over it), so the append builds a replacement database — the
-// existing tuples are carried over without copying their values — and
-// swaps it into the registry; sessions opened before the swap keep
-// enumerating the old version. With a configured Store the rows are
-// appended to the database's durable row log first (no snapshot
-// rewrite), so a restart replays them; a log failure leaves both disk
-// and registry unchanged.
-func (s *Service) AppendRows(dbName, relName string, tuples []relation.Tuple) (DatabaseInfo, error) {
-	if len(tuples) == 0 {
-		return DatabaseInfo{}, fmt.Errorf("service: no rows to append")
-	}
-	s.appendMu.Lock()
-	defer s.appendMu.Unlock()
-
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return DatabaseInfo{}, fmt.Errorf("service: closed")
-	}
-	entry, ok := s.dbs[dbName]
-	s.mu.Unlock()
-	if !ok {
-		return DatabaseInfo{}, fmt.Errorf("service: %w %q", ErrUnknownDatabase, dbName)
-	}
-	old := entry.db
-	relIdx, ok := old.RelationIndex(relName)
-	if !ok {
-		return DatabaseInfo{}, fmt.Errorf("service: database %q has no relation %q", dbName, relName)
-	}
-
-	rels := make([]*relation.Relation, old.NumRelations())
-	for i := range rels {
-		src := old.Relation(i)
-		rel, err := relation.NewRelation(src.Name(), src.Schema())
-		if err != nil {
-			return DatabaseInfo{}, err
-		}
-		for j := 0; j < src.Len(); j++ {
-			if err := rel.AppendTuple(*src.Tuple(j)); err != nil {
-				return DatabaseInfo{}, err
-			}
-		}
-		rels[i] = rel
-	}
-	for i, t := range tuples {
-		if err := rels[relIdx].AppendTuple(t); err != nil {
-			return DatabaseInfo{}, fmt.Errorf("service: append row %d: %w", i, err)
-		}
-	}
-	db, err := relation.NewDatabase(rels...)
-	if err != nil {
-		return DatabaseInfo{}, err
-	}
-	fp := db.Fingerprint() // freeze before publishing
-
-	// Durability first: if the log write fails, nothing was swapped.
-	// The append is bound to the snapshot fingerprint of the entry we
-	// rebuilt from, so a drop + re-register racing this call fails the
-	// log write (the replacement snapshot carries a different
-	// fingerprint) instead of durably logging rows the caller will be
-	// told failed.
-	if s.cfg.Store != nil {
-		err := s.retryStore(func() error {
-			return s.cfg.Store.Append(dbName, relName, tuples, entry.snapFP)
-		})
-		if err != nil {
-			return DatabaseInfo{}, err
-		}
-	}
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return DatabaseInfo{}, fmt.Errorf("service: closed")
-	}
-	if cur, ok := s.dbs[dbName]; !ok || cur != entry {
-		// Dropped while we rebuilt. The drop deleted the snapshot and
-		// log; a drop + re-register instead fails the fingerprint-bound
-		// log write above. Disk is consistent either way.
-		return DatabaseInfo{}, fmt.Errorf("service: database %q dropped during append", dbName)
-	}
-	s.dbs[dbName] = &dbEntry{name: dbName, db: db, u: tupleset.NewUniverse(db), snapFP: entry.snapFP}
-	return DatabaseInfo{
-		Name:        dbName,
-		Relations:   db.NumRelations(),
-		Tuples:      db.NumTuples(),
-		Fingerprint: fmt.Sprintf("%016x", fp),
-	}, nil
 }
 
 // Database returns the registered database of that name.
@@ -769,6 +685,9 @@ func (s *Service) StartQuery(ctx context.Context, dbName string, spec fd.Query) 
 		q.cached, q.fromCache = cached, true
 		q.progress.SetPhase(obs.PhaseCached)
 		s.queries[id] = q
+		if spec.Follow {
+			s.registerFollowLocked(q)
+		}
 		s.met.activeQueries.Set(int64(len(s.queries)))
 		s.mu.Unlock()
 		s.met.cacheHits.Inc()
@@ -850,6 +769,9 @@ func (s *Service) StartQuery(ctx context.Context, dbName string, spec fd.Query) 
 	s.queriesStarted++
 	q.cur = cur
 	s.queries[id] = q
+	if spec.Follow {
+		s.registerFollowLocked(q)
+	}
 	s.met.activeQueries.Set(int64(len(s.queries)))
 	s.met.cacheMisses.Inc()
 	s.met.queries(dbName, q.mode()).Inc()
@@ -961,6 +883,7 @@ func (s *Service) Close() {
 		open = append(open, q)
 		delete(s.queries, id)
 	}
+	s.closeSubsLocked("")
 	s.met.activeQueries.Set(0)
 	s.mu.Unlock()
 	for _, q := range open {
@@ -1028,6 +951,9 @@ type Query struct {
 	// engineSlots counts extra intra-query workers held from the
 	// service's shared engine budget, returned when the cursor ends.
 	engineSlots int
+	// sub is the session's live-maintenance subscription (specs with
+	// Follow); set once at StartQuery, before the session is published.
+	sub *subscription
 	// lastStats is the previous cursor Stats() snapshot; page spans
 	// carry the telescoping difference from it, so the trace's span
 	// stats sum to the final counters.
@@ -1288,7 +1214,7 @@ func (q *Query) Next(k int) ([]Result, bool, error) {
 	q.svc.engine.Add(stats)
 	q.svc.queriesDone++
 	if err == nil && !q.uncacheable && !q.svc.closed {
-		evicted = q.svc.cache.put(q.key, q.gathered)
+		evicted = q.svc.cache.put(q.key, q.spec, q.gathered)
 		q.svc.cacheEvictions += int64(evicted)
 	}
 	q.svc.met.syncCache(q.svc.cache)
@@ -1326,6 +1252,7 @@ func (q *Query) shut() {
 		return
 	}
 	q.closed = true
+	q.svc.dropFollow(q)
 	if q.cancel != nil {
 		q.cancel()
 	}

@@ -174,6 +174,16 @@ type Query struct {
 	// Sim names the similarity of the approx modes: levenshtein
 	// (default) or exact.
 	Sim string `json:"sim,omitempty"`
+	// Follow subscribes the session to incremental maintenance: after
+	// the base enumeration drains, the session stays open and receives
+	// the delta results of every append to its database
+	// (internal/delta) until it is closed. Only the unbounded exact and
+	// approx modes can be followed — a ranked order or a K/RankTau
+	// bound is a property of a finished enumeration, not of a live one.
+	// Follow does not change the computed result set, so it is excluded
+	// from the canonical form: a follow query shares its cache entry
+	// with the one-shot spelling.
+	Follow bool `json:"follow,omitempty"`
 	// Options carries the engine knobs.
 	Options QueryOptions `json:"options,omitzero"`
 }
@@ -297,6 +307,14 @@ func (q Query) Validate() error {
 	}
 	if (ranked || approxMode) && q.Options.Strategy != "" && q.Options.Strategy != "singletons" {
 		return fmt.Errorf("fd: init strategy %q given for mode %q (only the exact driver has per-pass initialisation strategies)", q.Options.Strategy, q.Mode)
+	}
+	if q.Follow {
+		if ranked {
+			return fmt.Errorf("fd: follow subscription for ranked mode %q (rank order is a property of a finished enumeration)", q.Mode)
+		}
+		if q.K != 0 || q.RankTau != 0 {
+			return fmt.Errorf("fd: follow subscription with a result bound (k=%d, rank_tau=%v)", q.K, q.RankTau)
+		}
 	}
 	return nil
 }

@@ -11,8 +11,12 @@
 # directory, and assert the recovered database lists the same
 # fingerprint and pages the same result count with zero
 # re-registration — and that /metrics and the trace endpoint still
-# answer after a kill -9 restart. Uses only curl + grep/sed so it runs
-# in minimal containers. Usage: smoke_fdserve.sh [bindir]
+# answer after a kill -9 restart. Along the way a follow subscription
+# streams the base results, observes an append's delta events live,
+# and its final total must match a from-scratch query — before and
+# after the kill -9 — while the append/cache-patch counters prove the
+# incremental path ran. Uses only curl + grep/sed so it runs in
+# minimal containers. Usage: smoke_fdserve.sh [bindir]
 set -euo pipefail
 
 bindir="${1:-./bin}"
@@ -281,6 +285,35 @@ echo "post-restart: fingerprint $fp2, $count2 results (recovered, no re-registra
 # states.
 fp_pre="$fp1"
 count_pre="$count1"
+
+# --- live subscription: follow the query across the append -----------
+# A follow query drains the base results, then streams each append's
+# delta (retract/result events plus one "delta" summary per append).
+# ?appends=1 ends the stream deterministically after one append.
+fqid="$(curl -fsS -X POST "$base/queries" -d '{"database":"p","follow":true}' |
+  sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+if [ -z "$fqid" ]; then
+  echo "FAIL: follow query was not accepted" >&2
+  exit 1
+fi
+follow_out="$wl/follow.ndjson"
+curl -fsSN "$base/queries/$fqid/follow?appends=1" >"$follow_out" &
+follow_pid=$!
+for _ in $(seq 1 50); do
+  grep -q '"event":"live"' "$follow_out" 2>/dev/null && break
+  sleep 0.2
+done
+if ! grep -q '"event":"live"' "$follow_out"; then
+  echo "FAIL: follow stream never reached the live marker: $(cat "$follow_out" 2>/dev/null)" >&2
+  exit 1
+fi
+base_streamed="$(grep -c '"event":"result"' "$follow_out" || true)"
+if [ "$base_streamed" != "$count_pre" ]; then
+  echo "FAIL: follow base drain streamed $base_streamed results, want $count_pre" >&2
+  exit 1
+fi
+echo "follow: base drain streamed $base_streamed results, live"
+
 app="$(curl -fsS -X POST "$base/databases/p/rows" -d \
   '{"relation":"R00","tuples":[{"label":"zz","values":["zz1",null]}]}')"
 fp_post="$(sed -n 's/.*"fingerprint":"\([0-9a-f]*\)".*/\1/p' <<<"$app")"
@@ -292,6 +325,39 @@ qid="$(curl -fsS -X POST "$base/queries" -d '{"database":"p","mode":"exact"}' |
   sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
 count_post="$(page_to_exhaustion "$qid")"
 echo "crash reference: pre $fp_pre/$count_pre, post $fp_post/$count_post"
+
+# The subscription must have observed the append: a "delta" summary,
+# then the ?appends=1 "end" whose running total matches the full
+# enumeration of the appended database.
+wait "$follow_pid" 2>/dev/null || true
+for ev in '"event":"delta"' '"event":"end"'; do
+  if ! grep -q "$ev" "$follow_out"; then
+    echo "FAIL: follow stream missing $ev event: $(cat "$follow_out")" >&2
+    exit 1
+  fi
+done
+followed_total="$(sed -n 's/.*"event":"end","total":\([0-9]*\).*/\1/p' "$follow_out")"
+if [ "$followed_total" != "$count_post" ]; then
+  echo "FAIL: follow stream ended at total $followed_total, full query paged $count_post" >&2
+  exit 1
+fi
+echo "follow: delta observed, final total $followed_total matches the full query"
+
+# The append ran the incremental-maintenance path: append and
+# cache-patch counters moved (the cached pre-append result list was
+# patched across the fingerprint roll, not invalidated).
+metrics_app="$(curl -fsS "$base/metrics")"
+ap="$(counter_value "$metrics_app" 'fd_appends_total{db="p"}')"
+cp="$(counter_value "$metrics_app" 'fd_cache_patches_total')"
+if [ "$ap" -lt 1 ]; then
+  echo "FAIL: fd_appends_total{db=\"p\"} = $ap after an append, want >= 1" >&2
+  exit 1
+fi
+if [ "$cp" -lt 1 ]; then
+  echo "FAIL: fd_cache_patches_total = $cp after an append over a cached list, want >= 1" >&2
+  exit 1
+fi
+echo "metrics: fd_appends_total{db=\"p\"}=$ap, fd_cache_patches_total=$cp"
 kill -TERM "$server_pid" && wait "$server_pid" 2>/dev/null || true
 
 # Crash pass: fresh directory, same registration, then SIGKILL the
@@ -371,4 +437,21 @@ for span in '"name":"query"' '"name":"open"' '"name":"next"'; do
   fi
 done
 echo "post-crash observability: metrics (fd_queries_total{db=\"p\"}=$qp) and trace served"
+
+# --- the followed total survives the kill -9 -------------------------
+# Bring the recovered database to the post-append state (a no-op when
+# the crash already persisted the append) and assert a from-scratch
+# query matches the total the live subscription last reported.
+if [ "$state" = "pre-append" ]; then
+  curl -fsS -X POST "$base/databases/p/rows" -d \
+    '{"relation":"R00","tuples":[{"label":"zz","values":["zz1",null]}]}' >/dev/null
+fi
+qid="$(curl -fsS -X POST "$base/queries" -d '{"database":"p","mode":"exact"}' |
+  sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+count4="$(page_to_exhaustion "$qid")"
+if [ "$count4" != "$followed_total" ]; then
+  echo "FAIL: post-crash full query paged $count4 results, followed total was $followed_total" >&2
+  exit 1
+fi
+echo "post-crash: full query matches the followed total ($count4)"
 echo "PASS"
